@@ -1,0 +1,155 @@
+// Command ppm-figures regenerates the paper's evaluation figures
+// (Figures 1-3): application runtime versus node count for the PPM and
+// MPI implementations, on the simulated Franklin-like machine.
+//
+// Usage:
+//
+//	ppm-figures [-fig 1|2|3|0] [-nodes 1,2,4,8,16,32,64] [-cores 4]
+//	            [-csv] [-chart]
+//	            [-cg-grid 24x24x48] [-cg-iters 20]
+//	            [-colloc-levels 7] [-colloc-m0 12]
+//	            [-bh-n 3000] [-bh-steps 2]
+//
+// -fig 0 (default) runs all three figures. The default workload sizes are
+// laptop-scale; raise them toward the paper's (see DESIGN.md) if you have
+// the patience.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/bench"
+	"ppm/internal/machine"
+)
+
+func parseNodeList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseGrid(s string) (nx, ny, nz int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("grid must be NXxNYxNZ, got %q", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		dims[i], err = strconv.Atoi(p)
+		if err != nil || dims[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad grid dimension %q", p)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppm-figures: ")
+
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 2, 3; 4 = supplementary S1 Jacobi; 0 = all)")
+	nodeList := flag.String("nodes", "1,2,4,8,16,32,64", "comma-separated node counts")
+	cores := flag.Int("cores", 4, "cores (and MPI ranks) per node")
+	emitCSV := flag.Bool("csv", false, "emit CSV instead of tables")
+	emitChart := flag.Bool("chart", false, "also emit ASCII charts")
+	cgGrid := flag.String("cg-grid", "24x24x48", "Figure 1 grid (chimney: NXxNYxNZ)")
+	cgIters := flag.Int("cg-iters", 20, "Figure 1 CG iterations")
+	collocLevels := flag.Int("colloc-levels", 7, "Figure 2 multi-scale levels")
+	collocM0 := flag.Int("colloc-m0", 12, "Figure 2 level-0 basis count")
+	bhN := flag.Int("bh-n", 3000, "Figure 3 body count")
+	bhSteps := flag.Int("bh-steps", 2, "Figure 3 time steps")
+	flag.Parse()
+
+	nodes, err := parseNodeList(*nodeList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.SweepConfig{NodeCounts: nodes, CoresPerNode: *cores, Machine: machine.Franklin()}
+
+	emit := func(s *bench.Series) {
+		if *emitCSV {
+			fmt.Printf("# %s: %s\n%s\n", s.Figure, s.Name, s.CSV())
+			return
+		}
+		fmt.Println(s.Table())
+		if *emitChart {
+			fmt.Println(s.Chart())
+		}
+		if x := s.CrossoverNodes(); x > 0 {
+			fmt.Printf("PPM matches or beats MPI from %d node(s).\n\n", x)
+		} else {
+			fmt.Printf("PPM does not overtake MPI in this sweep.\n\n")
+		}
+	}
+
+	run1 := func() {
+		nx, ny, nz, err := parseGrid(*cgGrid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := bench.Figure1CG(cfg, cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: *cgIters, Tol: 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(s)
+	}
+	run2 := func() {
+		s, err := bench.Figure2Colloc(cfg, colloc.Params{Levels: *collocLevels, M0: *collocM0, Delta: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(s)
+	}
+	run3 := func() {
+		s, err := bench.Figure3BarnesHut(cfg, nbody.Params{
+			N: *bhN, Steps: *bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(s)
+	}
+
+	runS1 := func() {
+		s, err := bench.FigureS1Jacobi(cfg, jacobi.Params{NX: 24, NY: 24, NZ: 48, Sweeps: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(s)
+	}
+
+	switch *fig {
+	case 0:
+		run1()
+		run2()
+		run3()
+		runS1()
+	case 1:
+		run1()
+	case 2:
+		run2()
+	case 3:
+		run3()
+	case 4:
+		runS1()
+	default:
+		fmt.Fprintln(os.Stderr, "ppm-figures: -fig must be 0, 1, 2, 3 or 4")
+		os.Exit(2)
+	}
+}

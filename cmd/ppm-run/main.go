@@ -1,0 +1,135 @@
+// Command ppm-run executes a single application run — one app, one
+// programming model, one cluster shape — and prints the result summary
+// and the modeled run report. It is the quickest way to poke at the
+// simulator interactively.
+//
+// Usage:
+//
+//	ppm-run -app cg|colloc|nbody|search [-model ppm|mpi] [-nodes 8] [-cores 4]
+//	        [-no-bundling] [-no-overlap] [-no-readcache] [-static] [-smartmap]
+//	        [app-specific flags, see -h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/search"
+	"ppm/internal/core"
+	"ppm/internal/machine"
+	"ppm/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppm-run: ")
+
+	app := flag.String("app", "cg", "application: cg, colloc, nbody, search")
+	model := flag.String("model", "ppm", "programming model: ppm or mpi")
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	cores := flag.Int("cores", 4, "cores per node")
+	noBundling := flag.Bool("no-bundling", false, "disable remote-access bundling (PPM)")
+	noOverlap := flag.Bool("no-overlap", false, "disable comm/compute overlap (PPM)")
+	noReadCache := flag.Bool("no-readcache", false, "disable the node-level read cache (PPM)")
+	static := flag.Bool("static", false, "static VP-to-core schedule (PPM)")
+	smartMap := flag.Bool("smartmap", false, "enable SmartMap-style intra-node MPI optimization")
+	timeline := flag.Bool("timeline", false, "print a communication summary and per-rank timeline (PPM runs)")
+
+	cgGrid := flag.String("cg-grid", "24x24x48", "cg: grid NXxNYxNZ")
+	cgIters := flag.Int("cg-iters", 20, "cg: iterations (tol=0)")
+	collocLevels := flag.Int("colloc-levels", 7, "colloc: levels")
+	collocM0 := flag.Int("colloc-m0", 12, "colloc: level-0 basis count")
+	bhN := flag.Int("bh-n", 3000, "nbody: bodies")
+	bhSteps := flag.Int("bh-steps", 2, "nbody: steps")
+	searchN := flag.Int("search-n", 1<<20, "search: sorted array length")
+	searchK := flag.Int("search-k", 1<<14, "search: keys per node")
+	flag.Parse()
+
+	mach := machine.Franklin()
+	mach.SmartMap = *smartMap
+	popt := core.Options{
+		Nodes:          *nodes,
+		CoresPerNode:   *cores,
+		Machine:        mach,
+		NoBundling:     *noBundling,
+		NoOverlap:      *noOverlap,
+		NoReadCache:    *noReadCache,
+		StaticSchedule: *static,
+	}
+	var collector *trace.Collector
+	if *timeline {
+		collector = trace.NewCollector()
+		popt.Observer = collector.Observer()
+		defer func() {
+			fmt.Println()
+			fmt.Print(collector.Summarize())
+			fmt.Print(collector.Timeline(72))
+		}()
+	}
+
+	switch *app {
+	case "cg":
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*cgGrid, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			log.Fatalf("bad -cg-grid %q", *cgGrid)
+		}
+		prm := cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: *cgIters, Tol: 0}
+		if *model == "mpi" {
+			res, rep, err := cg.RunMPI(cg.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			exitOn(err)
+			fmt.Printf("cg/mpi: %d iterations, residual %.3e\n%v\n", res.Iters, res.Residual, rep)
+			return
+		}
+		res, rep, err := cg.RunPPM(popt, prm)
+		exitOn(err)
+		fmt.Printf("cg/ppm: %d iterations, residual %.3e\n%v\n", res.Iters, res.Residual, rep)
+
+	case "colloc":
+		prm := colloc.Params{Levels: *collocLevels, M0: *collocM0, Delta: 3}
+		if *model == "mpi" {
+			m, rep, err := colloc.RunMPI(colloc.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			exitOn(err)
+			fmt.Printf("colloc/mpi: %d x %d matrix, %d nonzeros\n%v\n", m.N, m.N, m.NNZ(), rep)
+			return
+		}
+		m, rep, err := colloc.RunPPM(popt, prm)
+		exitOn(err)
+		fmt.Printf("colloc/ppm: %d x %d matrix, %d nonzeros\n%v\n", m.N, m.N, m.NNZ(), rep)
+
+	case "nbody":
+		prm := nbody.Params{N: *bhN, Steps: *bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42}
+		if *model == "mpi" {
+			_, rep, err := nbody.RunMPI(nbody.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			exitOn(err)
+			fmt.Printf("nbody/mpi: %d bodies, %d steps\n%v\n", prm.N, prm.Steps, rep)
+			return
+		}
+		_, rep, err := nbody.RunPPM(popt, prm)
+		exitOn(err)
+		fmt.Printf("nbody/ppm: %d bodies, %d steps\n%v\n", prm.N, prm.Steps, rep)
+
+	case "search":
+		if *model == "mpi" {
+			log.Fatal("search has no message-passing variant (it is the paper's PPM code example)")
+		}
+		prm := search.Params{N: *searchN, K: *searchK, Seed: 42}
+		_, rep, err := search.RunPPM(popt, prm)
+		exitOn(err)
+		fmt.Printf("search/ppm: %d keys/node in array of %d\n%v\n", prm.K, prm.N, rep)
+
+	default:
+		fmt.Fprintf(os.Stderr, "ppm-run: unknown -app %q (want cg, colloc, nbody, search)\n", *app)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Example: the paper's asynchronous mode (§3.3, "supporting both
+// synchronous and asynchronous modes on different nodes"). Different
+// nodes invoke different PPM functions with different numbers of virtual
+// processors, synchronizing only within each node through node phases;
+// the cluster never barriers until the final, explicitly synchronous
+// reduction.
+//
+// Half the nodes run a "renderer" (many small VPs over node-shared
+// tiles), the other half an "analyzer" (few heavy VPs) — a caricature of
+// coupled workloads that PPM lets coexist without global lockstep.
+//
+//	$ go run ./examples/asynchronous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppm"
+)
+
+const nodes = 6
+
+func main() {
+	rep, err := ppm.Run(ppm.Options{Nodes: nodes, Machine: ppm.Franklin()}, func(rt *ppm.Runtime) {
+		tiles := ppm.AllocNode[float64](rt, "tiles", 256)
+		local := ppm.AllocNode[float64](rt, "result", 1)
+
+		renderer := func(vp *ppm.VP) {
+			// Many fine VPs: each shades a strip of tiles, twice.
+			for pass := 0; pass < 2; pass++ {
+				vp.NodePhase(func() {
+					lo, hi := ppm.ChunkRange(256, vp.K(), vp.NodeRank())
+					for i := lo; i < hi; i++ {
+						v := tiles.Read(vp, i)
+						tiles.Write(vp, i, v/2+float64((i*31+pass)%7))
+					}
+					vp.ChargeFlops(int64(4 * (hi - lo)))
+				})
+			}
+			vp.NodePhase(func() {
+				lo, hi := ppm.ChunkRange(256, vp.K(), vp.NodeRank())
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += tiles.Read(vp, i)
+				}
+				local.Add(vp, 0, s)
+				vp.ChargeFlops(int64(hi - lo))
+			})
+		}
+
+		analyzer := func(vp *ppm.VP) {
+			// Few heavy VPs: one long node phase each.
+			vp.NodePhase(func() {
+				acc := 0.0
+				for i := 0; i < 200000; i++ {
+					acc += float64(i%17) * 1e-6
+				}
+				local.Add(vp, 0, acc)
+				vp.ChargeFlops(400000)
+			})
+		}
+
+		// The paper: "the PPM function that is invoked can be different on
+		// different nodes ... expression K can evaluate to different
+		// values on different nodes."
+		if rt.NodeID()%2 == 0 {
+			rt.Do(64, renderer)
+		} else {
+			rt.Do(rt.CoresPerNode(), analyzer)
+		}
+
+		// Only now do the nodes meet: a synchronous reduction.
+		total := rt.AllReduce(local.Local(rt)[0], ppm.OpSum)
+		if rt.NodeID() == 0 {
+			fmt.Printf("combined result: %.3f\n", total)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nodes ran two different programs; simulated time %v\n", nodes, rep.Makespan())
+	fmt.Printf("global phases: %d (none until the final reduction), node phases: %d\n",
+		rep.Totals.GlobalPhases, rep.Totals.NodePhases)
+}

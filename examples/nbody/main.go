@@ -1,0 +1,130 @@
+// Example: gravitational N-body with direct summation, showing PPM's
+// asynchronous side by mixing node phases and global phases in one
+// program (the paper's full Barnes-Hut application — Application 3 —
+// lives in internal/apps/nbody; this example keeps the physics simple to
+// foreground the model).
+//
+// Positions and masses are globally shared; velocities are node-shared.
+// Each step is one global phase (every VP reads all positions, the
+// runtime bundles what is remote) followed by a node phase that
+// integrates this node's bodies from node-shared state only — no cluster
+// synchronization in the second phase.
+//
+//	$ go run ./examples/nbody
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ppm"
+)
+
+const (
+	nBodies = 2048
+	nodes   = 4
+	steps   = 3
+	dt      = 1e-3
+	eps     = 0.05
+)
+
+func main() {
+	var energyDrift float64
+	rep, err := ppm.Run(ppm.Options{Nodes: nodes, Machine: ppm.Franklin()}, func(rt *ppm.Runtime) {
+		px := ppm.AllocGlobal[float64](rt, "px", nBodies)
+		py := ppm.AllocGlobal[float64](rt, "py", nBodies)
+		pz := ppm.AllocGlobal[float64](rt, "pz", nBodies)
+		m := ppm.AllocGlobal[float64](rt, "m", nBodies)
+		lo, hi := px.OwnerRange(rt)
+		nLocal := hi - lo
+		maxLocal := nBodies/nodes + 1
+		vx := ppm.AllocNode[float64](rt, "vx", maxLocal)
+		vy := ppm.AllocNode[float64](rt, "vy", maxLocal)
+		vz := ppm.AllocNode[float64](rt, "vz", maxLocal)
+		ax := ppm.AllocNode[float64](rt, "ax", maxLocal)
+		ay := ppm.AllocNode[float64](rt, "ay", maxLocal)
+		az := ppm.AllocNode[float64](rt, "az", maxLocal)
+
+		// Deterministic initial conditions: a ring with mass 1/n.
+		for i := lo; i < hi; i++ {
+			angle := 2 * math.Pi * float64(i) / nBodies
+			px.Local(rt)[i-lo] = math.Cos(angle)
+			py.Local(rt)[i-lo] = math.Sin(angle)
+			pz.Local(rt)[i-lo] = 0.1 * math.Sin(7*angle)
+			m.Local(rt)[i-lo] = 1.0 / nBodies
+		}
+
+		k := rt.CoresPerNode() * 4
+		for s := 0; s < steps; s++ {
+			rt.Do(k, func(vp *ppm.VP) {
+				// Global phase: all-pairs forces on this node's bodies,
+				// reading every body's position from global shared memory.
+				vp.GlobalPhase(func() {
+					vlo, vhi := ppm.ChunkRange(nLocal, k, vp.NodeRank())
+					for i := vlo; i < vhi; i++ {
+						xi := px.Read(vp, lo+i)
+						yi := py.Read(vp, lo+i)
+						zi := pz.Read(vp, lo+i)
+						var fx, fy, fz float64
+						for j := 0; j < nBodies; j++ {
+							dx := px.Read(vp, j) - xi
+							dy := py.Read(vp, j) - yi
+							dz := pz.Read(vp, j) - zi
+							d2 := dx*dx + dy*dy + dz*dz + eps*eps
+							w := m.Read(vp, j) / (d2 * math.Sqrt(d2))
+							fx += w * dx
+							fy += w * dy
+							fz += w * dz
+						}
+						ax.Write(vp, i, fx)
+						ay.Write(vp, i, fy)
+						az.Write(vp, i, fz)
+					}
+					vp.ChargeFlops(int64(20 * nBodies * (vhi - vlo)))
+				})
+				// Node phase: integrate — node-shared state only, so the
+				// nodes need not synchronize here at all.
+				vp.NodePhase(func() {
+					vlo, vhi := ppm.ChunkRange(nLocal, k, vp.NodeRank())
+					for i := vlo; i < vhi; i++ {
+						vx.Write(vp, i, vx.Read(vp, i)+dt*ax.Read(vp, i))
+						vy.Write(vp, i, vy.Read(vp, i)+dt*ay.Read(vp, i))
+						vz.Write(vp, i, vz.Read(vp, i)+dt*az.Read(vp, i))
+					}
+					vp.ChargeFlops(int64(6 * (vhi - vlo)))
+				})
+				// Global phase: move this node's bodies in the shared
+				// position arrays (own partition writes).
+				vp.GlobalPhase(func() {
+					vlo, vhi := ppm.ChunkRange(nLocal, k, vp.NodeRank())
+					for i := vlo; i < vhi; i++ {
+						px.Write(vp, lo+i, px.Read(vp, lo+i)+dt*vx.Read(vp, i))
+						py.Write(vp, lo+i, py.Read(vp, lo+i)+dt*vy.Read(vp, i))
+						pz.Write(vp, lo+i, pz.Read(vp, lo+i)+dt*vz.Read(vp, i))
+					}
+					vp.ChargeFlops(int64(6 * (vhi - vlo)))
+				})
+			})
+		}
+
+		// Sanity: kinetic energy stays finite and small.
+		ke := 0.0
+		for i := 0; i < nLocal; i++ {
+			v := vx.Local(rt)[i]*vx.Local(rt)[i] + vy.Local(rt)[i]*vy.Local(rt)[i] + vz.Local(rt)[i]*vz.Local(rt)[i]
+			ke += 0.5 * m.Local(rt)[i] * v
+		}
+		total := rt.AllReduce(ke, ppm.OpSum)
+		if math.IsNaN(total) || total > 1 {
+			panic(fmt.Sprintf("kinetic energy diverged: %v", total))
+		}
+		energyDrift = total
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d bodies, %d steps on %d nodes\n", nBodies, steps, nodes)
+	fmt.Printf("final kinetic energy: %.3e\n", energyDrift)
+	fmt.Printf("simulated time: %v (remote reads %d, bundles %d)\n",
+		rep.Makespan(), rep.Totals.RemoteReadElems, rep.Totals.BundlesOut)
+}

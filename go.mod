@@ -1,0 +1,3 @@
+module ppm
+
+go 1.24

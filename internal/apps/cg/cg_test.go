@@ -1,0 +1,137 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/core"
+	"ppm/internal/linalg"
+	"ppm/internal/machine"
+)
+
+var small = Params{NX: 6, NY: 5, NZ: 8, MaxIter: 200, Tol: 1e-10}
+
+func TestSequentialConvergesToOnes(t *testing.T) {
+	res, err := Solve(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters >= small.MaxIter {
+		t.Fatalf("did not converge in %d iterations (residual %g)", res.Iters, res.Residual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := Solve(Params{NX: 0, NY: 1, NZ: 1, MaxIter: 5}); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if _, err := Solve(Params{NX: 1, NY: 1, NZ: 1, MaxIter: 0}); err == nil {
+		t.Error("bad MaxIter accepted")
+	}
+	if _, _, err := RunPPM(core.Options{Nodes: 1, Machine: machine.Generic()}, Params{NX: -1, NY: 1, NZ: 1, MaxIter: 1}); err == nil {
+		t.Error("RunPPM accepted bad params")
+	}
+	if _, _, err := RunMPI(MPIOptions{Nodes: 1, Machine: machine.Generic()}, Params{NX: -1, NY: 1, NZ: 1, MaxIter: 1}); err == nil {
+		t.Error("RunMPI accepted bad params")
+	}
+	if _, _, err := RunMPI(MPIOptions{Nodes: -2, Machine: machine.Generic()}, small); err == nil {
+		t.Error("RunMPI accepted bad shape")
+	}
+}
+
+func TestPPMMatchesSequential(t *testing.T) {
+	ref, err := Solve(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 2, 3, 4} {
+		res, rep, err := RunPPM(core.Options{Nodes: nodes, Machine: machine.Generic()}, small)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if res.X == nil {
+			t.Fatalf("nodes=%d: no solution collected", nodes)
+		}
+		if d := linalg.MaxAbsDiff(res.X, ref.X); d > 1e-6 {
+			t.Errorf("nodes=%d: max diff vs sequential %g", nodes, d)
+		}
+		if res.Iters >= small.MaxIter {
+			t.Errorf("nodes=%d: no convergence", nodes)
+		}
+		if rep.Makespan() <= 0 {
+			t.Errorf("nodes=%d: empty makespan", nodes)
+		}
+		if nodes > 1 && rep.Totals.RemoteReadElems == 0 {
+			t.Errorf("nodes=%d: SpMV produced no remote reads", nodes)
+		}
+	}
+}
+
+func TestMPIMatchesSequential(t *testing.T) {
+	ref, err := Solve(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {3, 4}} {
+		res, rep, err := RunMPI(MPIOptions{Nodes: shape[0], CoresPerNode: shape[1], Machine: machine.Generic()}, small)
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if d := linalg.MaxAbsDiff(res.X, ref.X); d > 1e-6 {
+			t.Errorf("shape %v: max diff vs sequential %g", shape, d)
+		}
+		if shape[0]*shape[1] > 1 && rep.Totals.MsgsSent == 0 {
+			t.Errorf("shape %v: no messages", shape)
+		}
+	}
+}
+
+func TestPPMDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		res, rep, err := RunPPM(core.Options{Nodes: 3, Machine: machine.Generic()}, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Residual, rep.Makespan().Seconds()
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if r1 != r2 || m1 != m2 {
+		t.Errorf("nondeterministic: (%v, %v) vs (%v, %v)", r1, m1, r2, m2)
+	}
+}
+
+func TestFixedIterationMode(t *testing.T) {
+	p := small
+	p.Tol = 0
+	p.MaxIter = 7
+	res, _, err := RunPPM(core.Options{Nodes: 2, Machine: machine.Generic()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 7 {
+		t.Errorf("fixed mode ran %d iterations, want 7", res.Iters)
+	}
+}
+
+// The MPI baseline's traffic must be halo-sized, not O(n): the plan
+// should only move boundary planes.
+func TestMPIPlanIsSparse(t *testing.T) {
+	p := Params{NX: 8, NY: 8, NZ: 16, MaxIter: 3, Tol: 0}
+	_, rep, err := RunMPI(MPIOptions{Nodes: 4, CoresPerNode: 1, Machine: machine.Generic()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of 4 ranks owns 4 z-planes (256 rows); halo = one plane (64) per
+	// side. Per iteration per rank: <= 2 messages of 64 values. Plus plan
+	// setup and reductions.
+	perIter := rep.Totals.BytesSent / 3
+	if perIter > 64*1024 {
+		t.Errorf("halo traffic per iteration too large: %d bytes", perIter)
+	}
+}

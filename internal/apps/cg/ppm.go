@@ -1,0 +1,108 @@
+package cg
+
+import (
+	"math"
+
+	"ppm/internal/core"
+	"ppm/internal/linalg"
+	"ppm/internal/sparse"
+)
+
+func RunPPM(opt core.Options, prm Params) (*Result, *core.Report, error) {
+	if err := prm.validate(); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{}
+	rep, err := core.Run(opt, func(rt *core.Runtime) {
+		n := prm.N()
+		p := core.AllocGlobal[float64](rt, "cg.p", n)
+		xOut := core.AllocGlobal[float64](rt, "cg.x", n)
+		lo, hi := p.OwnerRange(rt)
+		nLocal := hi - lo
+		maxLocal := n/rt.NodeCount() + 1
+		w := core.AllocNode[float64](rt, "cg.w", maxLocal)
+		acc := core.AllocNode[float64](rt, "cg.acc", 1)
+
+		// Assemble the local row block; charge streaming cost.
+		a := sparse.Stencil27Rows(prm.NX, prm.NY, prm.NZ, lo, hi)
+		rt.ChargeMem(int64(a.NNZ() * 12))
+
+		b := rhsRows(a)
+		rt.ChargeFlops(int64(a.NNZ()))
+		x := make([]float64, nLocal)
+		r := append([]float64(nil), b...)
+		linalg.Copy(p.Local(rt), r)
+		rt.ChargeMem(int64(8 * nLocal))
+
+		dotB, fl := linalg.Dot(b, b)
+		rt.ChargeFlops(fl)
+		normB := math.Sqrt(rt.AllReduce(dotB, core.OpSum))
+		rsLocal, fl := linalg.Dot(r, r)
+		rt.ChargeFlops(fl)
+		rs := rt.AllReduce(rsLocal, core.OpSum)
+
+		k := rt.CoresPerNode() * 4
+		iters, finalRes := 0, math.Sqrt(rs)
+		for it := 0; it < prm.MaxIter; it++ {
+			acc.Local(rt)[0] = 0
+			// One global phase: w = A p on local rows, with the search
+			// direction read through the globally shared array — remote
+			// entries are fetched and bundled by the runtime — and the
+			// p·w partial accumulated into node shared memory.
+			rt.Do(k, func(vp *core.VP) {
+				vp.GlobalPhase(func() {
+					vlo, vhi := core.ChunkRange(nLocal, k, vp.NodeRank())
+					var dot float64
+					for row := vlo; row < vhi; row++ {
+						var s float64
+						for kk := a.RowPtr[row]; kk < a.RowPtr[row+1]; kk++ {
+							s += a.Val[kk] * p.Read(vp, a.Col[kk])
+						}
+						w.Write(vp, row, s)
+						dot += s * p.Read(vp, lo+row)
+					}
+					acc.Add(vp, 0, dot)
+					vp.ChargeFlops(int64(2*a.RowNNZ(vlo, vhi) + 2*(vhi-vlo)))
+				})
+			})
+			pw := rt.AllReduce(acc.Local(rt)[0], core.OpSum)
+			alpha := rs / pw
+			pl := p.Local(rt)
+			wl := w.Local(rt)
+			fl = linalg.Axpy(alpha, pl, x)
+			fl += linalg.Axpy(-alpha, wl[:nLocal], r)
+			rt.ChargeFlops(fl)
+			rsLocal, fl = linalg.Dot(r, r)
+			rt.ChargeFlops(fl)
+			rsNew := rt.AllReduce(rsLocal, core.OpSum)
+			iters = it + 1
+			finalRes = math.Sqrt(rsNew)
+			if prm.Tol > 0 && finalRes <= prm.Tol*normB {
+				break
+			}
+			beta := rsNew / rs
+			for i := range pl {
+				pl[i] = r[i] + beta*pl[i]
+			}
+			rt.ChargeFlops(int64(2 * nLocal))
+			rs = rsNew
+		}
+		// Publish the solution and let node 0 collect it.
+		linalg.Copy(xOut.Local(rt), x)
+		rt.ChargeMem(int64(8 * nLocal))
+		rt.Barrier()
+		if rt.NodeID() == 0 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = xOut.At(rt, i)
+			}
+			res.X = out
+			res.Iters = iters
+			res.Residual = finalRes
+		}
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return res, rep, nil
+}

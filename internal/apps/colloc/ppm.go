@@ -1,0 +1,116 @@
+package colloc
+
+import (
+	"fmt"
+
+	"ppm/internal/core"
+)
+
+// RunPPM generates the matrix with the Parallel Phase Model: per level,
+// one global phase fills the level's shared table and a second computes
+// the entries whose quadrature lives at that level, reading the table
+// with global indexing (the runtime bundles the scattered reads).
+func RunPPM(opt core.Options, p Params) (*Matrix, *core.Report, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	n := p.N()
+	out := &Matrix{N: n, Rows: make([][]Entry, n)}
+	rep, err := core.Run(opt, func(rt *core.Runtime) {
+		nodes := rt.NodeCount()
+		me := rt.NodeID()
+		// Rows are dealt cyclically over the nodes: entry cost grows
+		// steeply with the row's level, so a block distribution would
+		// concentrate the expensive fine-level rows on the last node.
+		var myRows []int
+		for i := me; i < n; i += nodes {
+			myRows = append(myRows, i)
+		}
+
+		// Precompute the local sparsity pattern (node-level, cheap).
+		type slot struct {
+			row int
+			c   ColRef
+		}
+		var pat []slot
+		rowStart := make([]int, len(myRows)+1)
+		for r, i := range myRows {
+			for _, c := range RowPattern(p, i) {
+				pat = append(pat, slot{row: i, c: c})
+			}
+			rowStart[r+1] = len(pat)
+		}
+		rt.ChargeFlops(int64(len(pat) * 8))
+
+		// Shared tables, one per level, and a node-shared value buffer
+		// sized for the largest node's nonzero count.
+		tables := make([]*core.Global[float64], p.Levels)
+		for l := range tables {
+			tables[l] = core.AllocGlobal[float64](rt, fmt.Sprintf("colloc.G%d", l), p.q(l))
+		}
+		maxNNZ := int(rt.AllReduceInt(int64(len(pat)), core.OpMax))
+		vals := core.AllocNode[float64](rt, "colloc.vals", maxNNZ)
+
+		// Entry costs are heavily skewed (a fine-level row integrating a
+		// coarse-level basis reads exponentially many table values), so
+		// express much more parallelism than there are cores and let the
+		// runtime balance it — the model's intended use of virtualization.
+		k := rt.CoresPerNode() * 32
+		for l := 0; l < p.Levels; l++ {
+			g := tables[l]
+			glo, ghi := g.OwnerRange(rt)
+			// Entries of this level in the local pattern.
+			var mine []int
+			for s, sl := range pat {
+				if sl.c.Lq == l {
+					mine = append(mine, s)
+				}
+			}
+			rt.Do(k, func(vp *core.VP) {
+				// Phase A: produce this level's table (own partition).
+				vp.GlobalPhase(func() {
+					vlo, vhi := core.ChunkRange(ghi-glo, k, vp.NodeRank())
+					var fl int64
+					for j := glo + vlo; j < glo+vhi; j++ {
+						v, f := TableEntry(p, l, j)
+						g.Write(vp, j, v)
+						fl += f
+					}
+					vp.ChargeFlops(fl)
+				})
+				// Phase B: compute the level's matrix entries, reading
+				// the table with global indexing.
+				vp.GlobalPhase(func() {
+					vlo, vhi := core.ChunkRange(len(mine), k, vp.NodeRank())
+					var fl int64
+					for _, s := range mine[vlo:vhi] {
+						sl := pat[s]
+						li, ki := p.levelOf(sl.row)
+						ti := p.point(li, ki)
+						v, f := EntryValue(p, ti, sl.c, func(j int) float64 {
+							return g.Read(vp, j)
+						})
+						vals.Write(vp, s, v)
+						fl += f
+					}
+					vp.ChargeFlops(fl)
+				})
+			})
+		}
+		// Assemble local rows from the committed value buffer.
+		vl := vals.Local(rt)
+		for r, i := range myRows {
+			row := make([]Entry, 0, rowStart[r+1]-rowStart[r])
+			for s := rowStart[r]; s < rowStart[r+1]; s++ {
+				row = append(row, Entry{Col: pat[s].c.Col, Val: vl[s]})
+			}
+			out.Rows[i] = row
+		}
+		rt.ChargeMem(int64(16 * len(pat)))
+		rt.Barrier()
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,46 @@
+package jacobi
+
+import (
+	"ppm/internal/core"
+)
+
+// RunPPM relaxes the grid under the Parallel Phase Model. One global
+// phase per sweep: every VP reads its points' neighbors from the shared
+// previous iterate — begin-of-phase semantics ARE the double buffer — and
+// writes the new values, which commit at the phase end.
+func RunPPM(opt core.Options, p Params) ([]float64, *core.Report, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	n := p.N()
+	out := make([]float64, n)
+	rep, err := core.Run(opt, func(rt *core.Runtime) {
+		u := core.AllocGlobal[float64](rt, "jacobi.u", n)
+		lo, hi := u.OwnerRange(rt)
+		nLocal := hi - lo
+		k := rt.CoresPerNode() * 4
+		for s := 0; s < p.Sweeps; s++ {
+			rt.Do(k, func(vp *core.VP) {
+				vp.GlobalPhase(func() {
+					vlo, vhi := core.ChunkRange(nLocal, k, vp.NodeRank())
+					for i := lo + vlo; i < lo+vhi; i++ {
+						u.Write(vp, i, p.relaxPoint(i, func(j int) float64 {
+							return u.Read(vp, j)
+						}))
+					}
+					vp.ChargeFlops(int64(relaxFlops * (vhi - vlo)))
+				})
+			})
+		}
+		rt.Barrier()
+		if rt.NodeID() == 0 {
+			for i := 0; i < n; i++ {
+				out[i] = u.At(rt, i)
+			}
+		}
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,184 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/core"
+	"ppm/internal/machine"
+	"ppm/internal/octree"
+)
+
+var small = Params{N: 300, Steps: 2, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 7}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, Steps: 1, Theta: 0.5, Eps: 0.1, DT: 0.01},
+		{N: 10, Steps: -1, Theta: 0.5, Eps: 0.1, DT: 0.01},
+		{N: 10, Steps: 1, Theta: -1, Eps: 0.1, DT: 0.01},
+		{N: 10, Steps: 1, Theta: 0.5, Eps: 0, DT: 0.01},
+		{N: 10, Steps: 1, Theta: 0.5, Eps: 0.1, DT: 0},
+	}
+	for i, p := range bad {
+		if _, err := RunPartitioned(p, 1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := RunPartitioned(small, 0); err == nil {
+		t.Error("parts=0 accepted")
+	}
+}
+
+func TestInitStateShape(t *testing.T) {
+	s := InitState(small)
+	var mass float64
+	for i := 0; i < small.N; i++ {
+		mass += s.M[i]
+		r := math.Sqrt(s.PX[i]*s.PX[i] + s.PY[i]*s.PY[i] + s.PZ[i]*s.PZ[i])
+		if r > 10.0001 {
+			t.Fatalf("body %d outside clipped radius: %v", i, r)
+		}
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("total mass %v, want 1", mass)
+	}
+	// Determinism of initial conditions.
+	s2 := InitState(small)
+	for i := range s.PX {
+		if s.PX[i] != s2.PX[i] || s.VZ[i] != s2.VZ[i] {
+			t.Fatal("InitState nondeterministic")
+		}
+	}
+}
+
+// The partitioned tree forces must approximate direct summation.
+func TestForcesAccurateVsDirect(t *testing.T) {
+	p := small
+	p.Steps = 0
+	s := InitState(p)
+	bodies := s.Bodies(0, p.N)
+	// Partitioned forest with 3 parts.
+	const parts = 3
+	var flats [parts][]float64
+	for r := 0; r < parts; r++ {
+		lo, hi := r*p.N/parts, (r+1)*p.N/parts
+		sub := bodies[lo:hi]
+		cx, cy, cz, h := octree.Bounds(sub)
+		flats[r] = octree.Build(sub, cx, cy, cz, h).Flatten()
+	}
+	var worst float64
+	for i := 0; i < p.N; i += 17 {
+		var ax, ay, az float64
+		for r := 0; r < parts; r++ {
+			gx, gy, gz, _ := octree.Accel(octree.SliceSource{Flat: flats[r]},
+				s.PX[i], s.PY[i], s.PZ[i], p.Theta, p.Eps)
+			ax += gx
+			ay += gy
+			az += gz
+		}
+		dx, dy, dz := octree.DirectAccel(bodies, s.PX[i], s.PY[i], s.PZ[i], p.Eps)
+		mag := math.Sqrt(dx*dx+dy*dy+dz*dz) + 1e-12
+		err := math.Sqrt((ax-dx)*(ax-dx)+(ay-dy)*(ay-dy)+(az-dz)*(az-dz)) / mag
+		if err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst relative force error %v", worst)
+	}
+}
+
+func statesEqual(a, b *State) bool {
+	for i := range a.PX {
+		if a.PX[i] != b.PX[i] || a.PY[i] != b.PY[i] || a.PZ[i] != b.PZ[i] ||
+			a.VX[i] != b.VX[i] || a.VY[i] != b.VY[i] || a.VZ[i] != b.VZ[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPPMMatchesPartitionedReferenceBitwise(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		ref, err := RunPartitioned(small, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := RunPPM(core.Options{Nodes: nodes, Machine: machine.Generic()}, small)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if !statesEqual(ref, got) {
+			t.Errorf("nodes=%d: PPM trajectory differs from reference", nodes)
+		}
+		if nodes > 1 && rep.Totals.RemoteReadElems == 0 {
+			t.Errorf("nodes=%d: no remote tree reads", nodes)
+		}
+	}
+}
+
+func TestMPIMatchesPartitionedReferenceBitwise(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		ref, err := RunPartitioned(small, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := RunMPI(MPIOptions{Nodes: ranks, CoresPerNode: 1, Machine: machine.Generic()}, small)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !statesEqual(ref, got) {
+			t.Errorf("ranks=%d: MPI trajectory differs from reference", ranks)
+		}
+		if ranks > 1 && rep.Totals.BytesSent == 0 {
+			t.Errorf("ranks=%d: no replication traffic", ranks)
+		}
+	}
+}
+
+func TestPPMEqualsMPIWithAlignedPartitions(t *testing.T) {
+	a, _, err := RunPPM(core.Options{Nodes: 3, Machine: machine.Generic()}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunMPI(MPIOptions{Nodes: 3, CoresPerNode: 1, Machine: machine.Generic()}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(a, b) {
+		t.Error("PPM and MPI trajectories differ despite identical partitioning")
+	}
+}
+
+// The replication baseline must move far more bytes than PPM's bundled
+// fine-grained reads at equal node counts (the paper's Figure 3 driver).
+func TestReplicationTrafficDwarfsPPM(t *testing.T) {
+	p := Params{N: 1200, Steps: 1, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 3}
+	_, ppmRep, err := RunPPM(core.Options{Nodes: 4, Machine: machine.Franklin()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mpiRep, err := RunMPI(MPIOptions{Nodes: 4, Machine: machine.Franklin()}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppmBytes := ppmRep.Totals.BytesOut
+	mpiBytes := mpiRep.Totals.BytesSent
+	if mpiBytes < 2*ppmBytes {
+		t.Errorf("expected replication to dominate: MPI %d bytes vs PPM %d", mpiBytes, ppmBytes)
+	}
+}
+
+func TestEnergyNotExploding(t *testing.T) {
+	p := small
+	p.Steps = 5
+	s, err := RunPartitioned(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.N; i++ {
+		if math.IsNaN(s.PX[i]) || math.Abs(s.PX[i]) > 100 {
+			t.Fatalf("body %d diverged: %v", i, s.PX[i])
+		}
+	}
+}

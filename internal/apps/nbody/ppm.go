@@ -1,0 +1,115 @@
+package nbody
+
+import (
+	"fmt"
+
+	"ppm/internal/core"
+	"ppm/internal/octree"
+	"ppm/internal/partition"
+)
+
+// treeSource adapts a PPM global shared array to octree.Source, with a
+// VP-local record cache: within a phase the forest is immutable, so each
+// tree node is fetched through the runtime once per VP and reused across
+// all of the VP's bodies. Records (not scalars) are the fetch unit, which
+// is also what a real runtime would move.
+type treeSource struct {
+	g     *core.Global[float64]
+	vp    *core.VP
+	off   int
+	cache map[int]*octree.FlatNode // keyed by absolute flat offset
+}
+
+func (s *treeSource) Node(i int, out *octree.FlatNode) {
+	key := s.off + i*octree.Slots
+	if nd, ok := s.cache[key]; ok {
+		*out = *nd
+		return
+	}
+	nd := new(octree.FlatNode)
+	octree.DecodeNode(func(j int) float64 { return s.g.Read(s.vp, j) }, s.off, i, nd)
+	s.cache[key] = nd
+	*out = *nd
+}
+
+// RunPPM runs the simulation under the Parallel Phase Model.
+func RunPPM(opt core.Options, p Params) (*State, *core.Report, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	init := InitState(p)
+	out := &State{
+		PX: make([]float64, p.N), PY: make([]float64, p.N), PZ: make([]float64, p.N),
+		VX: make([]float64, p.N), VY: make([]float64, p.N), VZ: make([]float64, p.N),
+		M: append([]float64(nil), init.M...),
+	}
+	rep, err := core.Run(opt, func(rt *core.Runtime) {
+		nodes, me := rt.NodeCount(), rt.NodeID()
+		part := partition.NewBlock(p.N, nodes)
+		lo, hi := part.Range(me)
+		nLocal := hi - lo
+		maxLocal := part.Size(0)
+		capN := segCap(maxLocal) // per-node tree segment, in tree nodes
+		segLen := capN * octree.Slots
+		trees := core.AllocGlobal[float64](rt, "bh.trees", nodes*segLen)
+		if glo, _ := trees.OwnerRange(rt); glo != me*segLen {
+			panic("nbody: forest segment misaligned with block partition")
+		}
+
+		// Local working state: a copy of this node's slice of phase space.
+		s := &State{
+			PX: append([]float64(nil), init.PX[lo:hi]...),
+			PY: append([]float64(nil), init.PY[lo:hi]...),
+			PZ: append([]float64(nil), init.PZ[lo:hi]...),
+			VX: append([]float64(nil), init.VX[lo:hi]...),
+			VY: append([]float64(nil), init.VY[lo:hi]...),
+			VZ: append([]float64(nil), init.VZ[lo:hi]...),
+			M:  append([]float64(nil), init.M[lo:hi]...),
+		}
+		// Modest VP counts: force work is uniform per body, and larger
+		// per-VP chunks let each VP's record cache amortize across more
+		// bodies (#misses scales with VPs x distinct records).
+		k := rt.CoresPerNode() * 2
+		for st := 0; st < p.Steps; st++ {
+			// Build this node's tree over its bodies and publish it into
+			// the shared forest segment.
+			bodies := s.Bodies(0, nLocal)
+			cx, cy, cz, h := octree.Bounds(bodies)
+			flat := octree.Build(bodies, cx, cy, cz, h).Flatten()
+			if len(flat) > segLen {
+				panic(fmt.Sprintf("nbody: tree of %d nodes exceeds segment capacity %d", len(flat)/octree.Slots, capN))
+			}
+			copy(trees.Local(rt)[:len(flat)], flat)
+			rt.ChargeFlops(buildFlops(nLocal))
+			rt.ChargeMem(int64(8 * len(flat)))
+
+			// One global phase: every VP computes forces on its body
+			// chunk by traversing all partitions' trees in place.
+			rt.Do(k, func(vp *core.VP) {
+				vp.GlobalPhase(func() {
+					vlo, vhi := core.ChunkRange(nLocal, k, vp.NodeRank())
+					cache := make(map[int]*octree.FlatNode)
+					sources := make([]*treeSource, nodes)
+					for r := range sources {
+						sources[r] = &treeSource{g: trees, vp: vp, off: r * segLen, cache: cache}
+					}
+					inter := step(p, s, part, vlo, vhi,
+						func(r int) octree.Source { return sources[r] })
+					vp.ChargeFlops(inter * interactionFlops)
+				})
+			})
+		}
+		// Emit this node's final slice into the shared result.
+		copy(out.PX[lo:hi], s.PX)
+		copy(out.PY[lo:hi], s.PY)
+		copy(out.PZ[lo:hi], s.PZ)
+		copy(out.VX[lo:hi], s.VX)
+		copy(out.VY[lo:hi], s.VY)
+		copy(out.VZ[lo:hi], s.VZ)
+		rt.Barrier()
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,115 @@
+// Package search implements the paper's Section 5 worked example: given a
+// sorted globally shared array A and a node-shared array B, find for each
+// element of B its insertion rank in A by parallel binary search — one
+// virtual processor per element of B, all searching inside one global
+// phase. (The paper notes this is not an optimal parallel algorithm; it
+// exists to show the programming model, and here also to exercise a
+// latency-chain access pattern the bundler cannot fully hide.)
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"ppm/internal/core"
+	"ppm/internal/rng"
+)
+
+// Params describes one search workload.
+type Params struct {
+	N    int    // sorted global array length
+	K    int    // keys per node
+	Seed uint64 // workload seed
+}
+
+func (p Params) validate() error {
+	if p.N <= 0 || p.K <= 0 {
+		return fmt.Errorf("search: N and K must be positive, got %d, %d", p.N, p.K)
+	}
+	return nil
+}
+
+// MakeArray returns the sorted array A (deterministic in the seed).
+func MakeArray(p Params) []float64 {
+	r := rng.New(p.Seed)
+	a := make([]float64, p.N)
+	v := 0.0
+	for i := range a {
+		v += r.Float64() + 1e-9
+		a[i] = v
+	}
+	return a
+}
+
+// MakeKeys returns node `node`'s key set B.
+func MakeKeys(p Params, node int) []float64 {
+	r := rng.New(p.Seed).Split(uint64(node) + 1)
+	limit := float64(p.N)
+	keys := make([]float64, p.K)
+	for i := range keys {
+		keys[i] = r.Float64() * limit
+	}
+	return keys
+}
+
+// RankSeq is the sequential reference: the insertion rank of key in a.
+func RankSeq(a []float64, key float64) int {
+	return sort.SearchFloat64s(a, key)
+}
+
+// RunPPM runs the paper's listing: per node, K virtual processors each
+// binary-search one element of the node-shared B inside global shared A,
+// writing the result rank into the node-shared rank array. It returns the
+// per-node rank arrays.
+func RunPPM(opt core.Options, p Params) ([][]int64, *core.Report, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	a := MakeArray(p)
+	out := make([][]int64, opt.Nodes)
+	rep, err := core.Run(opt, func(rt *core.Runtime) {
+		A := core.AllocGlobal[float64](rt, "A", p.N)
+		B := core.AllocNode[float64](rt, "B", p.K)
+		rankInA := core.AllocNode[int64](rt, "rank_in_A", p.K)
+
+		// Node-level initialization (A's partition, this node's keys).
+		lo, hi := A.OwnerRange(rt)
+		copy(A.Local(rt), a[lo:hi])
+		rt.ChargeMem(int64(8 * (hi - lo)))
+		copy(B.Local(rt), MakeKeys(p, rt.NodeID()))
+		rt.ChargeMem(int64(8 * p.K))
+
+		// The listing: PPM_do(K) binary_search(n, A, B, rank_in_A).
+		rt.Do(p.K, func(vp *core.VP) {
+			vp.GlobalPhase(func() {
+				b := B.Read(vp, vp.NodeRank())
+				left, right := -1, p.N
+				for left+1 < right {
+					middle := (left + right) / 2
+					if A.Read(vp, middle) < b {
+						left = middle
+					} else {
+						right = middle
+					}
+				}
+				rankInA.Write(vp, vp.NodeRank(), int64(right))
+				vp.ChargeFlops(int64(2 * bits(p.N)))
+			})
+		})
+
+		out[rt.NodeID()] = append([]int64(nil), rankInA.Local(rt)...)
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}

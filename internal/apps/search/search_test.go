@@ -1,0 +1,97 @@
+package search
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ppm/internal/core"
+	"ppm/internal/machine"
+)
+
+func TestValidation(t *testing.T) {
+	if _, _, err := RunPPM(core.Options{Nodes: 1, Machine: machine.Generic()}, Params{N: 0, K: 1}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, _, err := RunPPM(core.Options{Nodes: 1, Machine: machine.Generic()}, Params{N: 1, K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestArraySortedAndDeterministic(t *testing.T) {
+	p := Params{N: 500, K: 10, Seed: 3}
+	a := MakeArray(p)
+	if !sort.Float64sAreSorted(a) {
+		t.Fatal("array not sorted")
+	}
+	b := MakeArray(p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MakeArray nondeterministic")
+		}
+	}
+	k1, k2 := MakeKeys(p, 2), MakeKeys(p, 2)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("MakeKeys nondeterministic")
+		}
+	}
+	if MakeKeys(p, 0)[0] == MakeKeys(p, 1)[0] {
+		t.Error("different nodes should draw different keys")
+	}
+}
+
+func TestRanksMatchSequential(t *testing.T) {
+	p := Params{N: 2048, K: 64, Seed: 11}
+	for _, nodes := range []int{1, 2, 4} {
+		ranks, rep, err := RunPPM(core.Options{Nodes: nodes, Machine: machine.Generic()}, p)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		a := MakeArray(p)
+		for node := 0; node < nodes; node++ {
+			keys := MakeKeys(p, node)
+			for i, key := range keys {
+				want := int64(RankSeq(a, key))
+				if ranks[node][i] != want {
+					t.Fatalf("nodes=%d node=%d key %d: rank %d, want %d",
+						nodes, node, i, ranks[node][i], want)
+				}
+			}
+		}
+		if nodes > 1 && rep.Totals.RemoteReadElems == 0 {
+			t.Errorf("nodes=%d: binary search did no remote reads", nodes)
+		}
+	}
+}
+
+// Property: ranks returned are valid insertion points.
+func TestRankIsInsertionPointProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := Params{N: 257, K: 16, Seed: seed}
+		ranks, _, err := RunPPM(core.Options{Nodes: 3, Machine: machine.Generic()}, p)
+		if err != nil {
+			return false
+		}
+		a := MakeArray(p)
+		for node := 0; node < 3; node++ {
+			keys := MakeKeys(p, node)
+			for i, key := range keys {
+				r := int(ranks[node][i])
+				if r < 0 || r > p.N {
+					return false
+				}
+				if r > 0 && a[r-1] >= key {
+					return false
+				}
+				if r < p.N && a[r] < key {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

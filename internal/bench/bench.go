@@ -1,0 +1,277 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (Figures 1-3: application
+// runtime vs node count for PPM and MPI; Table 1: code size) and formats
+// the results as aligned tables, CSV, and ASCII charts.
+//
+// Absolute simulated seconds are not claimed to match the paper's Franklin
+// wall-clock numbers; the reproduced quantity is the *shape*: who wins at
+// which node count, and how the gap moves as nodes are added (see
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/core"
+	"ppm/internal/machine"
+)
+
+// SweepConfig selects the cluster shapes of one figure sweep.
+type SweepConfig struct {
+	// NodeCounts lists the cluster sizes to run (the figures' x-axis).
+	NodeCounts []int
+	// CoresPerNode is the cores (and MPI ranks) per node; 0 uses the
+	// machine's count (4 on Franklin, as in the paper).
+	CoresPerNode int
+	// Machine is the cost model; machine.Franklin() if nil.
+	Machine *machine.Machine
+}
+
+func (c SweepConfig) fill() SweepConfig {
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if c.Machine == nil {
+		c.Machine = machine.Franklin()
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = c.Machine.CoresPerNode
+	}
+	return c
+}
+
+// DefaultSweep returns the paper-shaped sweep: 1-64 Franklin nodes with 4
+// cores each.
+func DefaultSweep() SweepConfig { return SweepConfig{}.fill() }
+
+// Point is one x-position of a figure: both implementations at one
+// cluster size.
+type Point struct {
+	Nodes    int
+	PPMSec   float64
+	MPISec   float64
+	PPMBytes int64 // modeled communication payload, PPM bundles
+	MPIBytes int64 // modeled communication payload, MPI messages
+	PPMMsgs  int64
+	MPIMsgs  int64
+}
+
+// Series is one figure's data.
+type Series struct {
+	Figure string // e.g. "Figure 1"
+	Name   string // e.g. "CG solver, 48x48x96 grid"
+	Points []Point
+}
+
+// Table renders the series as an aligned text table with the PPM/MPI
+// ratio column (ratio < 1 means PPM is faster).
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (simulated seconds, lower is better)\n", s.Figure, s.Name)
+	fmt.Fprintf(&b, "%6s  %12s  %12s  %9s  %14s  %14s\n",
+		"nodes", "PPM [s]", "MPI [s]", "PPM/MPI", "PPM comm [B]", "MPI comm [B]")
+	for _, p := range s.Points {
+		ratio := math.NaN()
+		if p.MPISec > 0 {
+			ratio = p.PPMSec / p.MPISec
+		}
+		fmt.Fprintf(&b, "%6d  %12.6f  %12.6f  %9.3f  %14d  %14d\n",
+			p.Nodes, p.PPMSec, p.MPISec, ratio, p.PPMBytes, p.MPIBytes)
+	}
+	return b.String()
+}
+
+// CSV renders the series as CSV with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("nodes,ppm_sec,mpi_sec,ppm_bytes,mpi_bytes,ppm_msgs,mpi_msgs\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%d,%g,%g,%d,%d,%d,%d\n",
+			p.Nodes, p.PPMSec, p.MPISec, p.PPMBytes, p.MPIBytes, p.PPMMsgs, p.MPIMsgs)
+	}
+	return b.String()
+}
+
+// Chart renders a horizontal-bar ASCII chart of both series.
+func (s *Series) Chart() string {
+	var b strings.Builder
+	maxSec := 0.0
+	for _, p := range s.Points {
+		maxSec = math.Max(maxSec, math.Max(p.PPMSec, p.MPISec))
+	}
+	if maxSec <= 0 {
+		return ""
+	}
+	const width = 46
+	bar := func(v float64) string {
+		n := int(math.Round(v / maxSec * width))
+		if n < 1 && v > 0 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	fmt.Fprintf(&b, "%s: %s\n", s.Figure, s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%5d nodes  PPM |%-*s %.4gs\n", p.Nodes, width, bar(p.PPMSec), p.PPMSec)
+		fmt.Fprintf(&b, "%5s        MPI |%-*s %.4gs\n", "", width, bar(p.MPISec), p.MPISec)
+	}
+	return b.String()
+}
+
+// CrossoverNodes returns the smallest node count at which PPM is at least
+// as fast as MPI, or 0 if it never is.
+func (s *Series) CrossoverNodes() int {
+	for _, p := range s.Points {
+		if p.PPMSec <= p.MPISec {
+			return p.Nodes
+		}
+	}
+	return 0
+}
+
+// Figure1CG regenerates the paper's Figure 1: CG solver runtime vs node
+// count, PPM vs the tuned MPI implementation.
+func Figure1CG(cfg SweepConfig, prm cg.Params) (*Series, error) {
+	c := cfg.fill()
+	s := &Series{
+		Figure: "Figure 1",
+		Name: fmt.Sprintf("CG solver, %dx%dx%d grid (%d rows), %d iterations",
+			prm.NX, prm.NY, prm.NZ, prm.N(), prm.MaxIter),
+	}
+	for _, nodes := range c.NodeCounts {
+		var pt Point
+		pt.Nodes = nodes
+		_, prep, err := cg.RunPPM(core.Options{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 1: PPM at %d nodes: %w", nodes, err)
+		}
+		pt.PPMSec = prep.Makespan().Seconds()
+		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
+		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		_, mrep, err := cg.RunMPI(cg.MPIOptions{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 1: MPI at %d nodes: %w", nodes, err)
+		}
+		pt.MPISec = mrep.Makespan.Seconds()
+		pt.MPIBytes = mrep.Totals.BytesSent
+		pt.MPIMsgs = mrep.Totals.MsgsSent
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Figure2Colloc regenerates the paper's Figure 2: collocation sparse-
+// matrix generation runtime vs node count.
+func Figure2Colloc(cfg SweepConfig, prm colloc.Params) (*Series, error) {
+	c := cfg.fill()
+	s := &Series{
+		Figure: "Figure 2",
+		Name: fmt.Sprintf("collocation matrix generation, %d levels, n=%d",
+			prm.Levels, prm.N()),
+	}
+	for _, nodes := range c.NodeCounts {
+		var pt Point
+		pt.Nodes = nodes
+		_, prep, err := colloc.RunPPM(core.Options{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 2: PPM at %d nodes: %w", nodes, err)
+		}
+		pt.PPMSec = prep.Makespan().Seconds()
+		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
+		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		_, mrep, err := colloc.RunMPI(colloc.MPIOptions{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 2: MPI at %d nodes: %w", nodes, err)
+		}
+		pt.MPISec = mrep.Makespan.Seconds()
+		pt.MPIBytes = mrep.Totals.BytesSent
+		pt.MPIMsgs = mrep.Totals.MsgsSent
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Figure3BarnesHut regenerates the paper's Figure 3: Barnes-Hut runtime
+// vs node count, PPM (in-place bundled tree access) vs MPI (whole-tree
+// replication).
+func Figure3BarnesHut(cfg SweepConfig, prm nbody.Params) (*Series, error) {
+	c := cfg.fill()
+	s := &Series{
+		Figure: "Figure 3",
+		Name: fmt.Sprintf("Barnes-Hut, %d bodies, theta=%.2f, %d steps",
+			prm.N, prm.Theta, prm.Steps),
+	}
+	for _, nodes := range c.NodeCounts {
+		var pt Point
+		pt.Nodes = nodes
+		_, prep, err := nbody.RunPPM(core.Options{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 3: PPM at %d nodes: %w", nodes, err)
+		}
+		pt.PPMSec = prep.Makespan().Seconds()
+		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
+		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		_, mrep, err := nbody.RunMPI(nbody.MPIOptions{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure 3: MPI at %d nodes: %w", nodes, err)
+		}
+		pt.MPISec = mrep.Makespan.Seconds()
+		pt.MPIBytes = mrep.Totals.BytesSent
+		pt.MPIMsgs = mrep.Totals.MsgsSent
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// FigureS1Jacobi regenerates the supplementary structured counterpoint
+// (DESIGN.md experiment S1): Jacobi relaxation runtime vs node count.
+func FigureS1Jacobi(cfg SweepConfig, prm jacobi.Params) (*Series, error) {
+	c := cfg.fill()
+	s := &Series{
+		Figure: "Figure S1",
+		Name: fmt.Sprintf("Jacobi relaxation (structured counterpoint), %dx%dx%d grid, %d sweeps",
+			prm.NX, prm.NY, prm.NZ, prm.Sweeps),
+	}
+	for _, nodes := range c.NodeCounts {
+		var pt Point
+		pt.Nodes = nodes
+		_, prep, err := jacobi.RunPPM(core.Options{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure S1: PPM at %d nodes: %w", nodes, err)
+		}
+		pt.PPMSec = prep.Makespan().Seconds()
+		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
+		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		_, mrep, err := jacobi.RunMPI(jacobi.MPIOptions{
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+		}, prm)
+		if err != nil {
+			return nil, fmt.Errorf("figure S1: MPI at %d nodes: %w", nodes, err)
+		}
+		pt.MPISec = mrep.Makespan.Seconds()
+		pt.MPIBytes = mrep.Totals.BytesSent
+		pt.MPIMsgs = mrep.Totals.MsgsSent
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CodeSize is one row of the paper's Table 1: source-line counts of an
+// application's PPM program vs its message-passing program.
+type CodeSize struct {
+	App string
+	PPM int
+	MPI int // 0 means N/A (the paper has no MPI Barnes-Hut of its own)
+}
+
+// CountGoLines counts the non-blank, non-comment source lines of a Go
+// file — the same convention the paper's Table 1 uses for C sources.
+func CountGoLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	inBlock := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				line = strings.TrimSpace(line[idx+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		// Strip block comments opening on this line (no string-literal
+		// awareness needed for this repo's style).
+		for {
+			open := strings.Index(line, "/*")
+			if open < 0 {
+				break
+			}
+			close := strings.Index(line[open:], "*/")
+			if close < 0 {
+				line = strings.TrimSpace(line[:open])
+				inBlock = true
+				break
+			}
+			line = strings.TrimSpace(line[:open] + line[open+close+2:])
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// RepoRoot walks upward from dir until it finds go.mod.
+func RepoRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("bench: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Table1CodeSizes regenerates the paper's Table 1 from this repository's
+// own application sources: for each application, the PPM program file vs
+// the message-passing program file. Shared problem-definition code
+// (common.go) is excluded on both sides, matching the paper's remark that
+// the computation codes have similar sizes and the difference lies in
+// communication and synchronization code.
+func Table1CodeSizes(repoRoot string) ([]CodeSize, error) {
+	apps := []struct {
+		name string
+		dir  string
+		mpi  bool
+	}{
+		{"Conjugate Gradient", "internal/apps/cg", true},
+		{"Matrix Generation", "internal/apps/colloc", true},
+		{"Barnes-Hut", "internal/apps/nbody", true},
+		{"Binary Search (Sec. 5)", "internal/apps/search", false},
+	}
+	var out []CodeSize
+	for _, a := range apps {
+		row := CodeSize{App: a.name}
+		var err error
+		ppmFile := filepath.Join(repoRoot, a.dir, "ppm.go")
+		if _, statErr := os.Stat(ppmFile); statErr != nil {
+			// The search example's whole program is PPM.
+			ppmFile = filepath.Join(repoRoot, a.dir, "search.go")
+		}
+		row.PPM, err = CountGoLines(ppmFile)
+		if err != nil {
+			return nil, err
+		}
+		if a.mpi {
+			row.MPI, err = CountGoLines(filepath.Join(repoRoot, a.dir, "mpi.go"))
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table1String formats the code-size rows like the paper's Table 1.
+func Table1String(rows []CodeSize) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Code Size (number of lines)\n")
+	fmt.Fprintf(&b, "%-24s  %12s  %12s\n", "Application", "PPM Program", "MPI Program")
+	for _, r := range rows {
+		mpi := "N/A"
+		if r.MPI > 0 {
+			mpi = fmt.Sprintf("%d", r.MPI)
+		}
+		fmt.Fprintf(&b, "%-24s  %12d  %12s\n", r.App, r.PPM, mpi)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import "ppm/internal/vtime"
+
+// EventKind classifies observer events.
+type EventKind int
+
+// Observer event kinds.
+const (
+	EvSend    EventKind = iota // a message left a rank
+	EvRecv                     // a message was consumed by a rank
+	EvBarrier                  // a barrier released (reported once per participant)
+	EvExit                     // a rank's program returned
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvBarrier:
+		return "barrier"
+	case EvExit:
+		return "exit"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one structured observation of the run. Events are emitted in
+// a deterministic order (the cooperative schedule's order).
+type Event struct {
+	Kind  EventKind
+	Rank  int        // the rank the event happened on
+	Peer  int        // send: destination; recv: source; else -1
+	Tag   int        // message tag, if any
+	Bytes int        // modeled payload size, if any
+	Intra bool       // message stayed on-node
+	Time  vtime.Time // virtual time of the event at Rank
+}
+
+// observe emits an event if an observer is configured.
+func (c *Cluster) observe(ev Event) {
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(ev)
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"ppm/internal/vtime"
+)
+
+// Report summarizes a completed (or failed) run.
+type Report struct {
+	// Procs and Nodes echo the configuration.
+	Procs int
+	Nodes int
+	// Makespan is the latest final clock over all processes: the modeled
+	// wall-clock time of the parallel run.
+	Makespan vtime.Time
+	// FinalClocks holds each process's clock at exit.
+	FinalClocks []vtime.Time
+	// PerProc holds each process's statistics.
+	PerProc []ProcStats
+	// Totals aggregates the per-process statistics.
+	Totals ProcStats
+}
+
+func (c *Cluster) report() *Report {
+	r := &Report{
+		Procs:       len(c.procs),
+		Nodes:       len(c.nics),
+		FinalClocks: make([]vtime.Time, len(c.procs)),
+		PerProc:     make([]ProcStats, len(c.procs)),
+	}
+	for i, p := range c.procs {
+		r.FinalClocks[i] = p.clock
+		r.PerProc[i] = p.stats
+		r.Makespan = r.Makespan.Max(p.clock)
+		r.Totals.MsgsSent += p.stats.MsgsSent
+		r.Totals.MsgsRecvd += p.stats.MsgsRecvd
+		r.Totals.BytesSent += p.stats.BytesSent
+		r.Totals.BytesRecvd += p.stats.BytesRecvd
+		r.Totals.IntraMsgsSent += p.stats.IntraMsgsSent
+		r.Totals.Barriers += p.stats.Barriers
+		r.Totals.ComputeTime += p.stats.ComputeTime
+	}
+	return r
+}
+
+// String renders a one-paragraph human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "procs=%d nodes=%d makespan=%v", r.Procs, r.Nodes, r.Makespan)
+	fmt.Fprintf(&b, " msgs=%d (intra %d) bytes=%d barriers=%d compute=%v",
+		r.Totals.MsgsSent, r.Totals.IntraMsgsSent, r.Totals.BytesSent,
+		r.Totals.Barriers, r.Totals.ComputeTime)
+	return b.String()
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"ppm/internal/vtime"
+)
+
+// sendTally accumulates, per destination node, the outgoing write traffic
+// flushed from VP buffers at a phase commit.
+type sendTally struct {
+	elems      []int64 // per dst, remote write elements
+	bytes      []int64 // per dst, remote write payload bytes (value+index)
+	localElems int64
+	localBytes int64
+}
+
+// vpFlusher is the per-(VP, array) write buffer interface: the coordinator
+// drains buffers in VP rank order at each commit, which fixes the merge
+// order and makes commits deterministic.
+type vpFlusher interface {
+	// flushGlobal stages records for the global-phase exchange (node-
+	// array records apply immediately; they are node-local by nature).
+	flushGlobal(d *doRun, t *sendTally, phaseSeq int64) error
+	// flushNode applies records immediately (node-phase commit) and
+	// returns the applied payload bytes.
+	flushNode(d *doRun, phaseSeq int64) (bytes int64, err error)
+	// owner identifies the array this buffer belongs to.
+	owner() any
+}
+
+// gBuf buffers one VP's writes to one Global array.
+type gBuf[T Elem] struct {
+	g    *Global[T]
+	recs []writeRec[T]
+}
+
+func (b *gBuf[T]) owner() any { return b.g }
+
+func (b *gBuf[T]) flushGlobal(d *doRun, t *sendTally, phaseSeq int64) error {
+	node := d.node
+	for _, r := range b.recs {
+		dst := b.g.part.Owner(r.idx)
+		b.g.stage[dst][node] = append(b.g.stage[dst][node], r)
+		if dst != node {
+			t.elems[dst]++
+			t.bytes[dst] += int64(b.g.es + 8)
+		} else {
+			t.localElems++
+			t.localBytes += int64(b.g.es + 8)
+		}
+	}
+	b.recs = b.recs[:0]
+	return nil
+}
+
+func (b *gBuf[T]) flushNode(d *doRun, phaseSeq int64) (int64, error) {
+	var bytes int64
+	var firstErr error
+	strict := d.rt.gs.opt.StrictWrites
+	for _, r := range b.recs {
+		if err := b.g.applyDirect(d.node, strict, phaseSeq, r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		bytes += int64(b.g.es)
+	}
+	b.recs = b.recs[:0]
+	return bytes, firstErr
+}
+
+// nBuf buffers one VP's writes to one Node array. Node-array records are
+// node-local by definition, so both commit paths apply them directly.
+type nBuf[T Elem] struct {
+	a    *Node[T]
+	recs []writeRec[T]
+}
+
+func (b *nBuf[T]) owner() any { return b.a }
+
+func (b *nBuf[T]) apply(d *doRun, phaseSeq int64) (int64, error) {
+	var bytes int64
+	var firstErr error
+	strict := d.rt.gs.opt.StrictWrites
+	for _, r := range b.recs {
+		if err := b.a.applyDirect(d.node, strict, phaseSeq, r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		bytes += int64(b.a.es)
+	}
+	b.recs = b.recs[:0]
+	return bytes, firstErr
+}
+
+func (b *nBuf[T]) flushGlobal(d *doRun, t *sendTally, phaseSeq int64) error {
+	bytes, err := b.apply(d, phaseSeq)
+	t.localElems += bytes / int64(b.a.es)
+	t.localBytes += bytes
+	return err
+}
+
+func (b *nBuf[T]) flushNode(d *doRun, phaseSeq int64) (int64, error) {
+	return b.apply(d, phaseSeq)
+}
+
+// bufFor finds (or creates) the calling VP's write buffer for g.
+func bufFor[T Elem](vp *VP, g *Global[T]) *gBuf[T] {
+	for _, b := range vp.bufs {
+		if b.owner() == g {
+			return b.(*gBuf[T])
+		}
+	}
+	b := &gBuf[T]{g: g}
+	vp.bufs = append(vp.bufs, b)
+	return b
+}
+
+// nodeBufFor finds (or creates) the calling VP's write buffer for a.
+func nodeBufFor[T Elem](vp *VP, a *Node[T]) *nBuf[T] {
+	for _, b := range vp.bufs {
+		if b.owner() == a {
+			return b.(*nBuf[T])
+		}
+	}
+	b := &nBuf[T]{a: a}
+	vp.bufs = append(vp.bufs, b)
+	return b
+}
+
+// makespan maps the VPs' accumulated per-phase work onto the node's
+// cores and returns the modeled elapsed time. extra is added to every
+// VP's cost (per-VP dispatch overhead). The runtime's dynamic scheduler
+// achieves the greedy bound max(total/cores, max VP); StaticSchedule
+// models the naive compiler loop transform, which assigns contiguous
+// VP blocks to cores.
+func (d *doRun) makespan(extra vtime.Duration) vtime.Duration {
+	cores := d.rt.gs.cores
+	if d.rt.gs.opt.StaticSchedule {
+		var worst vtime.Duration
+		for c := 0; c < cores; c++ {
+			lo, hi := ChunkRange(d.k, cores, c)
+			var sum vtime.Duration
+			for i := lo; i < hi; i++ {
+				sum += d.vps[i].charge + extra
+			}
+			if sum > worst {
+				worst = sum
+			}
+		}
+		return worst
+	}
+	var total, maxVP vtime.Duration
+	for _, vp := range d.vps {
+		c := vp.charge + extra
+		total += c
+		if c > maxVP {
+			maxVP = c
+		}
+	}
+	span := total / vtime.Duration(cores)
+	if maxVP > span {
+		span = maxVP
+	}
+	return span
+}
+
+// bundleCount models how many messages carry `elems` fine-grained items
+// totaling `bytes` of payload: with bundling, items pack into
+// BundleBytes-sized packages; without it, each item is its own message.
+func (d *doRun) bundleCount(elems, bytes int64) int64 {
+	if elems <= 0 {
+		return 0
+	}
+	if d.rt.gs.opt.NoBundling {
+		return elems
+	}
+	bb := int64(d.rt.gs.opt.BundleBytes)
+	n := (bytes + bb - 1) / bb
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// commit finalizes one phase: merges VP accounting, models the bundled
+// communication, exchanges and applies staged writes (global phases), and
+// resets per-VP state.
+func (d *doRun) commit(kind phaseKind) error {
+	if kind == phaseGlobal {
+		return d.commitGlobal()
+	}
+	return d.commitNode()
+}
+
+func (d *doRun) commitNode() error {
+	rt := d.rt
+	gs := rt.gs
+	mach := gs.mach
+	st := rt.stats()
+	st.NodePhases++
+	gs.phaseSeqs[d.node]++
+	seq := gs.phaseSeqs[d.node]
+
+	span := d.makespan(vtime.Duration(mach.VPStartCost))
+	st.PhaseComputeTime += vtime.Duration(mach.PhaseFixedCost) + span
+	rt.proc.AdvanceTo(d.phaseStart.
+		Add(vtime.Duration(mach.PhaseFixedCost)).
+		Add(span))
+
+	var firstErr error
+	var applyBytes int64
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.reads, vp.writes, vp.charge = 0, 0, 0
+		for _, b := range vp.bufs {
+			bytes, err := b.flushNode(d, seq)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			applyBytes += bytes
+		}
+	}
+	rt.proc.ChargeMem(applyBytes)
+	st.PhaseApplyTime += mach.MemTime(applyBytes)
+	if firstErr != nil {
+		gs.noteStrict(firstErr)
+	}
+	return nil // strict errors surface at the end of the run
+}
+
+func (d *doRun) commitGlobal() error {
+	rt := d.rt
+	gs := rt.gs
+	mach := gs.mach
+	opt := &gs.opt
+	st := rt.stats()
+	st.GlobalPhases++
+	gs.phaseSeqs[d.node]++
+	seq := gs.phaseSeqs[d.node]
+	nodes := gs.nodes
+
+	// 1. Computation span of the phase body.
+	span := d.makespan(vtime.Duration(mach.VPStartCost))
+	computeEnd := d.phaseStart.
+		Add(vtime.Duration(mach.PhaseFixedCost)).
+		Add(span)
+
+	// 2. Drain VP write buffers in rank order (fixes merge order) and
+	// collect read/write traffic tallies.
+	tally := &sendTally{elems: make([]int64, nodes), bytes: make([]int64, nodes)}
+	rrElems := make([]int64, nodes)
+	rrBytes := make([]int64, nodes)
+	var firstErr error
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.reads, vp.writes = 0, 0
+		for _, b := range vp.bufs {
+			if err := b.flushGlobal(d, tally, seq); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if vp.rrElems != nil {
+			for n := 0; n < nodes; n++ {
+				rrElems[n] += vp.rrElems[n]
+				rrBytes[n] += vp.rrBytes[n]
+				vp.rrElems[n], vp.rrBytes[n] = 0, 0
+			}
+		}
+		vp.charge = 0
+	}
+
+	// 3. Model this node's outgoing bundled traffic: read request/reply
+	// round trips plus write pushes.
+	var cpu vtime.Duration
+	var wireBytes int64
+	var bundles int64
+	var haveReads, haveWrites bool
+	for n := 0; n < nodes; n++ {
+		if n == d.node {
+			continue
+		}
+		if rrElems[n] > 0 {
+			haveReads = true
+			req := 8 * rrElems[n] // index list out
+			rep := rrBytes[n]     // values back
+			nb := d.bundleCount(rrElems[n], req+rep)
+			bundles += nb
+			cpu += vtime.Duration(float64(nb) * (mach.SendOverhead + mach.RecvOverhead + 2*mach.BundleOverhead))
+			wireBytes += req + rep + 2*nb*int64(mach.HeaderBytes)
+			st.RemoteReadElems += rrElems[n]
+		}
+		if tally.elems[n] > 0 {
+			haveWrites = true
+			nb := d.bundleCount(tally.elems[n], tally.bytes[n])
+			bundles += nb
+			cpu += vtime.Duration(float64(nb) * (mach.SendOverhead + mach.BundleOverhead))
+			wireBytes += tally.bytes[n] + nb*int64(mach.HeaderBytes)
+			st.RemoteWriteElems += tally.elems[n]
+		}
+	}
+	clear(d.seen) // the node's read cache is only valid within one phase
+	st.BundlesOut += bundles
+	st.BytesOut += wireBytes
+
+	commStart := d.phaseStart
+	if opt.NoOverlap {
+		commStart = computeEnd
+	}
+	end := computeEnd
+	if bundles > 0 {
+		cpuDone := commStart.Add(cpu)
+		nicDone := rt.proc.NICAcquire(commStart, vtime.Duration(float64(wireBytes)/mach.NetBandwidth))
+		commEnd := cpuDone.Max(nicDone)
+		switch {
+		case haveReads:
+			commEnd = commEnd.Add(vtime.Duration(2 * mach.NetLatency))
+		case haveWrites:
+			commEnd = commEnd.Add(vtime.Duration(mach.NetLatency))
+		}
+		rt.proc.CountTraffic(bundles, wireBytes, false)
+		end = end.Max(commEnd)
+	}
+	st.PhaseComputeTime += computeEnd.Sub(d.phaseStart)
+	if end.After(computeEnd) {
+		st.PhaseCommTime += end.Sub(computeEnd) // comm not hidden by overlap
+	}
+	rt.proc.AdvanceTo(end)
+
+	// 4. All nodes have staged: exchange barrier.
+	rt.proc.Barrier()
+
+	// 5. Apply incoming records (in source order), paying receive-side
+	// costs.
+	inElems := make([]int64, nodes)
+	inBytes := make([]int64, nodes)
+	for _, arr := range gs.arrays {
+		perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for n := range perElems {
+			inElems[n] += int64(perElems[n])
+			inBytes[n] += perBytes[n]
+		}
+	}
+	var inCPU vtime.Duration
+	var inBundles, inWire int64
+	var memBytes int64
+	for n := 0; n < nodes; n++ {
+		memBytes += inBytes[n]
+		if n == d.node || inElems[n] == 0 {
+			continue
+		}
+		nb := d.bundleCount(inElems[n], inBytes[n])
+		inBundles += nb
+		inWire += inBytes[n]
+		inCPU += vtime.Duration(float64(nb) * (mach.RecvOverhead + mach.BundleOverhead))
+	}
+	st.BundlesIn += inBundles
+	st.BytesIn += inWire
+	rt.proc.Charge(inCPU + mach.MemTime(memBytes))
+	st.PhaseApplyTime += inCPU + mach.MemTime(memBytes)
+
+	// 6. Everyone applied: the next phase (or node-level code) may read
+	// any partition.
+	rt.proc.Barrier()
+
+	if firstErr != nil {
+		gs.noteStrict(firstErr)
+	}
+	return nil
+}

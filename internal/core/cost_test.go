@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/machine"
+)
+
+// Analytic check of the commit cost model: a single global phase with one
+// remote write on a hand-computable machine must produce exactly the
+// makespan the model specifies.
+func TestGlobalPhaseCostAnalytic(t *testing.T) {
+	m := machine.Generic()
+	// Make every constant distinct and easy to track.
+	m.NetLatency = 10e-6
+	m.NetBandwidth = 1e9
+	m.SendOverhead = 1e-6
+	m.RecvOverhead = 2e-6
+	m.SharedReadCost = 0
+	m.SharedWriteCost = 4e-6
+	m.VPStartCost = 3e-6
+	m.BundleOverhead = 5e-6
+	m.PhaseFixedCost = 7e-6
+	m.HeaderBytes = 0
+	m.MemRate = 1e9
+
+	rep, err := Run(Options{Nodes: 2, CoresPerNode: 1, Machine: m}, func(rt *Runtime) {
+		g := AllocGlobal[float64](rt, "a", 2) // element 0 on node 0, 1 on node 1
+		// Zeroing charge: 1 element * 8 bytes / 1e9 B/s = 8ns, both nodes.
+		rt.Do(1, func(vp *VP) {
+			vp.GlobalPhase(func() {
+				if vp.Node() == 0 {
+					g.Write(vp, 1, 5) // one remote write, 16 bytes payload (value+index)
+				}
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the model by hand.
+	// t0: alloc zeroing = 8e-9 on both nodes.
+	alloc := 8e-9
+	// Phase open barrier (2 procs, 1 round): latest arrival = alloc;
+	// barrier cost = NetLatency + SendOverhead + RecvOverhead = 13e-6.
+	barrier := m.NetLatency + m.SendOverhead + m.RecvOverhead
+	open := alloc + barrier
+	// Node 0 phase: fixed 7e-6 + span. Span: 1 VP, charge = one write
+	// cost 4e-6, plus dispatch 3e-6 => 7e-6 on 1 core.
+	compute0End := open + 7e-6 + 7e-6
+	// Node 0 comm (overlapped, starts at phase start = open): 1 bundle,
+	// cpu = send 1e-6 + bundle 5e-6 = 6e-6; wire = 16 B / 1e9 = 16e-9;
+	// NIC from `open`; commEnd = max(open+6e-6, nic) + latency(one-way).
+	cpuDone := open + 6e-6
+	nicDone := open + 16e-9
+	commEnd := math.Max(cpuDone, nicDone) + m.NetLatency
+	end0 := math.Max(compute0End, commEnd)
+	// Node 1 phase: fixed 7e-6 + dispatch 3e-6 (no write) => end at
+	// open + 10e-6.
+	end1 := open + 10e-6
+	// Barrier after staging: release = max(end0, end1) + barrier.
+	postStage := math.Max(end0, end1) + barrier
+	// Apply on node 1: 1 incoming bundle: recv 2e-6 + bundle 5e-6, plus
+	// mem 16 B / 1e9 = 16e-9. Node 0 applies nothing.
+	apply1 := postStage + 7e-6 + 16e-9
+	// Final barrier: release = max(postStage /*node0*/, apply1) + barrier.
+	final := apply1 + barrier
+
+	if got := rep.Makespan().Seconds(); math.Abs(got-final) > 1e-12 {
+		t.Errorf("makespan = %.9g, analytic model says %.9g (diff %g)", got, final, got-final)
+	}
+}
+
+// The node-phase cost model, by hand: fixed + span + apply memtime, no
+// barriers, no communication.
+func TestNodePhaseCostAnalytic(t *testing.T) {
+	m := machine.Generic()
+	m.SharedWriteCost = 2e-6
+	m.VPStartCost = 1e-6
+	m.PhaseFixedCost = 4e-6
+	m.MemRate = 1e9
+
+	rep, err := Run(Options{Nodes: 1, CoresPerNode: 2, Machine: m}, func(rt *Runtime) {
+		a := AllocNode[float64](rt, "n", 4) // zeroing: 32 B / 1e9
+		rt.Do(4, func(vp *VP) {
+			vp.NodePhase(func() {
+				a.Write(vp, vp.NodeRank(), 1)
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := 32e-9
+	// Span: 4 VPs each (write 2e-6 + dispatch 1e-6) = 3e-6; dynamic
+	// schedule on 2 cores: max(total/2, maxVP) = max(6e-6, 3e-6) = 6e-6.
+	// Apply: 4 writes * 8 bytes / 1e9 = 32e-9.
+	want := alloc + 4e-6 + 6e-6 + 32e-9
+	if got := rep.Makespan().Seconds(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("makespan = %.9g, analytic model says %.9g", got, want)
+	}
+}
+
+// The per-phase breakdown must account for where time goes, and the
+// communication share must grow with node count on a comm-heavy workload.
+func TestPhaseBreakdown(t *testing.T) {
+	run := func(nodes int) (compute, comm, apply float64, makespan float64) {
+		o := Options{Nodes: nodes, Machine: machine.Franklin(), NoOverlap: true}
+		rep := mustRun(t, o, func(rt *Runtime) {
+			g := AllocGlobal[float64](rt, "b", 1<<14)
+			rt.Do(16, func(vp *VP) {
+				vp.GlobalPhase(func() {
+					for j := 0; j < 256; j++ {
+						g.Read(vp, (vp.GlobalRank()*2671+j*4099)%(1<<14))
+					}
+				})
+			})
+		})
+		tot := rep.Totals
+		return tot.PhaseComputeTime.Seconds(), tot.PhaseCommTime.Seconds(),
+			tot.PhaseApplyTime.Seconds(), rep.Makespan().Seconds()
+	}
+	c1, m1, _, _ := run(1)
+	if m1 != 0 {
+		t.Errorf("1 node should have no phase comm time, got %v", m1)
+	}
+	if c1 <= 0 {
+		t.Error("compute time not recorded")
+	}
+	c8, m8, _, span8 := run(8)
+	if m8 <= 0 {
+		t.Error("8-node comm time not recorded")
+	}
+	if frac := m8 / (c8 + m8); frac < 0.05 {
+		t.Errorf("comm share suspiciously low on scattered reads: %v", frac)
+	}
+	if span8 <= 0 {
+		t.Error("no makespan")
+	}
+}

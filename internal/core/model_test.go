@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ppm/internal/machine"
+	"ppm/internal/rng"
+)
+
+// This file model-checks the phase semantics: random phase-structured
+// programs are executed both by the real runtime and by a tiny sequential
+// interpreter of the paper's semantics ("reads observe begin-of-phase
+// values; writes take effect after the phase; conflicting writes resolve
+// in (node, VP, program) order; adds combine"). The final contents of
+// every shared array must agree exactly.
+
+// modelOp is one shared-array access in a generated program.
+type modelOp struct {
+	kind  int // 0 read, 1 write, 2 add
+	array int // global array index
+	idx   int
+	val   int64 // for writes/adds; derived from the op's position for determinism
+	// reads feed into a checksum so that read placement matters
+}
+
+// modelProgram is a random phase-structured SPMD program: phases[p][node][vp]
+// is the op list of one VP in one phase. All phases are global.
+type modelProgram struct {
+	nodes, vps  int
+	arrays      []int // array lengths
+	phases      [][][][]modelOp
+	checksumIdx int
+}
+
+func genProgram(r *rng.RNG) *modelProgram {
+	p := &modelProgram{
+		nodes: 1 + r.Intn(4),
+		vps:   1 + r.Intn(5),
+	}
+	nArrays := 1 + r.Intn(3)
+	for a := 0; a < nArrays; a++ {
+		p.arrays = append(p.arrays, 4+r.Intn(12))
+	}
+	nPhases := 1 + r.Intn(4)
+	p.phases = make([][][][]modelOp, nPhases)
+	for ph := range p.phases {
+		p.phases[ph] = make([][][]modelOp, p.nodes)
+		for n := range p.phases[ph] {
+			p.phases[ph][n] = make([][]modelOp, p.vps)
+			for v := range p.phases[ph][n] {
+				nOps := r.Intn(6)
+				ops := make([]modelOp, nOps)
+				for o := range ops {
+					a := r.Intn(nArrays)
+					ops[o] = modelOp{
+						kind:  r.Intn(3),
+						array: a,
+						idx:   r.Intn(p.arrays[a]),
+						val:   int64(ph*1000000 + n*10000 + v*100 + o),
+					}
+				}
+				p.phases[ph][n][v] = ops
+			}
+		}
+	}
+	return p
+}
+
+// runModel interprets the program under the specification semantics and
+// returns the final array contents plus a per-(node,vp) read checksum.
+func runModel(p *modelProgram) ([][]int64, map[[2]int]int64) {
+	arrays := make([][]int64, len(p.arrays))
+	for a, n := range p.arrays {
+		arrays[a] = make([]int64, n)
+	}
+	sums := make(map[[2]int]int64)
+	for _, phase := range p.phases {
+		// Reads all observe the begin-of-phase snapshot.
+		snap := make([][]int64, len(arrays))
+		for a := range arrays {
+			snap[a] = append([]int64(nil), arrays[a]...)
+		}
+		// Apply in (node, vp, program) order: plain writes last-wins,
+		// adds accumulate.
+		for n := 0; n < p.nodes; n++ {
+			for v := 0; v < p.vps; v++ {
+				for _, op := range phase[n][v] {
+					switch op.kind {
+					case 0:
+						sums[[2]int{n, v}] += snap[op.array][op.idx]
+					case 1:
+						arrays[op.array][op.idx] = op.val
+					case 2:
+						arrays[op.array][op.idx] += op.val
+					}
+				}
+			}
+		}
+	}
+	return arrays, sums
+}
+
+// runReal executes the same program under the PPM runtime.
+func runReal(t *testing.T, p *modelProgram) ([][]int64, map[[2]int]int64) {
+	t.Helper()
+	finals := make([][]int64, len(p.arrays))
+	sums := make(map[[2]int]int64)
+	sumArrays := make([]*Node[int64], 0) // one per node is implicit; use a Node array indexed by vp
+	_ = sumArrays
+	_, err := Run(Options{Nodes: p.nodes, Machine: machine.Generic()}, func(rt *Runtime) {
+		gs := make([]*Global[int64], len(p.arrays))
+		for a, n := range p.arrays {
+			gs[a] = AllocGlobal[int64](rt, fmt.Sprintf("m%d", a), n)
+		}
+		acc := AllocNode[int64](rt, "sums", p.vps)
+		node := rt.NodeID()
+		rt.Do(p.vps, func(vp *VP) {
+			for _, phase := range p.phases {
+				ops := phase[node][vp.NodeRank()]
+				vp.GlobalPhase(func() {
+					var s int64
+					for _, op := range ops {
+						switch op.kind {
+						case 0:
+							s += gs[op.array].Read(vp, op.idx)
+						case 1:
+							gs[op.array].Write(vp, op.idx, op.val)
+						case 2:
+							gs[op.array].Add(vp, op.idx, op.val)
+						}
+					}
+					if s != 0 {
+						acc.Add(vp, vp.NodeRank(), s)
+					}
+				})
+			}
+		})
+		rt.Barrier()
+		if node == 0 {
+			for a := range gs {
+				out := make([]int64, p.arrays[a])
+				for i := range out {
+					out[i] = gs[a].At(rt, i)
+				}
+				finals[a] = out
+			}
+		}
+		for v, s := range acc.Local(rt) {
+			if s != 0 {
+				sums[[2]int{node, v}] = s
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("program failed under runtime: %v", err)
+	}
+	return finals, sums
+}
+
+func TestModelCheckPhaseSemantics(t *testing.T) {
+	for trial := 0; trial < 120; trial++ {
+		r := rng.New(uint64(trial) * 2654435761)
+		p := genProgram(r)
+		wantArrays, wantSums := runModel(p)
+		gotArrays, gotSums := runReal(t, p)
+		for a := range wantArrays {
+			for i := range wantArrays[a] {
+				if gotArrays[a][i] != wantArrays[a][i] {
+					t.Fatalf("trial %d: array %d[%d] = %d, spec says %d (nodes=%d vps=%d phases=%d)",
+						trial, a, i, gotArrays[a][i], wantArrays[a][i], p.nodes, p.vps, len(p.phases))
+				}
+			}
+		}
+		for k, want := range wantSums {
+			if gotSums[k] != want {
+				t.Fatalf("trial %d: read checksum of node %d vp %d = %d, spec says %d",
+					trial, k[0], k[1], gotSums[k], want)
+			}
+		}
+		for k := range gotSums {
+			if _, ok := wantSums[k]; !ok {
+				t.Fatalf("trial %d: unexpected checksum at %v", trial, k)
+			}
+		}
+	}
+}
+
+// The same model must hold when the ablation switches are flipped: the
+// options change modeled time, never semantics.
+func TestModelCheckSemanticsUnderAblations(t *testing.T) {
+	mutations := []func(*Options){
+		func(o *Options) { o.NoBundling = true },
+		func(o *Options) { o.NoOverlap = true },
+		func(o *Options) { o.NoReadCache = true },
+		func(o *Options) { o.StaticSchedule = true },
+		func(o *Options) { o.BundleBytes = 32 },
+	}
+	for mi, mutate := range mutations {
+		for trial := 0; trial < 12; trial++ {
+			r := rng.New(uint64(mi*1000+trial) + 17)
+			p := genProgram(r)
+			wantArrays, _ := runModel(p)
+			var got []int64
+			opt := Options{Nodes: p.nodes, Machine: machine.Generic()}
+			mutate(&opt)
+			_, err := Run(opt, func(rt *Runtime) {
+				gs := make([]*Global[int64], len(p.arrays))
+				for a, n := range p.arrays {
+					gs[a] = AllocGlobal[int64](rt, fmt.Sprintf("m%d", a), n)
+				}
+				node := rt.NodeID()
+				rt.Do(p.vps, func(vp *VP) {
+					for _, phase := range p.phases {
+						ops := phase[node][vp.NodeRank()]
+						vp.GlobalPhase(func() {
+							for _, op := range ops {
+								switch op.kind {
+								case 0:
+									gs[op.array].Read(vp, op.idx)
+								case 1:
+									gs[op.array].Write(vp, op.idx, op.val)
+								case 2:
+									gs[op.array].Add(vp, op.idx, op.val)
+								}
+							}
+						})
+					}
+				})
+				rt.Barrier()
+				if node == 0 {
+					for i := 0; i < p.arrays[0]; i++ {
+						got = append(got, gs[0].At(rt, i))
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("mutation %d trial %d: %v", mi, trial, err)
+			}
+			for i := range got {
+				if got[i] != wantArrays[0][i] {
+					t.Fatalf("mutation %d trial %d: array 0[%d] = %d, spec says %d",
+						mi, trial, i, got[i], wantArrays[0][i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package core implements the Parallel Phase Model runtime — the paper's
+// primary contribution.
+//
+// A PPM program is SPMD over the nodes of a cluster. On each node it may
+// start K virtual processors (VPs) with Runtime.Do; VP bodies contain
+// global and node *phases*. Within a phase, every read of a shared
+// variable observes the value the variable had at the beginning of the
+// phase, and every write takes effect only after the end of the phase,
+// where there is an implicit barrier (cluster-wide for global phases,
+// node-wide for node phases). Shared variables come in two kinds:
+// Global[T] (one array, block-distributed over the cluster's virtual
+// shared memory) and Node[T] (one array per node, in node shared memory).
+//
+// The runtime performs the optimizations the paper describes: fine-
+// grained remote accesses are bundled into coarse packages, bundle
+// traffic is overlapped with computation, and per-node traffic is
+// serialized through one NIC rather than contending per core. Each of
+// these is a switch in Options so the benchmarks can ablate them.
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/cluster"
+	"ppm/internal/machine"
+	"ppm/internal/vtime"
+)
+
+// Options configures one PPM run.
+type Options struct {
+	// Nodes is the number of cluster nodes (each runs one SPMD copy).
+	Nodes int
+	// CoresPerNode overrides the machine's core count when positive.
+	CoresPerNode int
+	// Machine is the cost model; machine.Franklin() if nil.
+	Machine *machine.Machine
+
+	// BundleBytes is the maximum payload of one remote-access bundle.
+	// Zero selects the default (8192).
+	BundleBytes int
+	// NoBundling disables remote-access bundling: every fine-grained
+	// remote element becomes its own message. Ablation switch for the
+	// paper's "bundling fine-grained accesses" claim.
+	NoBundling bool
+	// NoOverlap disables communication/computation overlap: bundle
+	// traffic is charged strictly after the phase's computation.
+	NoOverlap bool
+	// NoReadCache disables the runtime's per-phase remote-read cache.
+	// Within a phase a shared variable is immutable (reads observe the
+	// begin-of-phase value), so the runtime normally fetches each remote
+	// element at most once per node per phase into node shared memory and
+	// serves repeats locally; this switch charges every repeated fine-
+	// grained read as fresh traffic. Ablation switch.
+	NoReadCache bool
+	// StaticSchedule maps VPs to cores in contiguous blocks (the naive
+	// compiler loop transform) instead of the runtime's dynamic load
+	// balancing. Ablation switch.
+	StaticSchedule bool
+	// StrictWrites makes the commit step fail the run when two different
+	// writers Write (not Add) the same element of a shared array in one
+	// phase. Costs host time and memory; meant for debugging.
+	StrictWrites bool
+
+	// Trace, if non-nil, receives scheduler events (see cluster.Config).
+	Trace func(string)
+	// Observer, if non-nil, receives structured cluster events (sends,
+	// receives, barriers, exits) for the trace/timeline tooling.
+	Observer func(cluster.Event)
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Nodes <= 0 {
+		return out, fmt.Errorf("core: Nodes must be positive, got %d", out.Nodes)
+	}
+	if out.Machine == nil {
+		out.Machine = machine.Franklin()
+	}
+	if err := out.Machine.Validate(); err != nil {
+		return out, err
+	}
+	if out.CoresPerNode == 0 {
+		out.CoresPerNode = out.Machine.CoresPerNode
+	}
+	if out.CoresPerNode <= 0 {
+		return out, fmt.Errorf("core: CoresPerNode must be positive, got %d", out.CoresPerNode)
+	}
+	if out.BundleBytes == 0 {
+		out.BundleBytes = 8192
+	}
+	if out.BundleBytes < 0 {
+		return out, fmt.Errorf("core: BundleBytes must be positive, got %d", out.BundleBytes)
+	}
+	return out, nil
+}
+
+// NodeStats aggregates PPM runtime activity on one node.
+type NodeStats struct {
+	Dos          int64 // Runtime.Do invocations
+	VPsStarted   int64
+	GlobalPhases int64
+	NodePhases   int64
+
+	SharedReads  int64 // element reads through shared variables
+	SharedWrites int64 // element writes (incl. Add) through shared variables
+
+	RemoteReadElems  int64 // reads served from other nodes' partitions
+	RemoteWriteElems int64 // writes destined to other nodes' partitions
+	BundlesOut       int64 // bundles this node sent (requests + write pushes)
+	BundlesIn        int64 // bundles this node received at commit
+	BytesOut         int64 // modeled bundle payload bytes sent
+	BytesIn          int64
+
+	// Per-phase time breakdown (accumulated over all phases on the node).
+	PhaseComputeTime vtime.Duration // VP work spans, incl. dispatch and fixed costs
+	PhaseCommTime    vtime.Duration // communication time not hidden by overlap
+	PhaseApplyTime   vtime.Duration // receive-side unpack and commit application
+}
+
+func (s *NodeStats) add(o NodeStats) {
+	s.Dos += o.Dos
+	s.VPsStarted += o.VPsStarted
+	s.GlobalPhases += o.GlobalPhases
+	s.NodePhases += o.NodePhases
+	s.SharedReads += o.SharedReads
+	s.SharedWrites += o.SharedWrites
+	s.RemoteReadElems += o.RemoteReadElems
+	s.RemoteWriteElems += o.RemoteWriteElems
+	s.BundlesOut += o.BundlesOut
+	s.BundlesIn += o.BundlesIn
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	s.PhaseComputeTime += o.PhaseComputeTime
+	s.PhaseCommTime += o.PhaseCommTime
+	s.PhaseApplyTime += o.PhaseApplyTime
+}
+
+// Report summarizes a PPM run: the underlying cluster report plus PPM
+// runtime statistics.
+type Report struct {
+	Cluster *cluster.Report
+	PerNode []NodeStats
+	Totals  NodeStats
+}
+
+// Makespan returns the modeled wall-clock time of the run.
+func (r *Report) Makespan() vtime.Time { return r.Cluster.Makespan }
+
+// String renders a short human-readable summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%v | dos=%d vps=%d phases=%d/%d reads=%d writes=%d remote(r/w)=%d/%d bundles(out/in)=%d/%d",
+		r.Cluster, r.Totals.Dos, r.Totals.VPsStarted,
+		r.Totals.GlobalPhases, r.Totals.NodePhases,
+		r.Totals.SharedReads, r.Totals.SharedWrites,
+		r.Totals.RemoteReadElems, r.Totals.RemoteWriteElems,
+		r.Totals.BundlesOut, r.Totals.BundlesIn)
+}

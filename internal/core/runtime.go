@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ppm/internal/cluster"
+	"ppm/internal/machine"
+	"ppm/internal/mp"
+	"ppm/internal/vtime"
+)
+
+// globalState is the host-shared state of one PPM run. It is mutated only
+// under the cluster's cooperative turn discipline (one node at a time),
+// so it needs no locks; VP goroutines never touch it directly.
+type globalState struct {
+	opt   Options
+	mach  *machine.Machine
+	nodes int
+	cores int
+
+	arrays    []registeredArray // creation order, identical on all nodes
+	allocSeq  []int             // per node: how many arrays it has allocated
+	doK       []int             // current Do's K per node (see VP.GlobalRank)
+	phaseSeqs []int64           // per node: phases committed (strict-mode epochs)
+	stats     []NodeStats
+
+	strictErr error // first strict-mode violation
+}
+
+// noteStrict records the first strict-mode violation of the run.
+func (gs *globalState) noteStrict(err error) {
+	if gs.strictErr == nil {
+		gs.strictErr = err
+	}
+}
+
+// registeredArray is the commit-side interface every shared array
+// implements.
+type registeredArray interface {
+	// applyIncoming applies all records staged for node (in source
+	// order), clears the stage, and reports per-source incoming traffic.
+	applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error)
+	// elemBytes returns the modeled element size.
+	elemBytes() int
+	// label returns a diagnostic name.
+	label() string
+}
+
+// Runtime is one node's handle to the PPM run: the analog of the paper's
+// per-node runtime library instance. Methods on Runtime are node-level
+// operations (outside virtual processors); VP-level operations live on VP
+// and on the shared-array types.
+type Runtime struct {
+	gs   *globalState
+	proc *cluster.Proc
+	comm *mp.Comm
+	node int
+
+	inDo bool
+}
+
+// Run executes prog as a PPM SPMD program on every node of a simulated
+// cluster and returns the run report.
+func Run(opt Options, prog func(rt *Runtime)) (*Report, error) {
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	gs := &globalState{
+		opt:       o,
+		mach:      o.Machine,
+		nodes:     o.Nodes,
+		cores:     o.CoresPerNode,
+		allocSeq:  make([]int, o.Nodes),
+		doK:       make([]int, o.Nodes),
+		phaseSeqs: make([]int64, o.Nodes),
+		stats:     make([]NodeStats, o.Nodes),
+	}
+	crep, err := cluster.Run(cluster.Config{
+		Procs:        o.Nodes,
+		ProcsPerNode: 1,
+		Machine:      o.Machine,
+		Trace:        o.Trace,
+		Observer:     o.Observer,
+	}, func(p *cluster.Proc) {
+		rt := &Runtime{gs: gs, proc: p, comm: mp.New(p), node: p.Rank()}
+		prog(rt)
+	})
+	rep := &Report{
+		Cluster: crep,
+		PerNode: gs.stats,
+	}
+	for _, s := range gs.stats {
+		rep.Totals.add(s)
+	}
+	if err != nil {
+		return rep, err
+	}
+	if gs.strictErr != nil {
+		return rep, gs.strictErr
+	}
+	return rep, nil
+}
+
+// NodeCount returns the number of nodes (the paper's PPM_node_count).
+func (rt *Runtime) NodeCount() int { return rt.gs.nodes }
+
+// NodeID returns this node's id in [0, NodeCount) (PPM_node_id).
+func (rt *Runtime) NodeID() int { return rt.node }
+
+// CoresPerNode returns the number of cores per node (PPM_cores_per_node).
+func (rt *Runtime) CoresPerNode() int { return rt.gs.cores }
+
+// Machine returns the cost model in effect.
+func (rt *Runtime) Machine() *machine.Machine { return rt.gs.mach }
+
+// Clock returns this node's current virtual time.
+func (rt *Runtime) Clock() vtime.Time { return rt.proc.Clock() }
+
+// Charge advances this node's clock by d of modeled node-level
+// computation (work done outside virtual processors).
+func (rt *Runtime) Charge(d vtime.Duration) { rt.proc.Charge(d) }
+
+// ChargeFlops charges n flops of node-level computation on one core.
+func (rt *Runtime) ChargeFlops(n int64) { rt.proc.ChargeFlops(n) }
+
+// ChargeMem charges streaming n bytes of node-level data movement.
+func (rt *Runtime) ChargeMem(n int64) { rt.proc.ChargeMem(n) }
+
+// Barrier synchronizes all nodes (node-level; rarely needed because
+// phases synchronize implicitly, but exposed for setup code).
+func (rt *Runtime) Barrier() { rt.proc.Barrier() }
+
+// stats returns this node's mutable statistics record.
+func (rt *Runtime) stats() *NodeStats { return &rt.gs.stats[rt.node] }
+
+// ReduceOp is a binary combining operation for the reduction utilities.
+type ReduceOp int
+
+// Reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) applyF64(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("core: invalid ReduceOp %d", int(op)))
+	}
+}
+
+func (op ReduceOp) applyInt(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("core: invalid ReduceOp %d", int(op)))
+	}
+}
+
+// AllReduce combines one float64 contribution per node with op and
+// returns the result on every node. This is one of the paper's utility
+// functions; it is collective over nodes and must be called outside Do.
+func (rt *Runtime) AllReduce(v float64, op ReduceOp) float64 {
+	rt.checkNodeLevel("AllReduce")
+	out := mp.Allreduce(rt.comm, []float64{v}, op.applyF64)
+	return out[0]
+}
+
+// AllReduceInt is AllReduce for int64 contributions.
+func (rt *Runtime) AllReduceInt(v int64, op ReduceOp) int64 {
+	rt.checkNodeLevel("AllReduceInt")
+	out := mp.Allreduce(rt.comm, []int64{v}, op.applyInt)
+	return out[0]
+}
+
+// PrefixSumInt returns the exclusive prefix sum over nodes of v (node 0
+// gets 0): the paper's parallel-prefix utility at node granularity.
+func (rt *Runtime) PrefixSumInt(v int) int {
+	rt.checkNodeLevel("PrefixSumInt")
+	return mp.ExscanSumInt(rt.comm, v)
+}
+
+// Broadcast distributes root's value to all nodes.
+func (rt *Runtime) Broadcast(root int, v float64) float64 {
+	rt.checkNodeLevel("Broadcast")
+	out := mp.Bcast(rt.comm, root, []float64{v})
+	return out[0]
+}
+
+func (rt *Runtime) checkNodeLevel(what string) {
+	if rt.inDo {
+		panic(fmt.Sprintf("core: %s is a node-level collective and must not be called from inside Do", what))
+	}
+}
+
+// ChunkRange splits n items into parts blocks and returns the half-open
+// range of block i: the standard owner-computes decomposition helper.
+func ChunkRange(n, parts, i int) (lo, hi int) {
+	if parts <= 0 || i < 0 || i >= parts {
+		panic(fmt.Sprintf("core: ChunkRange(%d, %d, %d) out of range", n, parts, i))
+	}
+	base := n / parts
+	rem := n % parts
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/mp"
+	"ppm/internal/partition"
+)
+
+// Elem constrains shared-array element types (fixed-size numerics, so
+// modeled byte counts are honest). It is the same constraint the
+// messaging layer uses.
+type Elem = mp.Elem
+
+// writeRec is one buffered shared-array update.
+type writeRec[T Elem] struct {
+	idx    int
+	val    T
+	add    bool  // combine by addition instead of overwrite
+	writer int64 // (node<<32)|vpRank, for strict-mode diagnostics
+}
+
+// allocArray registers a shared array collectively: every node calls the
+// allocator in the same program order; the first caller constructs, the
+// rest attach. make constructs the concrete array.
+func allocArray[A registeredArray](rt *Runtime, name string, mk func(id int) A) A {
+	gs := rt.gs
+	if rt.inDo {
+		panic(fmt.Sprintf("core: alloc of %q must happen at node level, not inside Do", name))
+	}
+	if gs.allocSeq == nil {
+		gs.allocSeq = make([]int, gs.nodes)
+	}
+	seq := gs.allocSeq[rt.node]
+	gs.allocSeq[rt.node]++
+	if seq == len(gs.arrays) {
+		a := mk(seq)
+		gs.arrays = append(gs.arrays, a)
+		return a
+	}
+	if seq > len(gs.arrays) {
+		panic(fmt.Sprintf("core: node %d allocation sequence diverged at %q", rt.node, name))
+	}
+	a, ok := gs.arrays[seq].(A)
+	if !ok || gs.arrays[seq].label() != name {
+		panic(fmt.Sprintf("core: node %d allocated %q where other nodes allocated %q — SPMD allocation order diverged",
+			rt.node, name, gs.arrays[seq].label()))
+	}
+	return a
+}
+
+// Global is a globally shared array: one logical array of n elements,
+// block-distributed across the cluster's nodes through virtual shared
+// memory (the paper's PPM_global_shared). Virtual processors access it
+// with Read/Write/Add inside phases; node-level code uses Local/At for
+// setup and result extraction.
+type Global[T Elem] struct {
+	gs   *globalState
+	id   int
+	name string
+	n    int
+	es   int
+	part partition.Block
+	base []T
+	// stage[dst][src] holds records written by src's VPs this phase,
+	// destined for dst's partition; dst applies them after the phase's
+	// all-staged barrier.
+	stage [][][]writeRec[T]
+	// strict-mode conflict tracking, per destination node.
+	conflictSeq []int64
+	conflict    []map[int]int64
+}
+
+// AllocGlobal allocates a globally shared array of n elements, block-
+// distributed over the nodes. Collective: every node must call it in the
+// same program order with the same name and size.
+func AllocGlobal[T Elem](rt *Runtime, name string, n int) *Global[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("core: AllocGlobal(%q, %d): negative size", name, n))
+	}
+	g := allocArray(rt, name, func(id int) *Global[T] {
+		nodes := rt.gs.nodes
+		g := &Global[T]{
+			gs:   rt.gs,
+			id:   id,
+			name: name,
+			n:    n,
+			es:   mp.SizeOf[T](),
+			part: partition.NewBlock(n, nodes),
+			base: make([]T, n),
+		}
+		g.stage = make([][][]writeRec[T], nodes)
+		for d := range g.stage {
+			g.stage[d] = make([][]writeRec[T], nodes)
+		}
+		g.conflictSeq = make([]int64, nodes)
+		g.conflict = make([]map[int]int64, nodes)
+		return g
+	})
+	// Zeroing the local partition costs streaming time.
+	rt.ChargeMem(int64(g.part.Size(rt.node) * g.es))
+	return g
+}
+
+// Len returns the global length.
+func (g *Global[T]) Len() int { return g.n }
+
+// Name returns the allocation name.
+func (g *Global[T]) Name() string { return g.name }
+
+// Owner returns the node owning element i.
+func (g *Global[T]) Owner(i int) int { return g.part.Owner(i) }
+
+// OwnerRange returns the half-open index range owned by the calling node.
+func (g *Global[T]) OwnerRange(rt *Runtime) (lo, hi int) { return g.part.Range(rt.node) }
+
+// Local returns the calling node's partition as a mutable slice. It is a
+// node-level escape hatch for initialization and result extraction (the
+// paper's casting utilities between node space and global space); it must
+// not be used while any Do is active.
+func (g *Global[T]) Local(rt *Runtime) []T {
+	if rt.inDo {
+		panic(fmt.Sprintf("core: Global(%q).Local while Do is active", g.name))
+	}
+	lo, hi := g.part.Range(rt.node)
+	return g.base[lo:hi:hi]
+}
+
+// At returns element i at node level (setup/extraction only). Reading a
+// remote element outside any phase has no defined synchronization; it is
+// allowed for result extraction after phases have committed.
+func (g *Global[T]) At(rt *Runtime, i int) T {
+	if rt.inDo {
+		panic(fmt.Sprintf("core: Global(%q).At while Do is active", g.name))
+	}
+	return g.base[i]
+}
+
+// Read returns element i as observed at the beginning of the current
+// phase. Must be called inside a phase. Remote reads require a global
+// phase and are accounted for bundling.
+func (g *Global[T]) Read(vp *VP, i int) T {
+	vp.accessCheck(g.name, "Read")
+	vp.reads++
+	vp.charge += vp.d.sharedReadCost
+	owner := g.part.Owner(i)
+	if owner != vp.d.node {
+		if vp.phaseKind != phaseGlobal {
+			panic(fmt.Sprintf("core: Global(%q).Read(%d): remote access (owner %d) inside a node phase on node %d",
+				g.name, i, owner, vp.d.node))
+		}
+		vp.noteRemoteRead(g.id, i, owner, g.es)
+	}
+	return g.base[i]
+}
+
+// Write sets element i to v, taking effect after the end of the current
+// phase (last writer in (node, VP, program) order wins when several VPs
+// write the same element; use StrictWrites to flag that).
+func (g *Global[T]) Write(vp *VP, i int, v T) { g.put(vp, i, v, false) }
+
+// Add accumulates v into element i at the end of the current phase.
+// Unlike Write, concurrent Adds to one element combine (addition is the
+// paper's utility-reduction case for shared updates).
+func (g *Global[T]) Add(vp *VP, i int, v T) { g.put(vp, i, v, true) }
+
+func (g *Global[T]) put(vp *VP, i int, v T, add bool) {
+	vp.accessCheck(g.name, "Write")
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("core: Global(%q).Write(%d): index out of range [0,%d)", g.name, i, g.n))
+	}
+	vp.writes++
+	vp.charge += vp.d.sharedWriteCost
+	owner := g.part.Owner(i)
+	if owner != vp.d.node && vp.phaseKind != phaseGlobal {
+		panic(fmt.Sprintf("core: Global(%q).Write(%d): remote access (owner %d) inside a node phase on node %d",
+			g.name, i, owner, vp.d.node))
+	}
+	buf := bufFor[T](vp, g)
+	buf.recs = append(buf.recs, writeRec[T]{idx: i, val: v, add: add, writer: vp.writerID()})
+}
+
+// ReadBlock copies elements [lo, hi) into dst under phase semantics —
+// the array-section form of Read for contiguous access.
+func (g *Global[T]) ReadBlock(vp *VP, lo, hi int, dst []T) {
+	if lo < 0 || hi > g.n || lo > hi {
+		panic(fmt.Sprintf("core: Global(%q).ReadBlock[%d:%d] out of [0,%d)", g.name, lo, hi, g.n))
+	}
+	if len(dst) < hi-lo {
+		panic(fmt.Sprintf("core: Global(%q).ReadBlock: dst holds %d of %d elements", g.name, len(dst), hi-lo))
+	}
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = g.Read(vp, i)
+	}
+}
+
+// WriteBlock writes src over elements [lo, hi), committing at the end of
+// the current phase — the array-section form of Write.
+func (g *Global[T]) WriteBlock(vp *VP, lo int, src []T) {
+	if lo < 0 || lo+len(src) > g.n {
+		panic(fmt.Sprintf("core: Global(%q).WriteBlock[%d:%d] out of [0,%d)", g.name, lo, lo+len(src), g.n))
+	}
+	for i, v := range src {
+		g.Write(vp, lo+i, v)
+	}
+}
+
+// label implements registeredArray.
+func (g *Global[T]) label() string { return g.name }
+
+// elemBytes implements registeredArray.
+func (g *Global[T]) elemBytes() int { return g.es }
+
+// applyIncoming applies all staged records destined for node, in
+// (source node, VP, program) order, and reports per-source traffic.
+func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error) {
+	nodes := g.gs.nodes
+	perSrcElems = make([]int, nodes)
+	perSrcBytes = make([]int64, nodes)
+	for src := 0; src < nodes; src++ {
+		recs := g.stage[node][src]
+		if len(recs) == 0 {
+			continue
+		}
+		g.stage[node][src] = nil
+		perSrcElems[src] = len(recs)
+		perSrcBytes[src] = int64(len(recs) * (g.es + 8))
+		for _, r := range recs {
+			if strict && !r.add {
+				if e := g.checkConflict(node, phaseSeq, r); e != nil && err == nil {
+					err = e
+				}
+			}
+			if r.add {
+				g.base[r.idx] += r.val
+			} else {
+				g.base[r.idx] = r.val
+			}
+		}
+	}
+	return perSrcElems, perSrcBytes, err
+}
+
+// applyDirect applies one record immediately (node-phase commit path).
+func (g *Global[T]) applyDirect(node int, strict bool, phaseSeq int64, r writeRec[T]) error {
+	var err error
+	if strict && !r.add {
+		err = g.checkConflict(node, phaseSeq, r)
+	}
+	if r.add {
+		g.base[r.idx] += r.val
+	} else {
+		g.base[r.idx] = r.val
+	}
+	return err
+}
+
+func (g *Global[T]) checkConflict(node int, phaseSeq int64, r writeRec[T]) error {
+	if g.conflictSeq[node] != phaseSeq || g.conflict[node] == nil {
+		g.conflict[node] = make(map[int]int64)
+		g.conflictSeq[node] = phaseSeq
+	}
+	if prev, ok := g.conflict[node][r.idx]; ok && prev != r.writer {
+		return fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
+			g.name, r.idx, prev>>32, prev&0xffffffff, r.writer>>32, r.writer&0xffffffff)
+	}
+	g.conflict[node][r.idx] = r.writer
+	return nil
+}
+
+// Node is a node-shared array: as in the paper's PPM_node_shared, the
+// declaration yields one independent instance per node, living in that
+// node's physical shared memory. VPs of a node access their node's
+// instance with phase semantics; there is no cross-node traffic.
+type Node[T Elem] struct {
+	gs   *globalState
+	id   int
+	name string
+	n    int
+	es   int
+	base [][]T
+	// strict-mode conflict tracking per node.
+	conflictSeq []int64
+	conflict    []map[int]int64
+}
+
+// AllocNode allocates a node-shared array of n elements on every node.
+// Collective in the same sense as AllocGlobal.
+func AllocNode[T Elem](rt *Runtime, name string, n int) *Node[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("core: AllocNode(%q, %d): negative size", name, n))
+	}
+	a := allocArray(rt, name, func(id int) *Node[T] {
+		nodes := rt.gs.nodes
+		a := &Node[T]{
+			gs:          rt.gs,
+			id:          id,
+			name:        name,
+			n:           n,
+			es:          mp.SizeOf[T](),
+			base:        make([][]T, nodes),
+			conflictSeq: make([]int64, nodes),
+			conflict:    make([]map[int]int64, nodes),
+		}
+		for i := range a.base {
+			a.base[i] = make([]T, n)
+		}
+		return a
+	})
+	rt.ChargeMem(int64(n * a.es))
+	return a
+}
+
+// Len returns the per-node length.
+func (a *Node[T]) Len() int { return a.n }
+
+// Name returns the allocation name.
+func (a *Node[T]) Name() string { return a.name }
+
+// Local returns the calling node's instance as a mutable slice (node-
+// level setup/extraction; not while Do is active).
+func (a *Node[T]) Local(rt *Runtime) []T {
+	if rt.inDo {
+		panic(fmt.Sprintf("core: Node(%q).Local while Do is active", a.name))
+	}
+	return a.base[rt.node]
+}
+
+// Read returns element i of the calling node's instance as of the
+// beginning of the current phase.
+func (a *Node[T]) Read(vp *VP, i int) T {
+	vp.accessCheck(a.name, "Read")
+	vp.reads++
+	vp.charge += vp.d.sharedReadCost
+	return a.base[vp.d.node][i]
+}
+
+// Write sets element i of the node's instance at the end of the phase.
+func (a *Node[T]) Write(vp *VP, i int, v T) { a.put(vp, i, v, false) }
+
+// Add accumulates v into element i at the end of the phase.
+func (a *Node[T]) Add(vp *VP, i int, v T) { a.put(vp, i, v, true) }
+
+func (a *Node[T]) put(vp *VP, i int, v T, add bool) {
+	vp.accessCheck(a.name, "Write")
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("core: Node(%q).Write(%d): index out of range [0,%d)", a.name, i, a.n))
+	}
+	vp.writes++
+	vp.charge += vp.d.sharedWriteCost
+	buf := nodeBufFor[T](vp, a)
+	buf.recs = append(buf.recs, writeRec[T]{idx: i, val: v, add: add, writer: vp.writerID()})
+}
+
+// label implements registeredArray.
+func (a *Node[T]) label() string { return a.name }
+
+// elemBytes implements registeredArray.
+func (a *Node[T]) elemBytes() int { return a.es }
+
+// applyIncoming implements registeredArray; node arrays stage nothing, so
+// it is a no-op (their records apply at flush).
+func (a *Node[T]) applyIncoming(node int, strict bool, phaseSeq int64) ([]int, []int64, error) {
+	return nil, nil, nil
+}
+
+func (a *Node[T]) applyDirect(node int, strict bool, phaseSeq int64, r writeRec[T]) error {
+	var err error
+	if strict && !r.add {
+		if a.conflictSeq[node] != phaseSeq || a.conflict[node] == nil {
+			a.conflict[node] = make(map[int]int64)
+			a.conflictSeq[node] = phaseSeq
+		}
+		if prev, ok := a.conflict[node][r.idx]; ok && prev != r.writer {
+			err = fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
+				a.name, r.idx, prev>>32, prev&0xffffffff, r.writer>>32, r.writer&0xffffffff)
+		} else {
+			a.conflict[node][r.idx] = r.writer
+		}
+	}
+	if r.add {
+		a.base[node][r.idx] += r.val
+	} else {
+		a.base[node][r.idx] = r.val
+	}
+	return err
+}

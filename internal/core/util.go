@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/mp"
+)
+
+// This file provides the paper's "utility functions" (§3.1 item 6) at
+// array granularity: reductions, parallel prefix, fills and copies over
+// shared arrays, and a 2-D view. All of them are node-level collectives:
+// every node must call them in the same program order, outside Do.
+
+// FillGlobal sets every element of g to v (each node fills its own
+// partition; cost is charged as streaming writes).
+func FillGlobal[T Elem](rt *Runtime, g *Global[T], v T) {
+	rt.checkNodeLevel("FillGlobal")
+	local := g.Local(rt)
+	for i := range local {
+		local[i] = v
+	}
+	rt.ChargeMem(int64(len(local) * g.es))
+}
+
+// CopyIn copies src (the full logical array, identical on every node or
+// at least agreeing on this node's partition) into g's local partition.
+func CopyIn[T Elem](rt *Runtime, g *Global[T], src []T) {
+	rt.checkNodeLevel("CopyIn")
+	if len(src) != g.n {
+		panic(fmt.Sprintf("core: CopyIn(%q): src has %d elements, array has %d", g.name, len(src), g.n))
+	}
+	lo, hi := g.part.Range(rt.node)
+	copy(g.Local(rt), src[lo:hi])
+	rt.ChargeMem(int64((hi - lo) * g.es))
+}
+
+// CopyOut gathers the whole array onto every node and returns it. The
+// traffic of an allgather over the partitions is charged through the
+// messaging layer.
+func CopyOut[T Elem](rt *Runtime, g *Global[T]) []T {
+	rt.checkNodeLevel("CopyOut")
+	return mp.Allgatherv(rt.comm, g.Local(rt), g.part.Counts())
+}
+
+// ReduceGlobal combines every element of g with op (over the zero-value
+// identity of the first element read — callers supply an associative,
+// commutative op) and returns the result on every node. Each node folds
+// its partition locally, then the node-level contributions combine
+// through the messaging layer.
+func ReduceGlobal[T Elem](rt *Runtime, g *Global[T], op func(a, b T) T) T {
+	rt.checkNodeLevel("ReduceGlobal")
+	local := g.Local(rt)
+	var acc T
+	if len(local) > 0 {
+		acc = local[0]
+		for _, v := range local[1:] {
+			acc = op(acc, v)
+		}
+	}
+	rt.ChargeFlops(int64(len(local)))
+	// Nodes with empty partitions contribute the identity-by-omission:
+	// gather all per-node partials and fold the non-empty ones in node
+	// order, so every node computes the same value deterministically.
+	has := int64(0)
+	if len(local) > 0 {
+		has = 1
+	}
+	flags := mp.Allgather(rt.comm, []int64{has})
+	partials := mp.Allgather(rt.comm, []T{acc})
+	var out T
+	seeded := false
+	for nidx, f := range flags {
+		if f == 0 {
+			continue
+		}
+		if !seeded {
+			out = partials[nidx]
+			seeded = true
+		} else {
+			out = op(out, partials[nidx])
+		}
+	}
+	rt.ChargeFlops(int64(len(partials)))
+	return out
+}
+
+// PrefixSumGlobal replaces g in place with its exclusive prefix sum
+// (g[i] becomes the sum of the original g[0..i)). The classic three-step
+// parallel scan: local scan, exscan of node totals, local offset add.
+func PrefixSumGlobal[T Elem](rt *Runtime, g *Global[T]) {
+	rt.checkNodeLevel("PrefixSumGlobal")
+	local := g.Local(rt)
+	var total T
+	for i := range local {
+		v := local[i]
+		local[i] = total
+		total += v
+	}
+	rt.ChargeFlops(int64(2 * len(local)))
+	// Exclusive scan of per-node totals.
+	totals := mp.Allgather(rt.comm, []T{total})
+	var offset T
+	for n := 0; n < rt.node; n++ {
+		offset += totals[n]
+	}
+	for i := range local {
+		local[i] += offset
+	}
+	rt.ChargeFlops(int64(len(local) + rt.node))
+}
+
+// Global2D is a row-major two-dimensional view over a Global array: the
+// paper's programs use multi-dimensional shared arrays, and manual index
+// arithmetic is the usual source of bugs.
+type Global2D[T Elem] struct {
+	g          *Global[T]
+	rows, cols int
+}
+
+// AllocGlobal2D allocates a rows x cols globally shared array
+// (block-distributed over the flattened row-major index space).
+func AllocGlobal2D[T Elem](rt *Runtime, name string, rows, cols int) *Global2D[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("core: AllocGlobal2D(%q, %d, %d): negative shape", name, rows, cols))
+	}
+	return &Global2D[T]{g: AllocGlobal[T](rt, name, rows*cols), rows: rows, cols: cols}
+}
+
+// Rows returns the row count.
+func (m *Global2D[T]) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Global2D[T]) Cols() int { return m.cols }
+
+// Flat returns the underlying one-dimensional array.
+func (m *Global2D[T]) Flat() *Global[T] { return m.g }
+
+func (m *Global2D[T]) index(r, c int) int {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("core: Global2D(%q)[%d,%d] out of %dx%d", m.g.name, r, c, m.rows, m.cols))
+	}
+	return r*m.cols + c
+}
+
+// Read returns element (r, c) under phase semantics.
+func (m *Global2D[T]) Read(vp *VP, r, c int) T { return m.g.Read(vp, m.index(r, c)) }
+
+// Write sets element (r, c) at the end of the current phase.
+func (m *Global2D[T]) Write(vp *VP, r, c int, v T) { m.g.Write(vp, m.index(r, c), v) }
+
+// Add accumulates into element (r, c) at the end of the current phase.
+func (m *Global2D[T]) Add(vp *VP, r, c int, v T) { m.g.Add(vp, m.index(r, c), v) }
+
+// At reads element (r, c) at node level (setup/extraction only).
+func (m *Global2D[T]) At(rt *Runtime, r, c int) T { return m.g.At(rt, m.index(r, c)) }

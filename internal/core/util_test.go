@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppm/internal/machine"
+	"ppm/internal/rng"
+)
+
+func TestFillAndCopyOut(t *testing.T) {
+	mustRun(t, opts(3), func(rt *Runtime) {
+		g := AllocGlobal[float64](rt, "f", 17)
+		FillGlobal(rt, g, 2.5)
+		all := CopyOut(rt, g)
+		if len(all) != 17 {
+			panic("CopyOut length")
+		}
+		for i, v := range all {
+			if v != 2.5 {
+				panic(fmt.Sprintf("element %d = %v", i, v))
+			}
+		}
+	})
+}
+
+func TestCopyInOutRoundTrip(t *testing.T) {
+	src := make([]int64, 23)
+	for i := range src {
+		src[i] = int64(i * i)
+	}
+	mustRun(t, opts(4), func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "rt", len(src))
+		CopyIn(rt, g, src)
+		got := CopyOut(rt, g)
+		for i := range src {
+			if got[i] != src[i] {
+				panic(fmt.Sprintf("round trip [%d] = %d", i, got[i]))
+			}
+		}
+	})
+}
+
+func TestCopyInLengthMismatch(t *testing.T) {
+	_, err := Run(opts(1), func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "x", 4)
+		CopyIn(rt, g, make([]int64, 3))
+	})
+	if err == nil || !strings.Contains(err.Error(), "src has 3") {
+		t.Errorf("expected length error, got %v", err)
+	}
+}
+
+func TestReduceGlobal(t *testing.T) {
+	mustRun(t, opts(3), func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "r", 10)
+		local := g.Local(rt)
+		lo, _ := g.OwnerRange(rt)
+		for i := range local {
+			local[i] = int64(lo + i + 1) // 1..10
+		}
+		sum := ReduceGlobal(rt, g, func(a, b int64) int64 { return a + b })
+		if sum != 55 {
+			panic(fmt.Sprintf("sum = %d", sum))
+		}
+		max := ReduceGlobal(rt, g, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if max != 10 {
+			panic(fmt.Sprintf("max = %d", max))
+		}
+	})
+}
+
+func TestReduceGlobalEmptyPartitions(t *testing.T) {
+	// More nodes than elements: some partitions are empty and must not
+	// poison the reduction with zero values.
+	mustRun(t, opts(5), func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "e", 2)
+		if len(g.Local(rt)) > 0 {
+			g.Local(rt)[0] = 7
+		}
+		min := ReduceGlobal(rt, g, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+		if min != 7 {
+			panic(fmt.Sprintf("min over {7,7} = %d", min))
+		}
+	})
+}
+
+func TestPrefixSumGlobal(t *testing.T) {
+	f := func(seed uint64, nodesRaw, nRaw uint8) bool {
+		nodes := int(nodesRaw%5) + 1
+		n := int(nRaw%40) + 1
+		r := rng.New(seed)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(100)) - 50
+		}
+		want := make([]int64, n)
+		var run int64
+		for i := range vals {
+			want[i] = run
+			run += vals[i]
+		}
+		ok := true
+		_, err := Run(Options{Nodes: nodes, Machine: machine.Generic()}, func(rt *Runtime) {
+			g := AllocGlobal[int64](rt, "ps", n)
+			CopyIn(rt, g, vals)
+			PrefixSumGlobal(rt, g)
+			got := CopyOut(rt, g)
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobal2D(t *testing.T) {
+	mustRun(t, opts(2), func(rt *Runtime) {
+		m := AllocGlobal2D[float64](rt, "mat", 4, 6)
+		if m.Rows() != 4 || m.Cols() != 6 || m.Flat().Len() != 24 {
+			panic("shape")
+		}
+		rt.Do(4, func(vp *VP) {
+			vp.GlobalPhase(func() {
+				r := vp.GlobalRank() % 4
+				for c := 0; c < 6; c++ {
+					m.Add(vp, r, c, float64(r*10+c))
+				}
+			})
+			vp.GlobalPhase(func() {
+				r := vp.GlobalRank() % 4
+				// Two nodes x 4 VPs -> each (r, c) was added twice.
+				if got := m.Read(vp, r, 5); got != float64(2*(r*10+5)) {
+					panic(fmt.Sprintf("m[%d,5] = %v", r, got))
+				}
+			})
+		})
+		if rt.NodeID() == 0 {
+			if m.At(rt, 3, 4) != 2*34 {
+				panic("At wrong")
+			}
+		}
+	})
+}
+
+func TestGlobal2DBounds(t *testing.T) {
+	_, err := Run(opts(1), func(rt *Runtime) {
+		m := AllocGlobal2D[float64](rt, "b", 2, 3)
+		rt.Do(1, func(vp *VP) {
+			vp.GlobalPhase(func() { m.Read(vp, 2, 0) })
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of 2x3") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+}
+
+func TestUtilitiesRejectedInsideDoToo(t *testing.T) {
+	for name, f := range map[string]func(rt *Runtime, g *Global[float64]){
+		"FillGlobal": func(rt *Runtime, g *Global[float64]) { FillGlobal(rt, g, 1) },
+		"CopyOut":    func(rt *Runtime, g *Global[float64]) { CopyOut(rt, g) },
+		"ReduceGlobal": func(rt *Runtime, g *Global[float64]) {
+			ReduceGlobal(rt, g, func(a, b float64) float64 { return a + b })
+		},
+		"PrefixSumGlobal": func(rt *Runtime, g *Global[float64]) { PrefixSumGlobal(rt, g) },
+	} {
+		_, err := Run(opts(1), func(rt *Runtime) {
+			g := AllocGlobal[float64](rt, "g", 4)
+			rt.Do(1, func(vp *VP) { f(rt, g) })
+		})
+		if err == nil {
+			t.Errorf("%s inside Do accepted", name)
+		}
+	}
+}

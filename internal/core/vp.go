@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ppm/internal/vtime"
+)
+
+// phaseKind distinguishes the two parallel phase constructs.
+type phaseKind int
+
+const (
+	phaseInvalid phaseKind = iota
+	phaseGlobal
+	phaseNode
+)
+
+func (k phaseKind) String() string {
+	switch k {
+	case phaseGlobal:
+		return "global"
+	case phaseNode:
+		return "node"
+	default:
+		return "invalid"
+	}
+}
+
+// vpStatus is the coordinator's view of one VP.
+type vpStatus int
+
+const (
+	stRunning vpStatus = iota
+	stAtBoundary
+	stAtPhaseEnd
+	stDead
+)
+
+type vpEventKind int
+
+const (
+	evBoundary vpEventKind = iota
+	evPhaseEnd
+	evExit
+	evPanic
+)
+
+type vpEvent struct {
+	vp   *VP
+	kind vpEventKind
+	pk   phaseKind
+	err  error
+}
+
+// vpAbort unwinds a VP goroutine during teardown.
+type vpAbort struct{}
+
+// VP is a virtual processor: one of the K parallel instances of a PPM
+// function started by Runtime.Do (the paper's PPM_do construct). All VP
+// methods must be called from the VP's own body.
+type VP struct {
+	d        *doRun
+	nodeRank int
+	resume   chan bool
+
+	// coordinator-only state
+	status vpStatus
+
+	inPhase   bool
+	phaseKind phaseKind
+
+	// accounting, merged and reset at each phase commit
+	charge  vtime.Duration
+	reads   int64
+	writes  int64
+	rrElems []int64 // remote read elements per owner node
+	rrBytes []int64
+	bufs    []vpFlusher
+}
+
+// readKey identifies one element of one shared array for the read cache.
+type readKey struct {
+	array int
+	idx   int
+}
+
+// NodeRank returns this VP's rank within its node's Do, in [0, K)
+// (PPM_VP_node_rank).
+func (vp *VP) NodeRank() int { return vp.nodeRank }
+
+// K returns the number of VPs started by this node's Do.
+func (vp *VP) K() int { return vp.d.k }
+
+// Node returns the node id this VP runs on.
+func (vp *VP) Node() int { return vp.d.node }
+
+// Nodes returns the cluster's node count.
+func (vp *VP) Nodes() int { return vp.d.rt.gs.nodes }
+
+// Cores returns the cores per node.
+func (vp *VP) Cores() int { return vp.d.rt.gs.cores }
+
+// GlobalRank returns this VP's rank across all nodes' current Do calls
+// (PPM_VP_global_rank): the sum of the K values of lower-numbered nodes
+// plus NodeRank. It is well defined only inside a global phase, when all
+// nodes are synchronously inside their Do.
+func (vp *VP) GlobalRank() int {
+	gs := vp.d.rt.gs
+	s := 0
+	for n := 0; n < vp.d.node; n++ {
+		s += gs.doK[n]
+	}
+	return s + vp.nodeRank
+}
+
+// GlobalK returns the total VP count across all nodes' current Do calls.
+// Like GlobalRank, it is well defined only inside a global phase.
+func (vp *VP) GlobalK() int {
+	gs := vp.d.rt.gs
+	s := 0
+	for n := 0; n < gs.nodes; n++ {
+		s += gs.doK[n]
+	}
+	return s
+}
+
+// Charge adds d of modeled computation to this VP's work in the current
+// phase (or the inter-phase segment).
+func (vp *VP) Charge(d vtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: VP %d charged negative duration %v", vp.nodeRank, d))
+	}
+	vp.charge += d
+}
+
+// ChargeFlops adds the modeled time of n flops on one core.
+func (vp *VP) ChargeFlops(n int64) { vp.charge += vp.d.rt.gs.mach.FlopTime(n) }
+
+// ChargeMem adds the modeled time of streaming n bytes through one core.
+func (vp *VP) ChargeMem(n int64) { vp.charge += vp.d.rt.gs.mach.MemTime(n) }
+
+// GlobalPhase executes f under global (cluster-wide) phase semantics:
+// implicit begin/end synchronization across all VPs of all nodes, reads
+// observe begin-of-phase values, writes commit at the end.
+func (vp *VP) GlobalPhase(f func()) { vp.phase(phaseGlobal, f) }
+
+// NodePhase executes f under node-level phase semantics: synchronization
+// only among this node's VPs, no cluster communication. Shared access is
+// limited to node arrays and the node's own partition of global arrays.
+func (vp *VP) NodePhase(f func()) { vp.phase(phaseNode, f) }
+
+func (vp *VP) phase(pk phaseKind, f func()) {
+	if vp.inPhase {
+		panic(fmt.Sprintf("core: nested phase construct (VP %d on node %d)", vp.nodeRank, vp.d.node))
+	}
+	vp.park(evBoundary, pk)
+	vp.inPhase = true
+	vp.phaseKind = pk
+	f()
+	vp.inPhase = false
+	vp.phaseKind = phaseInvalid
+	vp.park(evPhaseEnd, pk)
+}
+
+// park announces a transition to the coordinator and waits to be resumed.
+func (vp *VP) park(kind vpEventKind, pk phaseKind) {
+	vp.d.events <- vpEvent{vp: vp, kind: kind, pk: pk}
+	if !<-vp.resume {
+		panic(vpAbort{})
+	}
+}
+
+// accessCheck guards shared-variable access paths.
+func (vp *VP) accessCheck(array, op string) {
+	if !vp.inPhase {
+		panic(fmt.Sprintf("core: %s of shared %q outside a phase (VP %d on node %d): shared variables may only be accessed inside PPM phases",
+			op, array, vp.nodeRank, vp.d.node))
+	}
+}
+
+// noteRemoteRead accounts one remote element read for bundling. The
+// runtime keeps a node-level cache of remote values in node shared
+// memory: within a phase the element is immutable, so the node fetches it
+// at most once no matter how many VPs read it. The cache set is the union
+// of all VPs' reads, so the traffic counts are deterministic even though
+// VPs race to insert.
+func (vp *VP) noteRemoteRead(array, idx, owner, elemBytes int) {
+	d := vp.d
+	if !d.rt.gs.opt.NoReadCache {
+		k := readKey{array: array, idx: idx}
+		d.seenMu.Lock()
+		if _, dup := d.seen[k]; dup {
+			d.seenMu.Unlock()
+			return // served from the node's phase-local cache
+		}
+		d.seen[k] = struct{}{}
+		d.seenMu.Unlock()
+	}
+	if vp.rrElems == nil {
+		n := d.rt.gs.nodes
+		vp.rrElems = make([]int64, n)
+		vp.rrBytes = make([]int64, n)
+	}
+	vp.rrElems[owner]++
+	vp.rrBytes[owner] += int64(elemBytes)
+}
+
+func (vp *VP) writerID() int64 {
+	return int64(vp.d.node)<<32 | int64(vp.nodeRank)
+}
+
+// doRun coordinates one Do invocation on one node.
+type doRun struct {
+	rt     *Runtime
+	node   int
+	k      int
+	vps    []*VP
+	events chan vpEvent
+
+	phases     int64
+	phaseStart vtime.Time
+	openKind   phaseKind // kind of the phase currently open (set by openPhase)
+
+	// seen is the node-level remote-read cache for the current phase
+	// (see VP.noteRemoteRead). It is the one structure VP goroutines
+	// mutate concurrently, hence the mutex.
+	seenMu sync.Mutex
+	seen   map[readKey]struct{}
+
+	sharedReadCost  vtime.Duration
+	sharedWriteCost vtime.Duration
+}
+
+// Do starts K virtual processors executing body in parallel on this node
+// (the paper's "PPM_do(K) func(...)" construct) and returns when all of
+// them have finished. Phases inside body synchronize the VPs; global
+// phases additionally synchronize with the other nodes' Do calls, which
+// must reach their global phases in matching order.
+func (rt *Runtime) Do(k int, body func(vp *VP)) {
+	if rt.inDo {
+		panic("core: nested Do is not allowed")
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("core: Do requires K >= 1, got %d", k))
+	}
+	if body == nil {
+		panic("core: Do with nil body")
+	}
+	rt.inDo = true
+	defer func() { rt.inDo = false }()
+
+	st := rt.stats()
+	st.Dos++
+	st.VPsStarted += int64(k)
+	rt.gs.doK[rt.node] = k
+
+	d := &doRun{
+		rt:              rt,
+		node:            rt.node,
+		k:               k,
+		vps:             make([]*VP, k),
+		events:          make(chan vpEvent, k),
+		seen:            make(map[readKey]struct{}),
+		sharedReadCost:  vtime.Duration(rt.gs.mach.SharedReadCost),
+		sharedWriteCost: vtime.Duration(rt.gs.mach.SharedWriteCost),
+	}
+	for i := 0; i < k; i++ {
+		vp := &VP{d: d, nodeRank: i, resume: make(chan bool, 1)}
+		d.vps[i] = vp
+	}
+	for _, vp := range d.vps {
+		go d.vpMain(vp, body)
+	}
+	d.coordinate()
+}
+
+// vpMain is the goroutine body of one VP.
+func (d *doRun) vpMain(vp *VP, body func(*VP)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(vpAbort); ok {
+				d.events <- vpEvent{vp: vp, kind: evExit}
+				return
+			}
+			d.events <- vpEvent{vp: vp, kind: evPanic,
+				err: fmt.Errorf("core: VP %d on node %d panicked: %v", vp.nodeRank, d.node, r)}
+			return
+		}
+		d.events <- vpEvent{vp: vp, kind: evExit}
+	}()
+	body(vp)
+}
+
+// coordinate runs on the node's proc goroutine: it alternates between
+// letting VPs run and performing phase opens/commits, until every VP has
+// exited. A phase-shape violation (VPs disagreeing on the next phase) or
+// a VP panic aborts the Do by panicking on the proc goroutine, which the
+// cluster converts into a run error.
+func (d *doRun) coordinate() {
+	running := d.k
+	alive := d.k
+	var firstErr error
+
+	for {
+		// Wait until no VP is on CPU.
+		for running > 0 {
+			ev := <-d.events
+			running--
+			switch ev.kind {
+			case evExit:
+				ev.vp.status = stDead
+				alive--
+			case evPanic:
+				ev.vp.status = stDead
+				alive--
+				if firstErr == nil {
+					firstErr = ev.err
+				}
+			case evBoundary:
+				ev.vp.status = stAtBoundary
+				ev.vp.phaseKind = ev.pk // remember requested kind for shape check
+			case evPhaseEnd:
+				ev.vp.status = stAtPhaseEnd
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+		if alive == 0 {
+			d.finish()
+			return
+		}
+		// Classify the parked population.
+		nBoundary, nEnd := 0, 0
+		kind := phaseInvalid
+		uniform := true
+		for _, vp := range d.vps {
+			switch vp.status {
+			case stAtBoundary:
+				nBoundary++
+				if kind == phaseInvalid {
+					kind = vp.phaseKind
+				} else if kind != vp.phaseKind {
+					uniform = false
+				}
+			case stAtPhaseEnd:
+				nEnd++
+			}
+		}
+		switch {
+		case nBoundary == alive && nEnd == 0 && uniform:
+			// All alive VPs agree on the next phase: open it.
+			d.openPhase(kind)
+			running = d.resumeParked(stAtBoundary)
+		case nEnd == alive && nBoundary == 0:
+			// All alive VPs completed the phase body: commit.
+			if err := d.commit(d.openKind); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if firstErr != nil {
+				// abort below
+			} else {
+				running = d.resumeParked(stAtPhaseEnd)
+				continue
+			}
+		default:
+			firstErr = fmt.Errorf(
+				"core: phase shape mismatch on node %d: %d VPs at a phase boundary, %d at a phase end, %d exited — all K VPs of a Do must execute the same phase sequence",
+				d.node, nBoundary, nEnd, d.k-alive)
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	// Teardown: abort all parked VPs and drain their exits.
+	for _, vp := range d.vps {
+		if vp.status == stAtBoundary || vp.status == stAtPhaseEnd {
+			vp.resume <- false
+			running++
+		}
+	}
+	for running > 0 {
+		<-d.events
+		running--
+	}
+	panic(firstErr)
+}
+
+// resumeParked resumes every VP with the given status and returns how
+// many were resumed.
+func (d *doRun) resumeParked(s vpStatus) int {
+	n := 0
+	for _, vp := range d.vps {
+		if vp.status == s {
+			vp.status = stRunning
+			vp.resume <- true
+			n++
+		}
+	}
+	return n
+}
+
+// openPhase performs the phase-entry synchronization: global phases
+// synchronize the cluster so every node's partitions are committed and
+// stable before any VP reads them.
+func (d *doRun) openPhase(kind phaseKind) {
+	if kind == phaseGlobal {
+		d.rt.proc.Barrier()
+	}
+	d.openKind = kind
+	d.phaseStart = d.rt.proc.Clock()
+	d.phases++
+}
+
+// finish charges any leftover VP work accumulated after the last phase
+// (or in a phase-less Do) and merges residual counters.
+func (d *doRun) finish() {
+	mach := d.rt.gs.mach
+	extra := vtime.Duration(0)
+	if d.phases == 0 {
+		extra = vtime.Duration(mach.VPStartCost)
+	}
+	d.rt.proc.Charge(d.makespan(extra))
+	st := d.rt.stats()
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.charge, vp.reads, vp.writes = 0, 0, 0
+	}
+}

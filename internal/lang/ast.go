@@ -1,0 +1,264 @@
+package lang
+
+// Type is the language's value type system: 64-bit integers and floats
+// (plus bool, which exists only inside expressions).
+type Type int
+
+// Types.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Consts  []*ConstDecl
+	Shared  []*SharedDecl
+	Funcs   []*FuncDecl
+	Main    *Block
+	MainPos Token
+}
+
+// ConstDecl is `const NAME = <int literal>;`.
+type ConstDecl struct {
+	Name  string
+	Value int64
+	Pos   Token
+}
+
+// SharedDecl is `global|node shared int|float NAME[expr];`.
+type SharedDecl struct {
+	GlobalScope bool // true: PPM_global_shared; false: PPM_node_shared
+	Elem        Type
+	Name        string
+	Size        Expr
+	Pos         Token
+}
+
+// FuncDecl is a PPM function: `func NAME(params) { ... }`, invoked by do.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Body   *Block
+	Pos    Token
+}
+
+// Param is one scalar parameter of a PPM function.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Token
+}
+
+// VarDecl is `var NAME type [= expr];`.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Pos  Token
+}
+
+// Assign is `lvalue = expr;` or `lvalue += expr;`.
+type Assign struct {
+	Target *LValue
+	Add    bool // += (on shared arrays this is the combining Add)
+	Value  Expr
+	Pos    Token
+}
+
+// LValue is a scalar variable or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Pos   Token
+}
+
+// If is `if (cond) block [else block]`.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Token
+}
+
+// While is `while (cond) block`.
+type While struct {
+	Cond Expr
+	Body *Block
+	Pos  Token
+}
+
+// For is `for NAME = lo .. hi block` (half-open, ascending).
+type For struct {
+	Var    string
+	Lo, Hi Expr
+	Body   *Block
+	Pos    Token
+}
+
+// Phase is `global|node phase block`, legal only inside PPM functions.
+type Phase struct {
+	GlobalScope bool
+	Body        *Block
+	Pos         Token
+}
+
+// Do is `do (K) fname(args);`, legal only in main.
+type Do struct {
+	K    Expr
+	Name string
+	Args []Expr
+	Pos  Token
+}
+
+// Print is `print(args...);` — the language's only I/O.
+type Print struct {
+	Args []Expr
+	Pos  Token
+}
+
+// Barrier is `barrier;` (node-level synchronization, main only).
+type Barrier struct{ Pos Token }
+
+// CallStmt is a builtin call in statement position with its result
+// discarded (e.g. `charge_flops(100);`).
+type CallStmt struct {
+	Call *Call
+	Pos  Token
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Phase) stmtNode()    {}
+func (*Do) stmtNode()       {}
+func (*Print) stmtNode()    {}
+func (*Barrier) stmtNode()  {}
+func (*CallStmt) stmtNode() {}
+
+// Expr is an expression node. Every expression carries the type the
+// checker assigned.
+type Expr interface {
+	exprNode()
+	ExprType() Type
+	setType(Type)
+	pos() Token
+}
+
+type typed struct{ t Type }
+
+func (t *typed) ExprType() Type  { return t.t }
+func (t *typed) setType(tt Type) { t.t = tt }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	Value int64
+	Pos   Token
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	typed
+	Value float64
+	Pos   Token
+}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	typed
+	Value bool
+	Pos   Token
+}
+
+// StrLit is a string literal (only valid as a print argument).
+type StrLit struct {
+	typed
+	Value string
+	Pos   Token
+}
+
+// Ident references a variable, parameter, constant, or builtin.
+type Ident struct {
+	typed
+	Name string
+	Pos  Token
+}
+
+// Index is `NAME[expr]`: a shared-array element read.
+type Index struct {
+	typed
+	Name  string
+	Inner Expr
+	Pos   Token
+}
+
+// Unary is `-x` or `!x`.
+type Unary struct {
+	typed
+	Op  Kind
+	X   Expr
+	Pos Token
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	typed
+	Op   Kind
+	L, R Expr
+	Pos  Token
+}
+
+// Call is a builtin call in expression position (e.g. float(x), int(x)).
+type Call struct {
+	typed
+	Name string
+	Args []Expr
+	Pos  Token
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*BoolLit) exprNode()  {}
+func (*StrLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+
+func (e *IntLit) pos() Token   { return e.Pos }
+func (e *FloatLit) pos() Token { return e.Pos }
+func (e *BoolLit) pos() Token  { return e.Pos }
+func (e *StrLit) pos() Token   { return e.Pos }
+func (e *Ident) pos() Token    { return e.Pos }
+func (e *Index) pos() Token    { return e.Pos }
+func (e *Unary) pos() Token    { return e.Pos }
+func (e *Binary) pos() Token   { return e.Pos }
+func (e *Call) pos() Token     { return e.Pos }

@@ -1,0 +1,489 @@
+package lang
+
+import "fmt"
+
+// context distinguishes where code executes, because the model restricts
+// what each context may do (the checker enforces the same rules the
+// runtime enforces dynamically, at compile time — the advantage of having
+// a language).
+type context int
+
+const (
+	ctxMain  context = iota // node-level SPMD code
+	ctxFunc                 // PPM function body, outside any phase
+	ctxPhase                // inside a parallel phase
+)
+
+// Builtin describes one builtin identifier or call.
+type Builtin struct {
+	Name   string
+	Type   Type // result type
+	Arity  int  // -1: not callable (plain identifier)
+	ArgTyp Type // argument type for arity-1 builtins
+	Ctx    []context
+	Doc    string
+}
+
+// Builtins is the language's builtin surface, mirroring the paper's
+// system variables and utility functions.
+var Builtins = []Builtin{
+	{Name: "node_id", Type: TypeInt, Arity: -1, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "PPM_node_id"},
+	{Name: "node_count", Type: TypeInt, Arity: -1, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "PPM_node_count"},
+	{Name: "cores_per_node", Type: TypeInt, Arity: -1, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "PPM_cores_per_node"},
+	{Name: "vp_node_rank", Type: TypeInt, Arity: -1, Ctx: []context{ctxFunc, ctxPhase}, Doc: "PPM_VP_node_rank()"},
+	{Name: "vp_global_rank", Type: TypeInt, Arity: -1, Ctx: []context{ctxFunc, ctxPhase}, Doc: "PPM_VP_global_rank()"},
+	{Name: "vp_count", Type: TypeInt, Arity: -1, Ctx: []context{ctxFunc, ctxPhase}, Doc: "K of the enclosing do"},
+	{Name: "my_lo", Type: TypeInt, Arity: 0, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "first owned index of a global array"},
+	{Name: "my_hi", Type: TypeInt, Arity: 0, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "one past the last owned index"},
+	{Name: "reduce_sum", Type: TypeFloat, Arity: 1, ArgTyp: TypeFloat, Ctx: []context{ctxMain}, Doc: "all-nodes sum reduction"},
+	{Name: "reduce_max", Type: TypeFloat, Arity: 1, ArgTyp: TypeFloat, Ctx: []context{ctxMain}, Doc: "all-nodes max reduction"},
+	{Name: "prefix_sum", Type: TypeInt, Arity: 1, ArgTyp: TypeInt, Ctx: []context{ctxMain}, Doc: "exclusive prefix sum over nodes"},
+	{Name: "sqrt", Type: TypeFloat, Arity: 1, ArgTyp: TypeFloat, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "square root"},
+	{Name: "abs", Type: TypeFloat, Arity: 1, ArgTyp: TypeFloat, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "absolute value"},
+	{Name: "log", Type: TypeFloat, Arity: 1, ArgTyp: TypeFloat, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "natural logarithm"},
+	{Name: "charge_flops", Type: TypeInt, Arity: 1, ArgTyp: TypeInt, Ctx: []context{ctxMain, ctxFunc, ctxPhase}, Doc: "account modeled computation"},
+}
+
+func builtinByName(name string) *Builtin {
+	for i := range Builtins {
+		if Builtins[i].Name == name {
+			return &Builtins[i]
+		}
+	}
+	return nil
+}
+
+func ctxAllowed(b *Builtin, ctx context) bool {
+	for _, c := range b.Ctx {
+		if c == ctx {
+			return true
+		}
+	}
+	return false
+}
+
+// symbol is a checked name binding.
+type symbol struct {
+	typ    Type
+	shared *SharedDecl // non-nil for shared arrays
+	isVar  bool
+}
+
+type checker struct {
+	prog    *Program
+	consts  map[string]int64
+	shared  map[string]*SharedDecl
+	funcs   map[string]*FuncDecl
+	scopes  []map[string]symbol
+	ctx     context
+	inPhase bool
+}
+
+// Check validates the program semantically and annotates expression
+// types. It must run before interpretation or code generation.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:   prog,
+		consts: map[string]int64{},
+		shared: map[string]*SharedDecl{},
+		funcs:  map[string]*FuncDecl{},
+	}
+	for _, d := range prog.Consts {
+		if _, dup := c.consts[d.Name]; dup {
+			return errf(d.Pos.Line, d.Pos.Col, "duplicate const %q", d.Name)
+		}
+		c.consts[d.Name] = d.Value
+	}
+	for _, d := range prog.Shared {
+		if _, dup := c.shared[d.Name]; dup {
+			return errf(d.Pos.Line, d.Pos.Col, "duplicate shared array %q", d.Name)
+		}
+		if _, clash := c.consts[d.Name]; clash {
+			return errf(d.Pos.Line, d.Pos.Col, "shared array %q collides with a const", d.Name)
+		}
+		c.shared[d.Name] = d
+		// Sizes are node-level expressions evaluated once at startup.
+		c.ctx = ctxMain
+		c.scopes = []map[string]symbol{{}}
+		t, err := c.expr(d.Size)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt {
+			return errf(d.Pos.Line, d.Pos.Col, "size of %q must be int, got %v", d.Name, t)
+		}
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Pos.Line, f.Pos.Col, "duplicate function %q", f.Name)
+		}
+		if builtinByName(f.Name) != nil || f.Name == "print" || f.Name == "barrier" {
+			return errf(f.Pos.Line, f.Pos.Col, "function %q shadows a builtin", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c.ctx = ctxFunc
+		c.inPhase = false
+		c.scopes = []map[string]symbol{{}}
+		for _, pr := range f.Params {
+			if err := c.declare(pr.Name, symbol{typ: pr.Type, isVar: true}, f.Pos); err != nil {
+				return err
+			}
+		}
+		if err := c.block(f.Body); err != nil {
+			return err
+		}
+	}
+	c.ctx = ctxMain
+	c.inPhase = false
+	c.scopes = []map[string]symbol{{}}
+	return c.block(prog.Main)
+}
+
+func (c *checker) declare(name string, s symbol, pos Token) error {
+	if _, dup := c.scopes[len(c.scopes)-1][name]; dup {
+		return errf(pos.Line, pos.Col, "duplicate declaration of %q in this scope", name)
+	}
+	if builtinByName(name) != nil || name == "print" || name == "barrier" || name == "to" {
+		return errf(pos.Line, pos.Col, "%q shadows a builtin", name)
+	}
+	if _, clash := c.shared[name]; clash {
+		return errf(pos.Line, pos.Col, "%q shadows a shared array", name)
+	}
+	if _, clash := c.consts[name]; clash {
+		return errf(pos.Line, pos.Col, "%q shadows a const", name)
+	}
+	c.scopes[len(c.scopes)-1][name] = s
+	return nil
+}
+
+func (c *checker) lookup(name string) (symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return symbol{}, false
+}
+
+func (c *checker) block(b *Block) error {
+	c.scopes = append(c.scopes, map[string]symbol{})
+	defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.block(st)
+	case *VarDecl:
+		if st.Init != nil {
+			t, err := c.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			if t != st.Type {
+				return errf(st.Pos.Line, st.Pos.Col, "cannot initialize %v variable %q with %v value (use int()/float())", st.Type, st.Name, t)
+			}
+		}
+		return c.declare(st.Name, symbol{typ: st.Type, isVar: true}, st.Pos)
+	case *Assign:
+		return c.assign(st)
+	case *If:
+		t, err := c.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return errf(st.Pos.Line, st.Pos.Col, "if condition must be bool, got %v", t)
+		}
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.block(st.Else)
+		}
+		return nil
+	case *While:
+		t, err := c.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return errf(st.Pos.Line, st.Pos.Col, "while condition must be bool, got %v", t)
+		}
+		return c.block(st.Body)
+	case *For:
+		lt, err := c.expr(st.Lo)
+		if err != nil {
+			return err
+		}
+		ht, err := c.expr(st.Hi)
+		if err != nil {
+			return err
+		}
+		if lt != TypeInt || ht != TypeInt {
+			return errf(st.Pos.Line, st.Pos.Col, "for bounds must be int")
+		}
+		c.scopes = append(c.scopes, map[string]symbol{})
+		defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+		if err := c.declare(st.Var, symbol{typ: TypeInt, isVar: true}, st.Pos); err != nil {
+			return err
+		}
+		return c.block(st.Body)
+	case *Phase:
+		if c.ctx == ctxMain {
+			return errf(st.Pos.Line, st.Pos.Col, "phases are only allowed inside PPM functions (the paper's PPM functions)")
+		}
+		if c.inPhase {
+			return errf(st.Pos.Line, st.Pos.Col, "nested phase constructs are not allowed")
+		}
+		c.inPhase = true
+		prev := c.ctx
+		c.ctx = ctxPhase
+		err := c.block(st.Body)
+		c.ctx = prev
+		c.inPhase = false
+		return err
+	case *Do:
+		if c.ctx != ctxMain {
+			return errf(st.Pos.Line, st.Pos.Col, "do is only allowed in main (node-level code)")
+		}
+		kt, err := c.expr(st.K)
+		if err != nil {
+			return err
+		}
+		if kt != TypeInt {
+			return errf(st.Pos.Line, st.Pos.Col, "do count must be int, got %v", kt)
+		}
+		f, ok := c.funcs[st.Name]
+		if !ok {
+			return errf(st.Pos.Line, st.Pos.Col, "do of undefined function %q", st.Name)
+		}
+		if len(st.Args) != len(f.Params) {
+			return errf(st.Pos.Line, st.Pos.Col, "%q takes %d arguments, got %d", st.Name, len(f.Params), len(st.Args))
+		}
+		for i, a := range st.Args {
+			at, err := c.expr(a)
+			if err != nil {
+				return err
+			}
+			if at != f.Params[i].Type {
+				return errf(st.Pos.Line, st.Pos.Col, "argument %d of %q must be %v, got %v", i+1, st.Name, f.Params[i].Type, at)
+			}
+		}
+		return nil
+	case *Print:
+		if c.ctx != ctxMain {
+			return errf(st.Pos.Line, st.Pos.Col, "print is node-level only (virtual processors have no I/O)")
+		}
+		for _, a := range st.Args {
+			if _, ok := a.(*StrLit); ok {
+				continue
+			}
+			if _, err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Barrier:
+		if c.ctx != ctxMain {
+			return errf(st.Pos.Line, st.Pos.Col, "barrier is node-level (phases synchronize implicitly)")
+		}
+		return nil
+	case *CallStmt:
+		_, err := c.expr(st.Call)
+		return err
+	default:
+		return fmt.Errorf("lang: internal: unknown statement %T", s)
+	}
+}
+
+func (c *checker) assign(st *Assign) error {
+	vt, err := c.expr(st.Value)
+	if err != nil {
+		return err
+	}
+	lv := st.Target
+	if lv.Index != nil {
+		sh, ok := c.shared[lv.Name]
+		if !ok {
+			return errf(lv.Pos.Line, lv.Pos.Col, "%q is not a shared array", lv.Name)
+		}
+		it, err := c.expr(lv.Index)
+		if err != nil {
+			return err
+		}
+		if it != TypeInt {
+			return errf(lv.Pos.Line, lv.Pos.Col, "array index must be int, got %v", it)
+		}
+		if vt != sh.Elem {
+			return errf(lv.Pos.Line, lv.Pos.Col, "cannot assign %v to %v array %q", vt, sh.Elem, lv.Name)
+		}
+		if c.ctx == ctxFunc {
+			return errf(lv.Pos.Line, lv.Pos.Col, "shared array %q may only be accessed inside a phase", lv.Name)
+		}
+		return nil
+	}
+	s, ok := c.lookup(lv.Name)
+	if !ok || !s.isVar {
+		return errf(lv.Pos.Line, lv.Pos.Col, "assignment to undeclared variable %q", lv.Name)
+	}
+	if vt != s.typ {
+		return errf(lv.Pos.Line, lv.Pos.Col, "cannot assign %v to %v variable %q", vt, s.typ, lv.Name)
+	}
+	return nil
+}
+
+func (c *checker) expr(e Expr) (Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		ex.setType(TypeInt)
+	case *FloatLit:
+		ex.setType(TypeFloat)
+	case *BoolLit:
+		ex.setType(TypeBool)
+	case *StrLit:
+		return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "string literals are only allowed in print")
+	case *Ident:
+		if _, ok := c.consts[ex.Name]; ok {
+			ex.setType(TypeInt)
+			break
+		}
+		if s, ok := c.lookup(ex.Name); ok {
+			ex.setType(s.typ)
+			break
+		}
+		if b := builtinByName(ex.Name); b != nil && b.Arity == -1 {
+			if !ctxAllowed(b, c.ctx) {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%q is not available in this context", ex.Name)
+			}
+			ex.setType(b.Type)
+			break
+		}
+		return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "undefined identifier %q", ex.Name)
+	case *Index:
+		sh, ok := c.shared[ex.Name]
+		if !ok {
+			return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%q is not a shared array", ex.Name)
+		}
+		it, err := c.expr(ex.Inner)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if it != TypeInt {
+			return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "array index must be int, got %v", it)
+		}
+		if c.ctx == ctxFunc {
+			return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "shared array %q may only be accessed inside a phase", ex.Name)
+		}
+		ex.setType(sh.Elem)
+	case *Unary:
+		xt, err := c.expr(ex.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch ex.Op {
+		case MINUS:
+			if xt != TypeInt && xt != TypeFloat {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "unary '-' needs a numeric operand, got %v", xt)
+			}
+			ex.setType(xt)
+		case NOT:
+			if xt != TypeBool {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "'!' needs a bool operand, got %v", xt)
+			}
+			ex.setType(TypeBool)
+		}
+	case *Binary:
+		lt, err := c.expr(ex.L)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		rt, err := c.expr(ex.R)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch ex.Op {
+		case PLUS, MINUS, STAR, SLASH, PERCENT:
+			if lt != rt || (lt != TypeInt && lt != TypeFloat) {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "arithmetic needs matching numeric operands, got %v and %v (use int()/float())", lt, rt)
+			}
+			if ex.Op == PERCENT && lt != TypeInt {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "'%%' needs int operands")
+			}
+			ex.setType(lt)
+		case EQ, NE, LT, LE, GT, GE:
+			if lt != rt || (lt != TypeInt && lt != TypeFloat) {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "comparison needs matching numeric operands, got %v and %v", lt, rt)
+			}
+			ex.setType(TypeBool)
+		case ANDAND, OROR:
+			if lt != TypeBool || rt != TypeBool {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "logical operators need bool operands")
+			}
+			ex.setType(TypeBool)
+		}
+	case *Call:
+		switch ex.Name {
+		case "int", "float":
+			if len(ex.Args) != 1 {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() takes one argument", ex.Name)
+			}
+			at, err := c.expr(ex.Args[0])
+			if err != nil {
+				return TypeInvalid, err
+			}
+			if at != TypeInt && at != TypeFloat {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() needs a numeric argument", ex.Name)
+			}
+			if ex.Name == "int" {
+				ex.setType(TypeInt)
+			} else {
+				ex.setType(TypeFloat)
+			}
+		case "my_lo", "my_hi":
+			if len(ex.Args) != 1 {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() takes the shared array as its argument", ex.Name)
+			}
+			id, ok := ex.Args[0].(*Ident)
+			if !ok {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() takes a shared array name", ex.Name)
+			}
+			sh, ok := c.shared[id.Name]
+			if !ok || !sh.GlobalScope {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() needs a global shared array, %q is not one", ex.Name, id.Name)
+			}
+			id.setType(TypeInt) // marker; never evaluated as a value
+			ex.setType(TypeInt)
+		default:
+			b := builtinByName(ex.Name)
+			if b == nil || b.Arity < 0 {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "unknown function %q", ex.Name)
+			}
+			if !ctxAllowed(b, c.ctx) {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%q is not available in this context", ex.Name)
+			}
+			if len(ex.Args) != 1 {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() takes one argument", ex.Name)
+			}
+			at, err := c.expr(ex.Args[0])
+			if err != nil {
+				return TypeInvalid, err
+			}
+			if at != b.ArgTyp {
+				return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "%s() needs a %v argument, got %v", ex.Name, b.ArgTyp, at)
+			}
+			ex.setType(b.Type)
+		}
+	default:
+		return TypeInvalid, fmt.Errorf("lang: internal: unknown expression %T", e)
+	}
+	return e.ExprType(), nil
+}

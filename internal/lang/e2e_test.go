@@ -1,0 +1,71 @@
+package lang
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppm/internal/bench"
+	"ppm/internal/core"
+	"ppm/internal/machine"
+)
+
+// TestEmittedGoCompilesAndRuns performs the full source-to-source loop:
+// translate the Section 5 program to Go, build it with the real Go
+// toolchain against the public ppm API, run it, and require the same
+// program output the interpreter produces. (The emitted scaffold runs on
+// 4 nodes with the default Franklin machine, so the interpreter side uses
+// the same configuration.)
+func TestEmittedGoCompilesAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain round trip")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	prog, err := Parse(searchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goSrc, err := GenerateGo(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := bench.RepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated file must live inside the module to import "ppm".
+	dir := filepath.Join(root, "cmd", ".ppmc-e2e-test")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(goSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/.ppmc-e2e-test")
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("emitted program failed: %v\nstderr:\n%s\nsource:\n%s", err, stderr.String(), goSrc)
+	}
+	if !strings.Contains(stdout.String(), "mismatches: 0") {
+		t.Errorf("emitted program output: %q", stdout.String())
+	}
+
+	// The interpreter on the same configuration must agree.
+	var iout bytes.Buffer
+	_, err = Interpret(prog, core.Options{Nodes: 4, Machine: machine.Franklin()}, &iout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(iout.String(), "mismatches: 0") {
+		t.Errorf("interpreter output: %q", iout.String())
+	}
+}

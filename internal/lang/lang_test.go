@@ -1,0 +1,369 @@
+package lang
+
+import (
+	"bytes"
+	goparser "go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ppm/internal/core"
+	"ppm/internal/machine"
+)
+
+// The paper's Section 5 listing, in the PPM language.
+const searchSrc = `
+const N = 1024;
+const K = 64;
+
+global shared float A[N];
+node shared float B[K];
+node shared int rank_in_A[K];
+
+func binary_search(n int) {
+    global phase {
+        var b float = B[vp_node_rank];
+        var left int = -1;
+        var right int = n;
+        while (left + 1 < right) {
+            var middle int = (left + right) / 2;
+            if (A[middle] < b) {
+                left = middle;
+            } else {
+                right = middle;
+            }
+        }
+        rank_in_A[vp_node_rank] = right;
+    }
+}
+
+main {
+    // Node-level init: A holds even numbers; B holds odd probes.
+    for i = my_lo(A) to my_hi(A) {
+        A[i] = float(2 * i);
+    }
+    for j = 0 to K {
+        B[j] = float(2 * ((j * 37 + node_id * 11) % N) + 1);
+    }
+    do (K) binary_search(N);
+    var bad int = 0;
+    for j = 0 to K {
+        var want int = (int(B[j]) / 2) + 1;
+        if (rank_in_A[j] != want) {
+            bad = bad + 1;
+        }
+    }
+    if (node_id == 0) {
+        print("mismatches:", bad);
+    }
+}
+`
+
+func interpSrc(t *testing.T, src string, nodes int) (string, *core.Report) {
+	t.Helper()
+	var out bytes.Buffer
+	rep, err := InterpretSource(src, core.Options{Nodes: nodes, Machine: machine.Generic()}, &out)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return out.String(), rep
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`func f() { var x int = 1 + 2; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]Kind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []Kind{KwFunc, IDENT, LPAREN, RPAREN, LBRACE, KwVar, IDENT, KwInt,
+		ASSIGN, INT, PLUS, INT, SEMI, RBRACE, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexOperatorsAndLiterals(t *testing.T) {
+	toks, err := Lex(`1.5 2e3 == != <= >= && || += "hi\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{FLOAT, FLOAT, EQ, NE, LE, GE, ANDAND, OROR, PLUSEQ, STRING, EOF}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, w)
+		}
+	}
+	if toks[9].Text != "hi\n" {
+		t.Errorf("string literal %q", toks[9].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`@`, `"unterminated`, `"bad \q escape"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseSearchProgram(t *testing.T) {
+	prog, err := Parse(searchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 2 || len(prog.Shared) != 3 || len(prog.Funcs) != 1 || prog.Main == nil {
+		t.Fatalf("program shape: %d consts, %d shared, %d funcs", len(prog.Consts), len(prog.Shared), len(prog.Funcs))
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":        `const X = 1;`,
+		"dup main":       `main {} main {}`,
+		"bad decl":       `wibble;`,
+		"unclosed block": `main { var x int = 1;`,
+		"bad for":        `main { for i = 0 3 {} }`,
+		"bad assign op":  `main { var x int; x * 3; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":     `main { x = 1; }`,
+		"type mismatch":     `main { var x int = 1.5; }`,
+		"mixed arithmetic":  `main { var x float = 1.0 + 1; }`,
+		"bad condition":     `main { if (1) {} }`,
+		"phase in main":     `main { global phase {} }`,
+		"do in func":        `func f() { do (1) f(); } main { do (1) f(); }`,
+		"undefined do":      `main { do (4) nope(); }`,
+		"arg count":         `func f(x int) {} main { do (1) f(); }`,
+		"arg type":          `func f(x int) {} main { do (1) f(1.5); }`,
+		"nested phase":      `func f() { global phase { } node phase { } } main { do (1) f(); } func g() { global phase { node phase {} } }`,
+		"shadow builtin":    `main { var node_id int = 0; }`,
+		"dup const":         `const A = 1; const A = 2; main {}`,
+		"dup shared":        `global shared int A[4]; global shared int A[4]; main {}`,
+		"not an array":      `main { var x int = 1; x[0] = 2; }`,
+		"float index":       `global shared int A[4]; main { A[1.5] = 1; }`,
+		"shared outside":    `global shared int A[4]; func f() { A[0] = 1; } main { do (1) f(); }`,
+		"print in func":     `func f() { print(1); } main { do (1) f(); }`,
+		"vp rank in main":   `main { var x int = vp_node_rank; }`,
+		"reduce in phase":   `func f() { global phase { var x float = reduce_sum(1.0); } } main { do (1) f(); }`,
+		"modulo float":      `main { var x float = 1.0 % 2.0; }`,
+		"string in expr":    `main { var x int = 1; if (node_id == 0) { print(x); } x = x + "s"; }`,
+		"my_lo node shared": `node shared int A[4]; main { var x int = my_lo(A); }`,
+		"size not int":      `global shared int A[1.5]; main {}`,
+	}
+	for name, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection also counts
+		}
+		if err := Check(prog); err == nil {
+			t.Errorf("%s: checked OK, expected error", name)
+		}
+	}
+}
+
+func TestInterpretSearchMatchesPaper(t *testing.T) {
+	out, rep := interpSrc(t, searchSrc, 4)
+	if !strings.Contains(out, "mismatches: 0") {
+		t.Errorf("search output: %q", out)
+	}
+	if rep.Totals.GlobalPhases != 4 { // one per node
+		t.Errorf("global phases: %d", rep.Totals.GlobalPhases)
+	}
+	if rep.Totals.VPsStarted != 4*64 {
+		t.Errorf("VPs: %d", rep.Totals.VPsStarted)
+	}
+	if rep.Totals.RemoteReadElems == 0 {
+		t.Error("no remote reads from the binary searches")
+	}
+}
+
+func TestInterpretHistogram(t *testing.T) {
+	src := `
+const BUCKETS = 10;
+global shared int hist[BUCKETS];
+
+func count() {
+    global phase {
+        hist[vp_global_rank % BUCKETS] += 1;
+    }
+}
+
+main {
+    do (250) count();
+    barrier;
+    if (node_id == 0) {
+        var total int = 0;
+        for i = 0 to BUCKETS {
+            total = total + hist[i];
+        }
+        print("total:", total);
+    }
+}
+`
+	out, _ := interpSrc(t, src, 4)
+	if !strings.Contains(out, "total: 1000") {
+		t.Errorf("histogram output: %q", out)
+	}
+}
+
+func TestInterpretUtilitiesAndMath(t *testing.T) {
+	src := `
+main {
+    var x float = reduce_sum(float(node_id + 1));
+    var m float = reduce_max(float(node_id));
+    var p int = prefix_sum(node_id + 1);
+    charge_flops(100);
+    if (node_id == 2) {
+        print("sum:", x, "max:", m, "prefix:", p, "sqrt:", sqrt(16.0), "abs:", abs(-2.5));
+    }
+}
+`
+	out, _ := interpSrc(t, src, 3)
+	if !strings.Contains(out, "sum: 6 max: 2 prefix: 3 sqrt: 4 abs: 2.5") {
+		t.Errorf("utilities output: %q", out)
+	}
+}
+
+func TestInterpretPhaseSemanticsVisible(t *testing.T) {
+	// Jacobi-style in-place relaxation only works because reads see the
+	// begin-of-phase values.
+	src := `
+const N = 8;
+global shared float u[N];
+
+func sweep() {
+    global phase {
+        var i int = vp_global_rank;
+        var left float = 0.0;
+        var right float = 0.0;
+        if (i > 0) { left = u[i - 1]; }
+        if (i < N - 1) { right = u[i + 1]; }
+        u[i] = (left + right) / 2.0;
+    }
+}
+
+main {
+    if (node_id == 0) {
+        u[0] = 8.0;
+    }
+    do (N / node_count) sweep();
+    barrier;
+    if (node_id == 0) {
+        print("u0:", u[0], "u1:", u[1]);
+    }
+}
+`
+	out, _ := interpSrc(t, src, 2)
+	// After one sweep from u = [8,0,...]: u0 = (0+0)/2 = 0, u1 = (8+0)/2 = 4.
+	if !strings.Contains(out, "u0: 0 u1: 4") {
+		t.Errorf("phase semantics output: %q", out)
+	}
+}
+
+func TestInterpretRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"division by zero": `main { var z int = 0; var x int = 1 / z; }`,
+		"remote node write": `
+global shared int A[16];
+main { if (node_id == 0) { A[15] = 1; } barrier; }`,
+	}
+	for name, src := range cases {
+		if _, err := InterpretSource(src, core.Options{Nodes: 2, Machine: machine.Generic()}, nil); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestInterpretDeterministic(t *testing.T) {
+	run := func() (string, float64) {
+		out, rep := interpSrc(t, searchSrc, 3)
+		return out, rep.Makespan().Seconds()
+	}
+	o1, m1 := run()
+	o2, m2 := run()
+	if o1 != o2 || m1 != m2 {
+		t.Error("interpreter runs diverge")
+	}
+}
+
+func TestGenerateGoIsValidGo(t *testing.T) {
+	for name, src := range map[string]string{
+		"search": searchSrc,
+		"misc": `
+const N = 32;
+global shared float x[N];
+node shared int flags[4];
+
+func work(scale float) {
+    node phase {
+        flags[vp_node_rank % 4] += 1;
+    }
+    global phase {
+        var i int = vp_global_rank;
+        if (i < N) {
+            x[i] = float(i) * scale;
+            charge_flops(1);
+        }
+    }
+}
+
+main {
+    do (cores_per_node) work(2.5);
+    barrier;
+    var s float = 0.0;
+    for i = my_lo(x) to my_hi(x) {
+        s = s + x[i];
+    }
+    var total float = reduce_sum(s);
+    if (node_id == 0) { print("total:", total); }
+}
+`,
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := GenerateGo(prog)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", name, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := goparser.ParseFile(fset, name+".go", out, 0); err != nil {
+			t.Errorf("%s: generated Go does not parse: %v\n%s", name, err, out)
+		}
+		for _, want := range []string{"ppm.Run", "rt.Do", "GlobalPhase", "DO NOT EDIT"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: generated code missing %q", name, want)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadPrograms(t *testing.T) {
+	prog, err := Parse(`main { x = 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateGo(prog); err == nil {
+		t.Error("GenerateGo accepted an unchecked-invalid program")
+	}
+}

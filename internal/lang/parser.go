@@ -1,0 +1,672 @@
+package lang
+
+import "strconv"
+
+// Parse lexes and parses src into a Program (syntax only; run Check for
+// semantic validation).
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %v, found %v", k, t.Kind)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		t := p.cur()
+		switch t.Kind {
+		case KwConst:
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case KwGlobal, KwNode:
+			// Shared declaration at top level.
+			d, err := p.sharedDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Shared = append(prog.Shared, d)
+		case KwFunc:
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, d)
+		case KwMain:
+			if prog.Main != nil {
+				return nil, errf(t.Line, t.Col, "duplicate main block")
+			}
+			prog.MainPos = p.next()
+			b, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = b
+		default:
+			return nil, errf(t.Line, t.Col, "expected a declaration, found %v", t.Kind)
+		}
+	}
+	if prog.Main == nil {
+		return nil, errf(1, 1, "program has no main block")
+	}
+	return prog, nil
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	pos, _ := p.expect(KwConst)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	neg := p.accept(MINUS)
+	lit, err := p.expect(INT)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseInt(lit.Text, 10, 64)
+	if err != nil {
+		return nil, errf(lit.Line, lit.Col, "bad integer literal %q", lit.Text)
+	}
+	if neg {
+		v = -v
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.Text, Value: v, Pos: pos}, nil
+}
+
+func (p *parser) sharedDecl() (*SharedDecl, error) {
+	scope := p.next() // global | node
+	if _, err := p.expect(KwShared); err != nil {
+		return nil, err
+	}
+	elem, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACKET); err != nil {
+		return nil, err
+	}
+	size, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBRACKET); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &SharedDecl{
+		GlobalScope: scope.Kind == KwGlobal,
+		Elem:        elem,
+		Name:        name.Text,
+		Size:        size,
+		Pos:         scope,
+	}, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	t := p.next()
+	switch t.Kind {
+	case KwInt:
+		return TypeInt, nil
+	case KwFloat:
+		return TypeFloat, nil
+	default:
+		return TypeInvalid, errf(t.Line, t.Col, "expected a type (int or float), found %v", t.Kind)
+	}
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos, _ := p.expect(KwFunc)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for p.cur().Kind != RPAREN {
+		if len(params) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: pn.Text, Type: pt})
+	}
+	p.next() // RPAREN
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, errf(pos.Line, pos.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBRACE
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBRACE:
+		return p.block()
+	case KwVar:
+		return p.varDecl()
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwGlobal, KwNode:
+		scope := p.next()
+		if _, err := p.expect(KwPhase); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Phase{GlobalScope: scope.Kind == KwGlobal, Body: body, Pos: scope}, nil
+	case KwDo:
+		return p.doStmt()
+	case IDENT:
+		if t.Text == "print" {
+			return p.printStmt()
+		}
+		if t.Text == "barrier" {
+			pos := p.next()
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &Barrier{Pos: pos}, nil
+		}
+		if b := builtinByName(t.Text); b != nil && b.Arity >= 0 && p.toks[p.i+1].Kind == LPAREN {
+			// Builtin call in statement position.
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call, ok := e.(*Call)
+			if !ok {
+				return nil, errf(t.Line, t.Col, "expected a call statement")
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &CallStmt{Call: call, Pos: t}, nil
+		}
+		return p.assign()
+	default:
+		return nil, errf(t.Line, t.Col, "expected a statement, found %v", t.Kind)
+	}
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	pos, _ := p.expect(KwVar)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	var init Expr
+	if p.accept(ASSIGN) {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.Text, Type: typ, Init: init, Pos: pos}, nil
+}
+
+func (p *parser) assign() (Stmt, error) {
+	name, _ := p.expect(IDENT)
+	lv := &LValue{Name: name.Text, Pos: name}
+	if p.accept(LBRACKET) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		lv.Index = idx
+	}
+	add := false
+	switch p.cur().Kind {
+	case ASSIGN:
+		p.next()
+	case PLUSEQ:
+		p.next()
+		add = true
+	default:
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "expected '=' or '+=' after lvalue, found %v", t.Kind)
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &Assign{Target: lv, Add: add, Value: v, Pos: name}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos, _ := p.expect(KwIf)
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els *Block
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			// else-if chains: wrap the nested if in a block.
+			inner, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = &Block{Stmts: []Stmt{inner}, Pos: pos}
+		} else {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &If{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	pos, _ := p.expect(KwWhile)
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Pos: pos}, nil
+}
+
+// forStmt parses `for i = lo .. hi { ... }` where `..` is spelled as two
+// consecutive dots — we lex them as part of a float otherwise, so the
+// grammar uses the keyword form `for i = lo to hi` instead.
+func (p *parser) forStmt() (Stmt, error) {
+	pos, _ := p.expect(KwFor)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	to := p.cur()
+	if to.Kind != IDENT || to.Text != "to" {
+		return nil, errf(to.Line, to.Col, "expected 'to' in for statement, found %v", to.Kind)
+	}
+	p.next()
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Var: name.Text, Lo: lo, Hi: hi, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) doStmt() (Stmt, error) {
+	pos, _ := p.expect(KwDo)
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	k, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().Kind != RPAREN {
+		if len(args) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next() // RPAREN
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &Do{K: k, Name: name.Text, Args: args, Pos: pos}, nil
+}
+
+func (p *parser) printStmt() (Stmt, error) {
+	pos := p.next() // 'print' ident
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().Kind != RPAREN {
+		if len(args) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next()
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &Print{Args: args, Pos: pos}, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and ('||' and)*
+//	and  := cmp ('&&' cmp)*
+//	cmp  := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//	add  := mul (('+'|'-') mul)*
+//	mul  := unary (('*'|'/'|'%') unary)*
+//	unary:= ('-'|'!') unary | primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OROR {
+		op := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OROR, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == ANDAND {
+		op := p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: ANDAND, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case EQ, NE, LT, LE, GT, GE:
+		op := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op.Kind, L: l, R: r, Pos: op}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		op := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == STAR || p.cur().Kind == SLASH || p.cur().Kind == PERCENT {
+		op := p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Kind, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == MINUS || t.Kind == NOT {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Kind, X: x, Pos: t}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Value: v, Pos: t}, nil
+	case FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{Value: v, Pos: t}, nil
+	case STRING:
+		p.next()
+		return &StrLit{Value: t.Text, Pos: t}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{Value: true, Pos: t}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Value: false, Pos: t}, nil
+	case KwInt, KwFloat:
+		// Conversions: int(x), float(x).
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		name := "int"
+		if t.Kind == KwFloat {
+			name = "float"
+		}
+		return &Call{Name: name, Args: []Expr{x}, Pos: t}, nil
+	case IDENT:
+		p.next()
+		if p.accept(LBRACKET) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			return &Index{Name: t.Text, Inner: idx, Pos: t}, nil
+		}
+		if p.accept(LPAREN) {
+			var args []Expr
+			for p.cur().Kind != RPAREN {
+				if len(args) > 0 {
+					if _, err := p.expect(COMMA); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next()
+			return &Call{Name: t.Text, Args: args, Pos: t}, nil
+		}
+		return &Ident{Name: t.Text, Pos: t}, nil
+	case LPAREN:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errf(t.Line, t.Col, "expected an expression, found %v", t.Kind)
+	}
+}

@@ -1,0 +1,145 @@
+package lang
+
+import (
+	"bytes"
+	goparser "go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppm/internal/bench"
+	"ppm/internal/core"
+	"ppm/internal/machine"
+)
+
+// The shipped .ppm example programs must parse, check, interpret
+// correctly, and emit valid Go.
+func shippedPrograms(t *testing.T) map[string]*Program {
+	t.Helper()
+	root, err := bench.RepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "examples", "language")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*Program{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".ppm") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := Check(prog); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		out[e.Name()] = prog
+	}
+	if len(out) < 2 {
+		t.Fatalf("expected at least 2 shipped programs, found %d", len(out))
+	}
+	return out
+}
+
+func TestShippedProgramsEmitValidGo(t *testing.T) {
+	for name, prog := range shippedPrograms(t) {
+		src, err := GenerateGo(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := goparser.ParseFile(fset, name, src, 0); err != nil {
+			t.Errorf("%s: emitted Go invalid: %v", name, err)
+		}
+	}
+}
+
+func TestShippedSearchProgram(t *testing.T) {
+	prog := shippedPrograms(t)["search.ppm"]
+	var out bytes.Buffer
+	rep, err := Interpret(prog, core.Options{Nodes: 4, Machine: machine.Generic()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "mismatches") {
+		t.Errorf("search reported mismatches: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "found at rank") {
+		t.Errorf("search output: %q", out.String())
+	}
+	if rep.Totals.VPsStarted != 4*1024 {
+		t.Errorf("VPs: %d", rep.Totals.VPsStarted)
+	}
+}
+
+func TestShippedCGProgramConverges(t *testing.T) {
+	prog := shippedPrograms(t)["cg.ppm"]
+	var out bytes.Buffer
+	rep, err := Interpret(prog, core.Options{Nodes: 4, Machine: machine.Generic()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "iterations:") {
+		t.Fatalf("cg output: %q", s)
+	}
+	// The final report line carries the worst deviation from the known
+	// solution; it must be tiny.
+	if !strings.Contains(s, "worst |x-1|:") {
+		t.Fatalf("cg output missing verification: %q", s)
+	}
+	fields := strings.Fields(s)
+	worst := fields[len(fields)-1]
+	if !strings.Contains(worst, "e-") {
+		t.Errorf("worst deviation not small: %q (output %q)", worst, s)
+	}
+	if rep.Totals.GlobalPhases == 0 || rep.Totals.RemoteReadElems == 0 {
+		t.Errorf("cg did not exercise global phases/remote reads: %+v", rep.Totals)
+	}
+}
+
+func TestShippedHistogramProgram(t *testing.T) {
+	prog := shippedPrograms(t)["histogram.ppm"]
+	var out bytes.Buffer
+	rep, err := Interpret(prog, core.Options{Nodes: 4, Machine: machine.Generic()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "items: 16384") {
+		t.Errorf("histogram output: %q", out.String())
+	}
+	if rep.Totals.NodePhases == 0 {
+		t.Error("histogram should use node phases")
+	}
+	if rep.Totals.GlobalPhases == 0 {
+		t.Error("histogram should use global phases")
+	}
+}
+
+// A language-level determinism check over a program with heavy sharing.
+func TestShippedCGDeterministic(t *testing.T) {
+	prog := shippedPrograms(t)["cg.ppm"]
+	run := func() (string, float64) {
+		var out bytes.Buffer
+		rep, err := Interpret(prog, core.Options{Nodes: 3, Machine: machine.Generic()}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), rep.Makespan().Seconds()
+	}
+	o1, m1 := run()
+	o2, m2 := run()
+	if o1 != o2 || m1 != m2 {
+		t.Error("cg.ppm runs diverge")
+	}
+}

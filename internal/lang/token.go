@@ -1,0 +1,296 @@
+// Package lang implements the PPM language front end: the paper's
+// programming-model constructs (shared declarations, PPM functions,
+// parallel phases, PPM_do) as actual language syntax over a small C-like
+// core, the way the paper's source-to-source compiler provided them as
+// extensions to C (§3.1, §3.4).
+//
+// The package contains a lexer, a recursive-descent parser, a semantic
+// checker, a tree-walking interpreter that executes programs directly on
+// the PPM runtime (internal/core), and a Go code generator that performs
+// the paper's source-to-source translation onto this repository's public
+// API.
+//
+// A flavor of the language (the paper's Section 5 example):
+//
+//	global shared float A[N];
+//	node shared float B[K];
+//	node shared int rank_in_A[K];
+//
+//	func binary_search(n int) {
+//	    global phase {
+//	        var b float = B[vp_node_rank];
+//	        var left int = -1;
+//	        var right int = n;
+//	        while (left + 1 < right) {
+//	            var middle int = (left + right) / 2;
+//	            if (A[middle] < b) { left = middle; } else { right = middle; }
+//	        }
+//	        rank_in_A[vp_node_rank] = right;
+//	    }
+//	}
+//
+//	main {
+//	    do (K) binary_search(N);
+//	}
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// punctuation
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACKET
+	RBRACKET
+	COMMA
+	SEMI
+
+	// operators
+	ASSIGN  // =
+	PLUSEQ  // +=
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	ANDAND  // &&
+	OROR    // ||
+	NOT     // !
+
+	// keywords
+	KwGlobal
+	KwNode
+	KwShared
+	KwPhase
+	KwFunc
+	KwMain
+	KwDo
+	KwVar
+	KwConst
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwInt
+	KwFloat
+	KwTrue
+	KwFalse
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer literal",
+	FLOAT: "float literal", STRING: "string literal",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACKET: "'['", RBRACKET: "']'", COMMA: "','", SEMI: "';'",
+	ASSIGN: "'='", PLUSEQ: "'+='", PLUS: "'+'", MINUS: "'-'", STAR: "'*'",
+	SLASH: "'/'", PERCENT: "'%'", EQ: "'=='", NE: "'!='", LT: "'<'",
+	LE: "'<='", GT: "'>'", GE: "'>='", ANDAND: "'&&'", OROR: "'||'", NOT: "'!'",
+	KwGlobal: "'global'", KwNode: "'node'", KwShared: "'shared'",
+	KwPhase: "'phase'", KwFunc: "'func'", KwMain: "'main'", KwDo: "'do'",
+	KwVar: "'var'", KwConst: "'const'", KwIf: "'if'", KwElse: "'else'",
+	KwWhile: "'while'", KwFor: "'for'", KwReturn: "'return'",
+	KwInt: "'int'", KwFloat: "'float'", KwTrue: "'true'", KwFalse: "'false'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"global": KwGlobal, "node": KwNode, "shared": KwShared,
+	"phase": KwPhase, "func": KwFunc, "main": KwMain, "do": KwDo,
+	"var": KwVar, "const": KwConst, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn,
+	"int": KwInt, "float": KwFloat, "true": KwTrue, "false": KwFalse,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes src. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	emit := func(k Kind, text string, l, c int) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: l, Col: c})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l, cl := line, col
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			advance(j - i)
+			if kw, ok := keywords[word]; ok {
+				emit(kw, word, l, cl)
+			} else {
+				emit(IDENT, word, l, cl)
+			}
+		case unicode.IsDigit(rune(c)):
+			l, cl := line, col
+			j := i
+			isFloat := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			if isFloat {
+				emit(FLOAT, text, l, cl)
+			} else {
+				emit(INT, text, l, cl)
+			}
+		case c == '"':
+			l, cl := line, col
+			j := i + 1
+			var b strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+					switch src[j] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						return nil, errf(l, cl, "unknown escape \\%c", src[j])
+					}
+				} else {
+					b.WriteByte(src[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, errf(l, cl, "unterminated string literal")
+			}
+			advance(j + 1 - i)
+			emit(STRING, b.String(), l, cl)
+		default:
+			l, cl := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "+=":
+				advance(2)
+				emit(PLUSEQ, two, l, cl)
+				continue
+			case "==":
+				advance(2)
+				emit(EQ, two, l, cl)
+				continue
+			case "!=":
+				advance(2)
+				emit(NE, two, l, cl)
+				continue
+			case "<=":
+				advance(2)
+				emit(LE, two, l, cl)
+				continue
+			case ">=":
+				advance(2)
+				emit(GE, two, l, cl)
+				continue
+			case "&&":
+				advance(2)
+				emit(ANDAND, two, l, cl)
+				continue
+			case "||":
+				advance(2)
+				emit(OROR, two, l, cl)
+				continue
+			}
+			single := map[byte]Kind{
+				'(': LPAREN, ')': RPAREN, '{': LBRACE, '}': RBRACE,
+				'[': LBRACKET, ']': RBRACKET, ',': COMMA, ';': SEMI,
+				'=': ASSIGN, '+': PLUS, '-': MINUS, '*': STAR, '/': SLASH,
+				'%': PERCENT, '<': LT, '>': GT, '!': NOT,
+			}
+			k, ok := single[c]
+			if !ok {
+				return nil, errf(l, cl, "unexpected character %q", string(c))
+			}
+			advance(1)
+			emit(k, string(c), l, cl)
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,78 @@
+// Package linalg provides the dense vector kernels the solvers are built
+// from, with flop counters so the simulator can charge modeled time for
+// exactly the arithmetic performed.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y and the flops performed.
+func Dot(x, y []float64) (sum float64, flops int64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum, int64(2 * len(x))
+}
+
+// Axpy computes y += a*x and returns the flops performed.
+func Axpy(a float64, x, y []float64) (flops int64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return int64(2 * len(x))
+}
+
+// Scale computes x *= a and returns the flops performed.
+func Scale(a float64, x []float64) (flops int64) {
+	for i := range x {
+		x[i] *= a
+	}
+	return int64(len(x))
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("linalg: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Norm2 returns the Euclidean norm of x and the flops performed.
+func Norm2(x []float64) (norm float64, flops int64) {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s), int64(2*len(x) + 1)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// MaxAbsDiff returns the largest |x[i]-y[i]| — a test helper for
+// comparing solver outputs.
+func MaxAbsDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: MaxAbsDiff length mismatch %d vs %d", len(x), len(y)))
+	}
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppm/internal/rng"
+)
+
+func TestDot(t *testing.T) {
+	s, fl := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if s != 32 {
+		t.Errorf("dot = %v", s)
+	}
+	if fl != 6 {
+		t.Errorf("flops = %d", fl)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	fl := Axpy(2, []float64{1, 2, 3}, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Errorf("axpy = %v", y)
+	}
+	if fl != 6 {
+		t.Errorf("flops = %d", fl)
+	}
+}
+
+func TestScaleNorm(t *testing.T) {
+	x := []float64{3, 4}
+	Scale(2, x)
+	n, _ := Norm2(x)
+	if math.Abs(n-10) > 1e-12 {
+		t.Errorf("norm = %v", n)
+	}
+}
+
+func TestCopyFill(t *testing.T) {
+	dst := make([]float64, 3)
+	Copy(dst, []float64{7, 8, 9})
+	if dst[2] != 9 {
+		t.Error("copy failed")
+	}
+	Fill(dst, -1)
+	if dst[0] != -1 || dst[2] != -1 {
+		t.Error("fill failed")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1}); d != 1 {
+		t.Errorf("maxabsdiff = %v", d)
+	}
+}
+
+func TestLengthMismatchesPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dot":  func() { Dot([]float64{1}, []float64{1, 2}) },
+		"axpy": func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+		"copy": func() { Copy([]float64{1}, []float64{1, 2}) },
+		"diff": func() { MaxAbsDiff([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Cauchy–Schwarz and linearity of dot under axpy.
+func TestDotProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rng.New(seed)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+			y[i] = r.Float64()*2 - 1
+		}
+		xy, _ := Dot(x, y)
+		nx, _ := Norm2(x)
+		ny, _ := Norm2(y)
+		if math.Abs(xy) > nx*ny+1e-9 {
+			return false
+		}
+		// dot(x, y + 2x) == dot(x,y) + 2*dot(x,x)
+		y2 := append([]float64(nil), y...)
+		Axpy(2, x, y2)
+		lhs, _ := Dot(x, y2)
+		xx, _ := Dot(x, x)
+		return math.Abs(lhs-(xy+2*xx)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

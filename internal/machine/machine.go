@@ -1,0 +1,241 @@
+// Package machine defines the performance model of the simulated parallel
+// machine: a networked cluster of multicore nodes.
+//
+// The model is LogGP-flavored. A message of b bytes from one node to
+// another costs the sender CPU overhead SendOverhead, occupies the
+// sender's NIC for b/NetBandwidth, travels for NetLatency, and costs the
+// receiver RecvOverhead. Messages between ranks on the same node bypass
+// the NIC and use the (cheaper, higher-bandwidth) intra-node parameters —
+// but they still pay per-message software overhead, which is the effect
+// the paper highlights for MPI-on-multicore (its SmartMap footnote; see
+// the SmartMap field).
+//
+// Computation is charged through effective per-core rates rather than
+// peak: unstructured kernels are memory-bound, so the apps count flops
+// and bytes moved and the model converts to seconds.
+//
+// The PPM runtime's software costs (per shared-variable access, per-VP
+// scheduling, per-bundle handling) are parameters here too, because the
+// paper's Figure 1 crossover is driven by exactly those overheads.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"ppm/internal/vtime"
+)
+
+// Machine holds the cost-model parameters for a cluster of multicore
+// nodes. All times are seconds, rates are per-second.
+type Machine struct {
+	Name string
+
+	// Node shape.
+	CoresPerNode int
+
+	// Compute: effective (not peak) per-core rates for the charge helpers.
+	FlopRate float64 // sustained flop/s per core on unstructured kernels
+	MemRate  float64 // sustained bytes/s per core for streaming access
+
+	// Inter-node network (per message / per byte).
+	NetLatency   float64 // end-to-end wire latency per message (s)
+	NetBandwidth float64 // bytes/s through one node's NIC
+	SendOverhead float64 // CPU time at sender per message (s)
+	RecvOverhead float64 // CPU time at receiver per message (s)
+
+	// Intra-node transport used by message passing between ranks that
+	// share a node. Copies through shared memory: cheap but not free.
+	IntraLatency   float64 // per-message latency within a node (s)
+	IntraBandwidth float64 // bytes/s for intra-node copies
+	// SmartMap models the Sandia Catamount single-copy optimization the
+	// paper's footnote 1 discusses: when true, intra-node per-message
+	// software overhead drops to the hardware copy cost only.
+	SmartMap bool
+
+	// PPM runtime software costs.
+	SharedReadCost  float64 // CPU time per shared-variable element read
+	SharedWriteCost float64 // CPU time per shared-variable element write
+	VPStartCost     float64 // CPU time to schedule one virtual processor
+	BundleOverhead  float64 // CPU time to assemble/disassemble one bundle
+	PhaseFixedCost  float64 // fixed runtime cost per phase per node
+
+	// Message-size envelope added to every message (headers, matching).
+	HeaderBytes int
+}
+
+// Validate reports a descriptive error for non-physical parameters.
+func (m *Machine) Validate() error {
+	type check struct {
+		name string
+		v    float64
+	}
+	positive := []check{
+		{"FlopRate", m.FlopRate},
+		{"MemRate", m.MemRate},
+		{"NetBandwidth", m.NetBandwidth},
+		{"IntraBandwidth", m.IntraBandwidth},
+	}
+	for _, c := range positive {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("machine %q: %s must be positive and finite, got %g", m.Name, c.name, c.v)
+		}
+	}
+	nonneg := []check{
+		{"NetLatency", m.NetLatency},
+		{"SendOverhead", m.SendOverhead},
+		{"RecvOverhead", m.RecvOverhead},
+		{"IntraLatency", m.IntraLatency},
+		{"SharedReadCost", m.SharedReadCost},
+		{"SharedWriteCost", m.SharedWriteCost},
+		{"VPStartCost", m.VPStartCost},
+		{"BundleOverhead", m.BundleOverhead},
+		{"PhaseFixedCost", m.PhaseFixedCost},
+	}
+	for _, c := range nonneg {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("machine %q: %s must be non-negative and finite, got %g", m.Name, c.name, c.v)
+		}
+	}
+	if m.CoresPerNode <= 0 {
+		return fmt.Errorf("machine %q: CoresPerNode must be positive, got %d", m.Name, m.CoresPerNode)
+	}
+	if m.HeaderBytes < 0 {
+		return fmt.Errorf("machine %q: HeaderBytes must be non-negative, got %d", m.Name, m.HeaderBytes)
+	}
+	return nil
+}
+
+// FlopTime returns the compute time for n floating-point operations on a
+// single core.
+func (m *Machine) FlopTime(n int64) vtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / m.FlopRate)
+}
+
+// MemTime returns the compute time for streaming n bytes through one core.
+func (m *Machine) MemTime(n int64) vtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / m.MemRate)
+}
+
+// WireTime returns the serialization time of b payload bytes (plus the
+// header envelope) through a node NIC.
+func (m *Machine) WireTime(b int) vtime.Duration {
+	return vtime.Duration(float64(b+m.HeaderBytes) / m.NetBandwidth)
+}
+
+// IntraCopyTime returns the copy time of b payload bytes between ranks on
+// the same node.
+func (m *Machine) IntraCopyTime(b int) vtime.Duration {
+	return vtime.Duration(float64(b+m.HeaderBytes) / m.IntraBandwidth)
+}
+
+// IntraSendOverhead returns the per-message CPU overhead of an intra-node
+// message, honoring the SmartMap toggle.
+func (m *Machine) IntraSendOverhead() vtime.Duration {
+	if m.SmartMap {
+		return vtime.Duration(m.SendOverhead / 10)
+	}
+	return vtime.Duration(m.SendOverhead)
+}
+
+// IntraRecvOverhead returns the per-message receive CPU overhead of an
+// intra-node message, honoring the SmartMap toggle.
+func (m *Machine) IntraRecvOverhead() vtime.Duration {
+	if m.SmartMap {
+		return vtime.Duration(m.RecvOverhead / 10)
+	}
+	return vtime.Duration(m.RecvOverhead)
+}
+
+// BarrierTime returns the modeled cost of a barrier over p participants
+// once the last of them has arrived: a dissemination barrier performs
+// ceil(log2 p) rounds of latency-bound exchanges.
+func (m *Machine) BarrierTime(p int) vtime.Duration {
+	if p <= 1 {
+		return 0
+	}
+	rounds := 0
+	for n := 1; n < p; n <<= 1 {
+		rounds++
+	}
+	per := m.NetLatency + m.SendOverhead + m.RecvOverhead
+	return vtime.Duration(float64(rounds) * per)
+}
+
+// Franklin returns parameters shaped after the paper's platform: the NERSC
+// Cray XT4 "Franklin" (AMD Opteron 2.3 GHz quad-core nodes, SeaStar2
+// interconnect). Rates are effective values for unstructured, memory-bound
+// kernels, not peaks; see DESIGN.md for the calibration rationale.
+func Franklin() *Machine {
+	return &Machine{
+		Name:         "franklin-xt4",
+		CoresPerNode: 4,
+
+		FlopRate: 450e6, // sustained flops/core on sparse kernels (~5% of 9.2 Gflop/s peak)
+		MemRate:  1.8e9, // sustained stream bytes/s per core with 4 cores sharing the socket
+
+		NetLatency:   6.5e-6,
+		NetBandwidth: 1.6e9,
+		SendOverhead: 1.2e-6,
+		RecvOverhead: 1.2e-6,
+
+		IntraLatency:   0.6e-6,
+		IntraBandwidth: 3.2e9,
+		SmartMap:       false, // paper footnote: not available on Franklin's Linux nodes
+
+		SharedReadCost:  2.6e-8, // ~60 cycles of runtime bookkeeping per element access
+		SharedWriteCost: 3.3e-8,
+		VPStartCost:     2.0e-7,
+		BundleOverhead:  2.5e-6,
+		PhaseFixedCost:  4.0e-6,
+
+		HeaderBytes: 64,
+	}
+}
+
+// Generic returns a deliberately round-numbered machine useful in unit
+// tests, where hand-computing expected virtual times matters more than
+// realism.
+func Generic() *Machine {
+	return &Machine{
+		Name:         "generic-test",
+		CoresPerNode: 4,
+
+		FlopRate: 1e9,
+		MemRate:  1e10,
+
+		NetLatency:   1e-6,
+		NetBandwidth: 1e9,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+
+		IntraLatency:   1e-7,
+		IntraBandwidth: 1e10,
+
+		SharedReadCost:  1e-8,
+		SharedWriteCost: 1e-8,
+		VPStartCost:     1e-7,
+		BundleOverhead:  1e-6,
+		PhaseFixedCost:  1e-6,
+
+		HeaderBytes: 0,
+	}
+}
+
+// Manycore returns a forward-looking machine with many more cores per
+// node, used by the ablation benches to probe the paper's closing claim
+// that PPM's advantage grows with core count.
+func Manycore(cores int) *Machine {
+	m := Franklin()
+	m.Name = fmt.Sprintf("manycore-%d", cores)
+	m.CoresPerNode = cores
+	// More cores share the same socket bandwidth and NIC.
+	m.MemRate = m.MemRate * 4 / float64(cores) * 2 // some headroom from newer memory
+	return m
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/vtime"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []*Machine{Franklin(), Generic(), Manycore(64)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.FlopRate = 0 },
+		func(m *Machine) { m.MemRate = -1 },
+		func(m *Machine) { m.NetBandwidth = math.NaN() },
+		func(m *Machine) { m.IntraBandwidth = math.Inf(1) },
+		func(m *Machine) { m.NetLatency = -1e-6 },
+		func(m *Machine) { m.SendOverhead = math.NaN() },
+		func(m *Machine) { m.SharedReadCost = -1 },
+		func(m *Machine) { m.CoresPerNode = 0 },
+		func(m *Machine) { m.HeaderBytes = -1 },
+	}
+	for i, mutate := range cases {
+		m := Generic()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFlopTime(t *testing.T) {
+	m := Generic() // 1e9 flop/s
+	if got := m.FlopTime(2e9); got != vtime.Duration(2) {
+		t.Errorf("FlopTime(2e9) = %v, want 2s", got)
+	}
+	if got := m.FlopTime(0); got != 0 {
+		t.Errorf("FlopTime(0) = %v, want 0", got)
+	}
+	if got := m.FlopTime(-5); got != 0 {
+		t.Errorf("FlopTime(-5) = %v, want 0", got)
+	}
+}
+
+func TestMemTime(t *testing.T) {
+	m := Generic() // 1e10 B/s
+	if got := m.MemTime(1e10); got != vtime.Duration(1) {
+		t.Errorf("MemTime = %v, want 1s", got)
+	}
+}
+
+func TestWireTimeIncludesHeader(t *testing.T) {
+	m := Generic()
+	m.HeaderBytes = 100
+	// (900+100)/1e9 = 1us
+	if got := m.WireTime(900); math.Abs(got.Seconds()-1e-6) > 1e-15 {
+		t.Errorf("WireTime = %v, want 1us", got)
+	}
+}
+
+func TestIntraCopyTime(t *testing.T) {
+	m := Generic() // 1e10 B/s intra
+	if got := m.IntraCopyTime(1e4); math.Abs(got.Seconds()-1e-6) > 1e-15 {
+		t.Errorf("IntraCopyTime = %v, want 1us", got)
+	}
+}
+
+func TestSmartMapReducesIntraOverhead(t *testing.T) {
+	m := Generic()
+	base := m.IntraSendOverhead() + m.IntraRecvOverhead()
+	m.SmartMap = true
+	fast := m.IntraSendOverhead() + m.IntraRecvOverhead()
+	if fast >= base {
+		t.Errorf("SmartMap did not reduce intra-node overhead: %v >= %v", fast, base)
+	}
+}
+
+func TestBarrierTimeLogRounds(t *testing.T) {
+	m := Generic()
+	per := m.NetLatency + m.SendOverhead + m.RecvOverhead
+	cases := []struct {
+		p      int
+		rounds int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		want := vtime.Duration(float64(c.rounds) * per)
+		if got := m.BarrierTime(c.p); math.Abs(got.Seconds()-want.Seconds()) > 1e-18 {
+			t.Errorf("BarrierTime(%d) = %v, want %v", c.p, got, want)
+		}
+	}
+}
+
+func TestBarrierTimeMonotone(t *testing.T) {
+	m := Franklin()
+	prev := vtime.Duration(0)
+	for p := 1; p <= 4096; p *= 2 {
+		bt := m.BarrierTime(p)
+		if bt < prev {
+			t.Errorf("BarrierTime(%d)=%v decreased from %v", p, bt, prev)
+		}
+		prev = bt
+	}
+}
+
+func TestManycoreScalesCores(t *testing.T) {
+	m := Manycore(128)
+	if m.CoresPerNode != 128 {
+		t.Errorf("CoresPerNode = %d, want 128", m.CoresPerNode)
+	}
+	if m.MemRate >= Franklin().MemRate {
+		t.Error("per-core memory rate should shrink as cores share the socket")
+	}
+}

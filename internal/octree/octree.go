@@ -1,0 +1,365 @@
+// Package octree implements the Barnes–Hut octree: construction over a
+// set of bodies, center-of-mass summarization, a flat float64 encoding
+// that can live inside PPM global shared arrays or travel through the
+// message-passing layer, and force evaluation with the multipole
+// acceptance criterion.
+//
+// The flat encoding is the package's interchange format: the PPM
+// application traverses remote trees in place through bundled fine-
+// grained reads, while the message-passing baseline replicates whole
+// flattened trees (the approach the paper cites and criticizes). Both
+// traverse the same bytes with the same Accel routine, so the physics is
+// identical and only the communication pattern differs.
+package octree
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeafCap is the maximum number of bodies a leaf holds before splitting.
+const LeafCap = 4
+
+// maxDepth bounds tree depth; beyond it leaves are allowed to overflow
+// LeafCap (guards against coincident bodies).
+const maxDepth = 48
+
+// Slots is the number of float64 slots one node occupies in the flat
+// encoding.
+const Slots = 32
+
+// Flat-encoding slot offsets within a node.
+const (
+	slotMass   = 0
+	slotComX   = 1
+	slotComY   = 2
+	slotComZ   = 3
+	slotHalf   = 4
+	slotChild0 = 5  // 8 child node indices (or -1), as float64
+	slotNBody  = 13 // number of inline leaf bodies
+	slotBodies = 14 // LeafCap * (x, y, z, m)
+)
+
+// Body is a point mass.
+type Body struct {
+	X, Y, Z float64
+	M       float64
+}
+
+type node struct {
+	cx, cy, cz, half float64
+	children         [8]int32 // -1 if absent; leaf iff all -1
+	bodies           []int32
+	mass             float64
+	comX, comY, comZ float64
+	leaf             bool
+}
+
+// Tree is a built Barnes–Hut octree over a body set.
+type Tree struct {
+	nodes  []node
+	bodies []Body
+}
+
+// NumNodes returns the number of tree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumBodies returns the number of bodies in the tree.
+func (t *Tree) NumBodies() int { return len(t.bodies) }
+
+// Bounds returns a cube enclosing all bodies: center and half-width.
+func Bounds(bodies []Body) (cx, cy, cz, half float64) {
+	if len(bodies) == 0 {
+		return 0, 0, 0, 1
+	}
+	minX, minY, minZ := math.Inf(1), math.Inf(1), math.Inf(1)
+	maxX, maxY, maxZ := math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	for _, b := range bodies {
+		minX, maxX = math.Min(minX, b.X), math.Max(maxX, b.X)
+		minY, maxY = math.Min(minY, b.Y), math.Max(maxY, b.Y)
+		minZ, maxZ = math.Min(minZ, b.Z), math.Max(maxZ, b.Z)
+	}
+	cx, cy, cz = (minX+maxX)/2, (minY+maxY)/2, (minZ+maxZ)/2
+	half = math.Max(maxX-minX, math.Max(maxY-minY, maxZ-minZ))/2 + 1e-12
+	half *= 1.0001
+	return cx, cy, cz, half
+}
+
+// Build constructs the octree for bodies within the given bounding cube.
+// Pass the output of Bounds, or a common global cube when several nodes
+// build sub-trees that must align spatially.
+func Build(bodies []Body, cx, cy, cz, half float64) *Tree {
+	if half <= 0 {
+		panic(fmt.Sprintf("octree: non-positive half-width %v", half))
+	}
+	t := &Tree{bodies: bodies}
+	t.nodes = append(t.nodes, newNode(cx, cy, cz, half))
+	for i := range bodies {
+		t.insert(0, int32(i), 0)
+	}
+	t.summarize(0)
+	return t
+}
+
+func newNode(cx, cy, cz, half float64) node {
+	n := node{cx: cx, cy: cy, cz: cz, half: half, leaf: true}
+	for i := range n.children {
+		n.children[i] = -1
+	}
+	return n
+}
+
+func (t *Tree) insert(ni int, bi int32, depth int) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		if len(n.bodies) < LeafCap || depth >= maxDepth {
+			n.bodies = append(n.bodies, bi)
+			return
+		}
+		// Split: push existing bodies down, then retry.
+		old := n.bodies
+		n.bodies = nil
+		n.leaf = false
+		for _, ob := range old {
+			t.insertChild(ni, ob, depth)
+		}
+		t.insertChild(ni, bi, depth)
+		return
+	}
+	t.insertChild(ni, bi, depth)
+}
+
+func (t *Tree) insertChild(ni int, bi int32, depth int) {
+	b := t.bodies[bi]
+	n := &t.nodes[ni]
+	oct := 0
+	if b.X >= n.cx {
+		oct |= 1
+	}
+	if b.Y >= n.cy {
+		oct |= 2
+	}
+	if b.Z >= n.cz {
+		oct |= 4
+	}
+	ci := n.children[oct]
+	if ci < 0 {
+		h := n.half / 2
+		cx, cy, cz := n.cx-h, n.cy-h, n.cz-h
+		if oct&1 != 0 {
+			cx = n.cx + h
+		}
+		if oct&2 != 0 {
+			cy = n.cy + h
+		}
+		if oct&4 != 0 {
+			cz = n.cz + h
+		}
+		ci = int32(len(t.nodes))
+		n.children[oct] = ci
+		t.nodes = append(t.nodes, newNode(cx, cy, cz, h))
+	}
+	t.insert(int(ci), bi, depth+1)
+}
+
+// summarize computes mass and center of mass bottom-up.
+func (t *Tree) summarize(ni int) (mass, mx, my, mz float64) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		for _, bi := range n.bodies {
+			b := t.bodies[bi]
+			mass += b.M
+			mx += b.M * b.X
+			my += b.M * b.Y
+			mz += b.M * b.Z
+		}
+	} else {
+		for _, ci := range n.children {
+			if ci < 0 {
+				continue
+			}
+			m, x, y, z := t.summarize(int(ci))
+			mass += m
+			mx += x
+			my += y
+			mz += z
+		}
+	}
+	n.mass = mass
+	if mass > 0 {
+		n.comX, n.comY, n.comZ = mx/mass, my/mass, mz/mass
+	} else {
+		n.comX, n.comY, n.comZ = n.cx, n.cy, n.cz
+	}
+	return mass, mx, my, mz
+}
+
+// Flatten serializes the tree into the flat float64 encoding: node i
+// occupies Slots values starting at i*Slots.
+func (t *Tree) Flatten() []float64 {
+	out := make([]float64, len(t.nodes)*Slots)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		base := i * Slots
+		out[base+slotMass] = n.mass
+		out[base+slotComX] = n.comX
+		out[base+slotComY] = n.comY
+		out[base+slotComZ] = n.comZ
+		out[base+slotHalf] = n.half
+		for c := 0; c < 8; c++ {
+			out[base+slotChild0+c] = float64(n.children[c])
+		}
+		nb := len(n.bodies)
+		out[base+slotNBody] = float64(nb)
+		for k, bi := range n.bodies {
+			if k >= LeafCap && k < len(n.bodies) {
+				// Overflow leaves (coincident bodies at maxDepth) cannot
+				// be encoded inline; fold the extras into the last slot
+				// as a combined point mass at the leaf COM.
+				last := base + slotBodies + (LeafCap-1)*4
+				b := t.bodies[bi]
+				tm := out[last+3] + b.M
+				if tm > 0 {
+					out[last+0] = (out[last+0]*out[last+3] + b.X*b.M) / tm
+					out[last+1] = (out[last+1]*out[last+3] + b.Y*b.M) / tm
+					out[last+2] = (out[last+2]*out[last+3] + b.Z*b.M) / tm
+				}
+				out[last+3] = tm
+				continue
+			}
+			s := base + slotBodies + k*4
+			b := t.bodies[bi]
+			out[s+0], out[s+1], out[s+2], out[s+3] = b.X, b.Y, b.Z, b.M
+		}
+		if nb > LeafCap {
+			out[base+slotNBody] = float64(LeafCap)
+		}
+	}
+	return out
+}
+
+// FlatNode is one decoded tree-node record of the flat encoding. Force
+// evaluation works on records: a traversal fetches each visited node once
+// as a unit, which is both faster on the host and the realistic transfer
+// granularity for a runtime moving tree nodes between address spaces.
+type FlatNode struct {
+	Mass             float64
+	ComX, ComY, ComZ float64
+	Half             float64
+	Child            [8]int32
+	NBody            int32
+	Bodies           [LeafCap * 4]float64 // x, y, z, m per inline body
+}
+
+// DecodeNode fills out from node i of the flat encoding starting at off,
+// reading through at (an element accessor, e.g. a slice index or a PPM
+// shared read).
+func DecodeNode(at func(i int) float64, off, i int, out *FlatNode) {
+	base := off + i*Slots
+	out.Mass = at(base + slotMass)
+	out.ComX = at(base + slotComX)
+	out.ComY = at(base + slotComY)
+	out.ComZ = at(base + slotComZ)
+	out.Half = at(base + slotHalf)
+	for c := 0; c < 8; c++ {
+		out.Child[c] = int32(at(base + slotChild0 + c))
+	}
+	out.NBody = int32(at(base + slotNBody))
+	for k := 0; k < int(out.NBody)*4; k++ {
+		out.Bodies[k] = at(base + slotBodies + k)
+	}
+}
+
+// Source provides decoded node records of one flattened tree. Node must
+// fill out with record i; implementations may cache.
+type Source interface {
+	Node(i int, out *FlatNode)
+}
+
+// SliceSource reads records from a local flat buffer at a given offset.
+type SliceSource struct {
+	Flat []float64
+	Off  int
+}
+
+// Node implements Source.
+func (s SliceSource) Node(i int, out *FlatNode) {
+	DecodeNode(func(j int) float64 { return s.Flat[j] }, s.Off, i, out)
+}
+
+// Accel accumulates the acceleration at point (px, py, pz) due to the
+// tree provided by src, using opening angle theta and Plummer softening
+// eps. It returns the acceleration components and the number of body/cell
+// interactions evaluated (for flop accounting: roughly 20 flops each).
+func Accel(src Source, px, py, pz, theta, eps float64) (ax, ay, az float64, interactions int64) {
+	eps2 := eps * eps
+	var stack [128]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	var nd FlatNode
+	for sp > 0 {
+		sp--
+		src.Node(int(stack[sp]), &nd)
+		if nd.Mass == 0 {
+			continue
+		}
+		dx, dy, dz := nd.ComX-px, nd.ComY-py, nd.ComZ-pz
+		d2 := dx*dx + dy*dy + dz*dz
+		size := 2 * nd.Half
+		if size*size < theta*theta*d2 {
+			// Cell is far enough: use its multipole (monopole) moment.
+			inv := 1 / math.Sqrt(d2+eps2)
+			f := nd.Mass * inv * inv * inv
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+			interactions++
+			continue
+		}
+		isLeaf := true
+		for c := 0; c < 8; c++ {
+			if ci := nd.Child[c]; ci >= 0 {
+				isLeaf = false
+				if sp >= len(stack) {
+					panic("octree: traversal stack overflow")
+				}
+				stack[sp] = ci
+				sp++
+			}
+		}
+		if isLeaf {
+			for k := 0; k < int(nd.NBody); k++ {
+				bx, by, bz, bm := nd.Bodies[k*4], nd.Bodies[k*4+1], nd.Bodies[k*4+2], nd.Bodies[k*4+3]
+				if bm == 0 {
+					continue
+				}
+				dx, dy, dz := bx-px, by-py, bz-pz
+				d2 := dx*dx + dy*dy + dz*dz
+				inv := 1 / math.Sqrt(d2+eps2)
+				f := bm * inv * inv * inv
+				ax += f * dx
+				ay += f * dy
+				az += f * dz
+				interactions++
+			}
+		}
+	}
+	return ax, ay, az, interactions
+}
+
+// DirectAccel computes the exact O(n) acceleration at (px, py, pz) from
+// all bodies (the O(n^2) reference when called per body).
+func DirectAccel(bodies []Body, px, py, pz, eps float64) (ax, ay, az float64) {
+	eps2 := eps * eps
+	for _, b := range bodies {
+		dx, dy, dz := b.X-px, b.Y-py, b.Z-pz
+		d2 := dx*dx + dy*dy + dz*dz
+		inv := 1 / math.Sqrt(d2+eps2)
+		f := b.M * inv * inv * inv
+		ax += f * dx
+		ay += f * dy
+		az += f * dz
+	}
+	return ax, ay, az
+}

@@ -1,0 +1,81 @@
+// Package partition provides index-space distributions used to place
+// shared arrays across nodes. PPM's runtime handles data distribution
+// automatically; block distribution is its default placement policy.
+package partition
+
+import "fmt"
+
+// Block is a block (contiguous-range) distribution of n indices over
+// parts owners. The first n%parts owners hold one extra element.
+type Block struct {
+	N     int
+	Parts int
+}
+
+// NewBlock returns a block distribution of n items over parts owners.
+func NewBlock(n, parts int) Block {
+	if n < 0 || parts <= 0 {
+		panic(fmt.Sprintf("partition: invalid Block(%d, %d)", n, parts))
+	}
+	return Block{N: n, Parts: parts}
+}
+
+// Range returns the half-open index range owned by part p.
+func (b Block) Range(p int) (lo, hi int) {
+	if p < 0 || p >= b.Parts {
+		panic(fmt.Sprintf("partition: part %d out of %d", p, b.Parts))
+	}
+	base := b.N / b.Parts
+	rem := b.N % b.Parts
+	lo = p*base + minInt(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Size returns the number of indices owned by part p.
+func (b Block) Size(p int) int {
+	lo, hi := b.Range(p)
+	return hi - lo
+}
+
+// Owner returns the part that owns index i.
+func (b Block) Owner(i int) int {
+	if i < 0 || i >= b.N {
+		panic(fmt.Sprintf("partition: index %d out of %d", i, b.N))
+	}
+	base := b.N / b.Parts
+	rem := b.N % b.Parts
+	cut := rem * (base + 1)
+	if i < cut {
+		return i / (base + 1)
+	}
+	return rem + (i-cut)/base
+}
+
+// Counts returns the per-part sizes (useful for gather/scatter plans).
+func (b Block) Counts() []int {
+	out := make([]int, b.Parts)
+	for p := range out {
+		out[p] = b.Size(p)
+	}
+	return out
+}
+
+// Displs returns the per-part starting offsets.
+func (b Block) Displs() []int {
+	out := make([]int, b.Parts)
+	for p := range out {
+		out[p], _ = b.Range(p)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

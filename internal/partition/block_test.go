@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeCoversAll(t *testing.T) {
+	b := NewBlock(10, 3)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	for p, w := range want {
+		lo, hi := b.Range(p)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("Range(%d) = [%d,%d), want %v", p, lo, hi, w)
+		}
+	}
+}
+
+func TestOwnerMatchesRange(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		parts := int(pRaw%37) + 1
+		b := NewBlock(n, parts)
+		// Every index is owned by exactly the part whose range contains it.
+		for i := 0; i < n; i++ {
+			p := b.Owner(i)
+			lo, hi := b.Range(p)
+			if i < lo || i >= hi {
+				return false
+			}
+		}
+		// Ranges tile [0,n).
+		total := 0
+		prevHi := 0
+		for p := 0; p < parts; p++ {
+			lo, hi := b.Range(p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+			total += hi - lo
+			if b.Size(p) != hi-lo {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorePartsThanItems(t *testing.T) {
+	b := NewBlock(2, 5)
+	sizes := b.Counts()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 2 {
+		t.Errorf("counts %v do not total 2", sizes)
+	}
+	if b.Owner(0) != 0 || b.Owner(1) != 1 {
+		t.Errorf("owners: %d, %d", b.Owner(0), b.Owner(1))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	b := NewBlock(0, 3)
+	for p := 0; p < 3; p++ {
+		if b.Size(p) != 0 {
+			t.Errorf("part %d not empty", p)
+		}
+	}
+}
+
+func TestCountsDispls(t *testing.T) {
+	b := NewBlock(11, 4)
+	counts, displs := b.Counts(), b.Displs()
+	off := 0
+	for p := range counts {
+		if displs[p] != off {
+			t.Errorf("displs[%d] = %d, want %d", p, displs[p], off)
+		}
+		off += counts[p]
+	}
+	if off != 11 {
+		t.Errorf("total %d", off)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"neg n":      func() { NewBlock(-1, 2) },
+		"zero parts": func() { NewBlock(4, 0) },
+		"bad part":   func() { NewBlock(4, 2).Range(2) },
+		"bad index":  func() { NewBlock(4, 2).Owner(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,188 @@
+// Package trace turns the cluster's structured observer events into
+// communication summaries and per-rank activity timelines — the kind of
+// post-mortem view a performance engineer wants after a simulated run.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppm/internal/cluster"
+	"ppm/internal/vtime"
+)
+
+// Collector accumulates observer events. Install it with Observer() and
+// inspect it after the run completes. Events arrive in deterministic
+// schedule order from a single goroutine at a time, so no locking is
+// needed for the simulator's use.
+type Collector struct {
+	events []cluster.Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Observer returns the callback to place in cluster.Config.Observer.
+func (c *Collector) Observer() func(cluster.Event) {
+	return func(ev cluster.Event) { c.events = append(c.events, ev) }
+}
+
+// Len returns the number of collected events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Events returns the collected events in arrival order.
+func (c *Collector) Events() []cluster.Event { return c.events }
+
+// RankSummary aggregates one rank's communication activity.
+type RankSummary struct {
+	Rank      int
+	Sends     int
+	Recvs     int
+	SentBytes int64
+	RecvBytes int64
+	Barriers  int
+	ExitTime  vtime.Time
+}
+
+// PairTraffic is the message volume between an ordered rank pair.
+type PairTraffic struct {
+	Src, Dst int
+	Msgs     int
+	Bytes    int64
+}
+
+// Summary is the digest of a whole run's communication.
+type Summary struct {
+	Ranks    []RankSummary
+	Pairs    []PairTraffic // sorted by bytes, descending
+	Makespan vtime.Time
+}
+
+// Summarize digests the collected events.
+func (c *Collector) Summarize() *Summary {
+	maxRank := -1
+	for _, ev := range c.events {
+		if ev.Rank > maxRank {
+			maxRank = ev.Rank
+		}
+	}
+	s := &Summary{Ranks: make([]RankSummary, maxRank+1)}
+	for i := range s.Ranks {
+		s.Ranks[i].Rank = i
+	}
+	pairs := make(map[[2]int]*PairTraffic)
+	for _, ev := range c.events {
+		r := &s.Ranks[ev.Rank]
+		switch ev.Kind {
+		case cluster.EvSend:
+			r.Sends++
+			r.SentBytes += int64(ev.Bytes)
+			key := [2]int{ev.Rank, ev.Peer}
+			pt := pairs[key]
+			if pt == nil {
+				pt = &PairTraffic{Src: ev.Rank, Dst: ev.Peer}
+				pairs[key] = pt
+			}
+			pt.Msgs++
+			pt.Bytes += int64(ev.Bytes)
+		case cluster.EvRecv:
+			r.Recvs++
+			r.RecvBytes += int64(ev.Bytes)
+		case cluster.EvBarrier:
+			r.Barriers++
+		case cluster.EvExit:
+			r.ExitTime = ev.Time
+		}
+		if ev.Time.After(s.Makespan) {
+			s.Makespan = ev.Time
+		}
+	}
+	for _, pt := range pairs {
+		s.Pairs = append(s.Pairs, *pt)
+	}
+	sort.Slice(s.Pairs, func(i, j int) bool {
+		if s.Pairs[i].Bytes != s.Pairs[j].Bytes {
+			return s.Pairs[i].Bytes > s.Pairs[j].Bytes
+		}
+		if s.Pairs[i].Src != s.Pairs[j].Src {
+			return s.Pairs[i].Src < s.Pairs[j].Src
+		}
+		return s.Pairs[i].Dst < s.Pairs[j].Dst
+	})
+	return s
+}
+
+// String renders the summary as an aligned report: per-rank rows plus the
+// heaviest communication pairs.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication summary (makespan %v)\n", s.Makespan)
+	fmt.Fprintf(&b, "%5s  %8s  %8s  %12s  %12s  %9s\n",
+		"rank", "sends", "recvs", "sent [B]", "recvd [B]", "barriers")
+	for _, r := range s.Ranks {
+		fmt.Fprintf(&b, "%5d  %8d  %8d  %12d  %12d  %9d\n",
+			r.Rank, r.Sends, r.Recvs, r.SentBytes, r.RecvBytes, r.Barriers)
+	}
+	n := len(s.Pairs)
+	if n > 8 {
+		n = 8
+	}
+	if n > 0 {
+		b.WriteString("heaviest pairs:\n")
+		for _, pt := range s.Pairs[:n] {
+			fmt.Fprintf(&b, "  %3d -> %3d  %8d msgs  %12d bytes\n", pt.Src, pt.Dst, pt.Msgs, pt.Bytes)
+		}
+	}
+	return b.String()
+}
+
+// Timeline renders a coarse per-rank activity strip: virtual time is cut
+// into buckets columns wide; a bucket shows '#' when the rank sent or
+// received in it, '|' when it hit a barrier, '.' otherwise, and ends at
+// the rank's exit.
+func (c *Collector) Timeline(columns int) string {
+	if columns <= 0 {
+		columns = 60
+	}
+	s := c.Summarize()
+	if s.Makespan <= 0 || len(s.Ranks) == 0 {
+		return "(no events)\n"
+	}
+	width := s.Makespan.Seconds() / float64(columns)
+	rows := make([][]byte, len(s.Ranks))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", columns))
+	}
+	bucket := func(t vtime.Time) int {
+		b := int(t.Seconds() / width)
+		if b >= columns {
+			b = columns - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	for _, ev := range c.events {
+		row := rows[ev.Rank]
+		switch ev.Kind {
+		case cluster.EvSend, cluster.EvRecv:
+			row[bucket(ev.Time)] = '#'
+		case cluster.EvBarrier:
+			if row[bucket(ev.Time)] != '#' {
+				row[bucket(ev.Time)] = '|'
+			}
+		case cluster.EvExit:
+			for i := bucket(ev.Time) + 1; i < columns; i++ {
+				row[i] = ' '
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (one column = %v)\n", vtime.Duration(width))
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%4d |%s|\n", i, row)
+	}
+	return b.String()
+}

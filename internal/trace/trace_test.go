@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ppm/internal/cluster"
+	"ppm/internal/machine"
+)
+
+func collectRun(t *testing.T, procs, perNode int, prog cluster.Program) *Collector {
+	t.Helper()
+	col := NewCollector()
+	cfg := cluster.Config{Procs: procs, ProcsPerNode: perNode, Machine: machine.Generic(), Observer: col.Observer()}
+	if _, err := cluster.Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func pingPong(p *cluster.Proc) {
+	partner := p.Rank() ^ 1
+	for i := 0; i < 3; i++ {
+		if p.Rank()%2 == 0 {
+			p.Send(partner, i, nil, 100)
+			p.Recv(partner, i)
+		} else {
+			p.Recv(partner, i)
+			p.Send(partner, i, nil, 100)
+		}
+	}
+	p.Barrier()
+}
+
+func TestCollectorCounts(t *testing.T) {
+	col := collectRun(t, 4, 2, pingPong)
+	s := col.Summarize()
+	if len(s.Ranks) != 4 {
+		t.Fatalf("ranks: %d", len(s.Ranks))
+	}
+	for _, r := range s.Ranks {
+		if r.Sends != 3 || r.Recvs != 3 {
+			t.Errorf("rank %d: %d sends, %d recvs", r.Rank, r.Sends, r.Recvs)
+		}
+		if r.SentBytes != 300 || r.RecvBytes != 300 {
+			t.Errorf("rank %d bytes: %d/%d", r.Rank, r.SentBytes, r.RecvBytes)
+		}
+		if r.Barriers != 1 {
+			t.Errorf("rank %d barriers: %d", r.Rank, r.Barriers)
+		}
+		if r.ExitTime <= 0 {
+			t.Errorf("rank %d exit time missing", r.Rank)
+		}
+	}
+	if s.Makespan <= 0 {
+		t.Error("makespan missing")
+	}
+}
+
+func TestPairTrafficSorted(t *testing.T) {
+	col := collectRun(t, 3, 1, func(p *cluster.Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 0, nil, 1000)
+			p.Send(2, 0, nil, 10)
+		case 1:
+			p.Recv(0, 0)
+		case 2:
+			p.Recv(0, 0)
+		}
+	})
+	s := col.Summarize()
+	if len(s.Pairs) != 2 {
+		t.Fatalf("pairs: %d", len(s.Pairs))
+	}
+	if s.Pairs[0].Bytes < s.Pairs[1].Bytes {
+		t.Error("pairs not sorted by bytes descending")
+	}
+	if s.Pairs[0].Src != 0 || s.Pairs[0].Dst != 1 {
+		t.Errorf("heaviest pair %d->%d", s.Pairs[0].Src, s.Pairs[0].Dst)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	col := collectRun(t, 2, 1, pingPong)
+	out := col.Summarize().String()
+	for _, want := range []string{"communication summary", "rank", "heaviest pairs", "0 ->   1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	col := collectRun(t, 2, 1, pingPong)
+	tl := col.Timeline(40)
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 ranks
+		t.Fatalf("timeline lines: %d\n%s", len(lines), tl)
+	}
+	if !strings.Contains(tl, "#") {
+		t.Errorf("timeline shows no activity:\n%s", tl)
+	}
+	// Default width fallback.
+	if empty := NewCollector().Timeline(0); !strings.Contains(empty, "no events") {
+		t.Errorf("empty timeline: %q", empty)
+	}
+}
+
+func TestDeterministicEventOrder(t *testing.T) {
+	run := func() []cluster.Event {
+		col := collectRun(t, 4, 2, pingPong)
+		return col.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAdd(t *testing.T) {
+	tm := Time(1.5)
+	got := tm.Add(Duration(0.25))
+	if got != Time(1.75) {
+		t.Errorf("Add: got %v, want 1.75", got)
+	}
+}
+
+func TestTimeAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with negative duration did not panic")
+		}
+	}()
+	Time(1).Add(Duration(-1))
+}
+
+func TestTimeSub(t *testing.T) {
+	if d := Time(3).Sub(Time(1)); d != Duration(2) {
+		t.Errorf("Sub: got %v, want 2", d)
+	}
+	if d := Time(1).Sub(Time(3)); d != Duration(-2) {
+		t.Errorf("Sub: got %v, want -2", d)
+	}
+}
+
+func TestBeforeAfterMax(t *testing.T) {
+	a, b := Time(1), Time(2)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before ordering wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After ordering wrong")
+	}
+	if a.Max(b) != b || b.Max(a) != b {
+		t.Error("Max wrong")
+	}
+}
+
+func TestNeverSortsLast(t *testing.T) {
+	if !Time(1e30).Before(Never) {
+		t.Error("Never should follow any reachable time")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.5s"},
+		{0.0025, "2.5ms"},
+		{3e-6, "3us"},
+		{4e-10, "0.4ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMaxDuration(t *testing.T) {
+	if MaxDuration(1, 2) != 2 || MaxDuration(2, 1) != 2 {
+		t.Error("MaxDuration wrong")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("nic")
+	// First job: starts at 1, runs 2 -> done at 3.
+	if done := r.Acquire(1, 2); done != 3 {
+		t.Fatalf("first acquire done at %v, want 3", done)
+	}
+	// Second job arrives at 2 while busy -> starts at 3, done at 4.
+	if done := r.Acquire(2, 1); done != 4 {
+		t.Fatalf("second acquire done at %v, want 4", done)
+	}
+	// Third job arrives after idle at 10 -> done at 10.5.
+	if done := r.Acquire(10, 0.5); done != 10.5 {
+		t.Fatalf("third acquire done at %v, want 10.5", done)
+	}
+	if r.Utilized() != 3.5 {
+		t.Errorf("Utilized = %v, want 3.5", r.Utilized())
+	}
+	if r.Ops() != 3 {
+		t.Errorf("Ops = %d, want 3", r.Ops())
+	}
+	if r.Name() != "nic" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 5)
+	r.Reset()
+	if r.FreeAt() != Zero || r.Utilized() != 0 || r.Ops() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestResourceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative acquire did not panic")
+		}
+	}()
+	NewResource("x").Acquire(0, -1)
+}
+
+// Property: completions are monotonically non-decreasing and utilization
+// equals the sum of the requested durations.
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(arrivals []uint16, durs []uint16) bool {
+		r := NewResource("p")
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		var last Time
+		var total Duration
+		for i := 0; i < n; i++ {
+			at := Time(float64(arrivals[i]) / 16)
+			d := Duration(float64(durs[i]) / 16)
+			done := r.Acquire(at, d)
+			if done.Before(last) || done.Before(at.Add(d)) {
+				return false
+			}
+			last = done
+			total += d
+		}
+		return math.Abs(float64(r.Utilized()-total)) < 1e-9*math.Max(1, float64(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

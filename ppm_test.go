@@ -1,0 +1,154 @@
+package ppm_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"ppm"
+)
+
+// ExampleRun shows the smallest complete PPM program: a shared histogram
+// filled by a thousand virtual processors across four nodes.
+func ExampleRun() {
+	rep, err := ppm.Run(ppm.Options{Nodes: 4, Machine: ppm.GenericMachine()}, func(rt *ppm.Runtime) {
+		hist := ppm.AllocGlobal[int64](rt, "hist", 10)
+		rt.Do(1000, func(vp *ppm.VP) {
+			vp.GlobalPhase(func() {
+				hist.Add(vp, vp.GlobalRank()%10, 1)
+			})
+		})
+		if rt.NodeID() == 0 {
+			fmt.Println("bucket 0:", hist.At(rt, 0))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes:", rep.Cluster.Nodes)
+	// Output:
+	// bucket 0: 400
+	// nodes: 4
+}
+
+// ExampleVP_GlobalPhase demonstrates the model's core guarantee: within a
+// phase, reads observe the values from the beginning of the phase; writes
+// appear only afterwards.
+func ExampleVP_GlobalPhase() {
+	_, err := ppm.Run(ppm.Options{Nodes: 1, Machine: ppm.GenericMachine()}, func(rt *ppm.Runtime) {
+		a := ppm.AllocGlobal[int64](rt, "a", 1)
+		rt.Do(1, func(vp *ppm.VP) {
+			vp.GlobalPhase(func() {
+				a.Write(vp, 0, 42)
+				fmt.Println("inside the phase:", a.Read(vp, 0))
+			})
+			vp.GlobalPhase(func() {
+				fmt.Println("next phase:", a.Read(vp, 0))
+			})
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// inside the phase: 0
+	// next phase: 42
+}
+
+// ExamplePrefixSumGlobal shows the parallel-prefix utility.
+func ExamplePrefixSumGlobal() {
+	_, err := ppm.Run(ppm.Options{Nodes: 3, Machine: ppm.GenericMachine()}, func(rt *ppm.Runtime) {
+		g := ppm.AllocGlobal[int64](rt, "g", 6)
+		ppm.CopyIn(rt, g, []int64{1, 2, 3, 4, 5, 6})
+		ppm.PrefixSumGlobal(rt, g)
+		if rt.NodeID() == 0 {
+			fmt.Println(ppm.CopyOut(rt, g))
+		} else {
+			ppm.CopyOut(rt, g) // collective: all nodes participate
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// [0 1 3 6 10 15]
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	// The facade must expose the model end to end: allocation, phases,
+	// reductions, 2-D views, system variables, machine presets.
+	rep, err := ppm.Run(ppm.Options{Nodes: 2, Machine: ppm.Franklin()}, func(rt *ppm.Runtime) {
+		if rt.NodeCount() != 2 || rt.CoresPerNode() != 4 {
+			t.Errorf("system variables: %d nodes, %d cores", rt.NodeCount(), rt.CoresPerNode())
+		}
+		g := ppm.AllocGlobal[float64](rt, "g", 16)
+		nd := ppm.AllocNode[float64](rt, "n", 4)
+		m := ppm.AllocGlobal2D[int64](rt, "m", 4, 4)
+		ppm.FillGlobal(rt, g, 1)
+		rt.Do(4, func(vp *ppm.VP) {
+			vp.GlobalPhase(func() {
+				lo, hi := ppm.ChunkRange(16, vp.K()*vp.Nodes(), vp.GlobalRank())
+				for i := lo; i < hi; i++ {
+					g.Write(vp, i, g.Read(vp, i)+float64(i))
+					m.Write(vp, i/4, i%4, int64(i))
+				}
+			})
+			vp.NodePhase(func() {
+				nd.Write(vp, vp.NodeRank(), float64(vp.NodeRank()))
+			})
+		})
+		sum := ppm.ReduceGlobal(rt, g, func(a, b float64) float64 { return a + b })
+		if sum != 16+120 {
+			t.Errorf("ReduceGlobal = %v, want 136", sum)
+		}
+		if got := rt.AllReduce(1, ppm.OpSum); got != 2 {
+			t.Errorf("AllReduce = %v", got)
+		}
+		if rt.NodeID() == 0 && m.At(rt, 3, 3) != 15 {
+			t.Errorf("Global2D[3,3] = %d", m.At(rt, 3, 3))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan() <= 0 {
+		t.Error("no simulated time")
+	}
+	if !strings.Contains(rep.String(), "nodes=2") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	for _, m := range []*ppm.Machine{ppm.Franklin(), ppm.GenericMachine(), ppm.Manycore(32)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if ppm.Manycore(32).CoresPerNode != 32 {
+		t.Error("Manycore cores not applied")
+	}
+}
+
+func TestErrorsSurfaceThroughFacade(t *testing.T) {
+	_, err := ppm.Run(ppm.Options{Nodes: 2, Machine: ppm.GenericMachine()}, func(rt *ppm.Runtime) {
+		rt.Do(1, func(vp *ppm.VP) {
+			if vp.Node() == 1 {
+				panic("surface me")
+			}
+			vp.NodePhase(func() {})
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "surface me") {
+		t.Errorf("expected surfaced panic, got %v", err)
+	}
+}
+
+func TestTimeTypesExposed(t *testing.T) {
+	var tm ppm.Time = 1.5
+	var d ppm.Duration = 0.5
+	if tm.Add(d) != 2 {
+		t.Error("time arithmetic through facade broken")
+	}
+}
