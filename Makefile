@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-hotpath figures
+
+## check: the tier-1 gate — build, vet and race-test everything.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-hotpath: regenerate BENCH_hotpath.json (host costs of the
+## shared-access hot path; see bench_test.go).
+bench-hotpath:
+	BENCH_HOTPATH=1 $(GO) test -run TestHotpathBenchArtifact -v .
+
+## figures: print the paper's figure sweeps.
+figures:
+	$(GO) run ./cmd/ppm-figures

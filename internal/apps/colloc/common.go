@@ -155,13 +155,35 @@ func RowPattern(p Params, i int) []ColRef {
 // runs over the level-Lq nodes inside the column basis's support; those
 // node indices are the fine-grained reads the runtimes must move.
 func EntryValue(p Params, ti float64, c ColRef, gread func(j int) float64) (val float64, flops int64) {
+	j0, perCell := EntrySupport(p, c)
 	qn := p.q(c.Lq)
-	perCell := qn / p.m(c.Lj) // level-Lq nodes inside the column's support
-	j0 := c.Kj * perCell
 	w := 1 / float64(qn)
 	for j := j0; j < j0+perCell; j++ {
 		s := (float64(j) + 0.5) / float64(qn)
 		val += w * kernel(ti, s) * hat(p, c.Lj, c.Kj, s) * gread(j)
+	}
+	return val, int64(perCell) * (kernelFlops + 8)
+}
+
+// EntrySupport returns the contiguous level-Lq table range [j0, j0+n)
+// that EntryValue reads for entry c: callers that can fetch the run in
+// one block access prefetch it and use EntryValueBlock.
+func EntrySupport(p Params, c ColRef) (j0, n int) {
+	n = p.q(c.Lq) / p.m(c.Lj) // level-Lq nodes inside the column's support
+	return c.Kj * n, n
+}
+
+// EntryValueBlock is EntryValue over a prefetched table run: tab[i] must
+// hold table value j0+i for the range EntrySupport reports. The floating-
+// point evaluation order is identical to EntryValue's, so both produce
+// bitwise-equal entries.
+func EntryValueBlock(p Params, ti float64, c ColRef, tab []float64) (val float64, flops int64) {
+	j0, perCell := EntrySupport(p, c)
+	qn := p.q(c.Lq)
+	w := 1 / float64(qn)
+	for j := j0; j < j0+perCell; j++ {
+		s := (float64(j) + 0.5) / float64(qn)
+		val += w * kernel(ti, s) * hat(p, c.Lj, c.Kj, s) * tab[j-j0]
 	}
 	return val, int64(perCell) * (kernelFlops + 8)
 }

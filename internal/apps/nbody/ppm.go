@@ -27,7 +27,10 @@ func (s *treeSource) Node(i int, out *octree.FlatNode) {
 		return
 	}
 	nd := new(octree.FlatNode)
-	octree.DecodeNode(func(j int) float64 { return s.g.Read(s.vp, j) }, s.off, i, nd)
+	// A record is two contiguous slot runs (header, inline bodies), so it
+	// is fetched with block reads; the elements and their modeled costs
+	// match the scalar DecodeNode exactly.
+	octree.DecodeNodeRuns(func(lo, hi int, dst []float64) { s.g.ReadBlock(s.vp, lo, hi, dst) }, s.off, i, nd)
 	s.cache[key] = nd
 	*out = *nd
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"ppm/internal/vtime"
 )
 
@@ -25,30 +27,110 @@ type vpFlusher interface {
 	flushNode(d *doRun, phaseSeq int64) (bytes int64, err error)
 	// owner identifies the array this buffer belongs to.
 	owner() any
+	// release returns the buffer to its array's pool at the end of a Do.
+	release()
 }
 
-// gBuf buffers one VP's writes to one Global array.
+// gBuf buffers one VP's writes to one Global array as run-length records.
+// Block writes land in the arena directly; contiguous scalar writes
+// coalesce into arena-backed runs, so the commit path applies whole runs
+// with copy instead of iterating 32-byte per-element records.
 type gBuf[T Elem] struct {
-	g    *Global[T]
-	recs []writeRec[T]
+	g     *Global[T]
+	wid   int64 // owning VP's writer id, set when the buffer is acquired
+	recs  []writeRec[T]
+	arena []T
 }
 
 func (b *gBuf[T]) owner() any { return b.g }
 
+func (b *gBuf[T]) release() {
+	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
+	b.g.bufPool.Put(b)
+}
+
+// push buffers one scalar write, extending the previous record when it is
+// contiguous with the same combine mode (the writer is the same by
+// construction — the buffer belongs to one VP).
+func (b *gBuf[T]) push(i int, v T, add bool) {
+	if k := len(b.recs); k > 0 {
+		last := &b.recs[k-1]
+		if last.add == add && last.lo+last.n == i {
+			if last.off >= 0 {
+				if last.off+last.n == len(b.arena) {
+					b.arena = append(b.arena, v)
+					last.n++
+					return
+				}
+			} else {
+				// Promote the inline scalar to an arena-backed run.
+				off := len(b.arena)
+				b.arena = append(b.arena, last.val, v)
+				last.off = off
+				last.n = 2
+				return
+			}
+		}
+	}
+	b.recs = append(b.recs, writeRec[T]{lo: i, n: 1, off: -1, val: v, add: add, writer: b.wid})
+}
+
+// pushRun buffers one block write as a single run.
+func (b *gBuf[T]) pushRun(lo int, src []T, add bool) {
+	off := len(b.arena)
+	b.arena = append(b.arena, src...)
+	if k := len(b.recs); k > 0 {
+		last := &b.recs[k-1]
+		if last.add == add && last.lo+last.n == lo && last.off >= 0 && last.off+last.n == off {
+			last.n += len(src)
+			return
+		}
+	}
+	b.recs = append(b.recs, writeRec[T]{lo: lo, n: len(src), off: off, add: add, writer: b.wid})
+}
+
+// flushGlobal stages this buffer's runs, splitting each at partition
+// boundaries so every staged run has a single destination node.
 func (b *gBuf[T]) flushGlobal(d *doRun, t *sendTally, phaseSeq int64) error {
 	node := d.node
-	for _, r := range b.recs {
-		dst := b.g.part.Owner(r.idx)
-		b.g.stage[dst][node] = append(b.g.stage[dst][node], r)
-		if dst != node {
-			t.elems[dst]++
-			t.bytes[dst] += int64(b.g.es + 8)
-		} else {
-			t.localElems++
-			t.localBytes += int64(b.g.es + 8)
+	g := b.g
+	es8 := int64(g.es + 8)
+	for ri := range b.recs {
+		r := &b.recs[ri]
+		lo, rest := r.lo, r.n
+		for rest > 0 {
+			dst := g.part.Owner(lo)
+			_, phi := g.part.Range(dst)
+			n := rest
+			if lo+n > phi {
+				n = phi - lo
+			}
+			sr := stageRec[T]{lo: lo, n: n, add: r.add, writer: r.writer}
+			if r.off >= 0 {
+				o := r.off + (lo - r.lo)
+				sr.vals = b.arena[o : o+n : o+n]
+			} else {
+				sr.val = r.val
+			}
+			g.stage[dst][node] = append(g.stage[dst][node], sr)
+			if dst != node {
+				t.elems[dst] += int64(n)
+				t.bytes[dst] += int64(n) * es8
+			} else {
+				t.localElems += int64(n)
+				t.localBytes += int64(n) * es8
+			}
+			lo += n
+			rest -= n
 		}
 	}
 	b.recs = b.recs[:0]
+	// The arena may still be aliased by staged runs; truncation is safe
+	// because new writes (which would overwrite it) can only be buffered
+	// after the commit's final barrier, by which time every node has
+	// applied its incoming stage.
+	b.arena = b.arena[:0]
 	return nil
 }
 
@@ -56,36 +138,95 @@ func (b *gBuf[T]) flushNode(d *doRun, phaseSeq int64) (int64, error) {
 	var bytes int64
 	var firstErr error
 	strict := d.rt.gs.opt.StrictWrites
-	for _, r := range b.recs {
-		if err := b.g.applyDirect(d.node, strict, phaseSeq, r); err != nil && firstErr == nil {
+	for ri := range b.recs {
+		r := &b.recs[ri]
+		sr := stageRec[T]{lo: r.lo, n: r.n, add: r.add, writer: r.writer}
+		if r.off >= 0 {
+			sr.vals = b.arena[r.off : r.off+r.n]
+		} else {
+			sr.val = r.val
+		}
+		if err := b.g.applyRun(d.node, strict, phaseSeq, &sr); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		bytes += int64(b.g.es)
+		bytes += int64(r.n) * int64(b.g.es)
 	}
 	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
 	return bytes, firstErr
 }
 
 // nBuf buffers one VP's writes to one Node array. Node-array records are
 // node-local by definition, so both commit paths apply them directly.
 type nBuf[T Elem] struct {
-	a    *Node[T]
-	recs []writeRec[T]
+	a     *Node[T]
+	wid   int64 // owning VP's writer id, set when the buffer is acquired
+	recs  []writeRec[T]
+	arena []T
 }
 
 func (b *nBuf[T]) owner() any { return b.a }
+
+func (b *nBuf[T]) release() {
+	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
+	b.a.bufPool.Put(b)
+}
+
+func (b *nBuf[T]) push(i int, v T, add bool) {
+	if k := len(b.recs); k > 0 {
+		last := &b.recs[k-1]
+		if last.add == add && last.lo+last.n == i {
+			if last.off >= 0 {
+				if last.off+last.n == len(b.arena) {
+					b.arena = append(b.arena, v)
+					last.n++
+					return
+				}
+			} else {
+				off := len(b.arena)
+				b.arena = append(b.arena, last.val, v)
+				last.off = off
+				last.n = 2
+				return
+			}
+		}
+	}
+	b.recs = append(b.recs, writeRec[T]{lo: i, n: 1, off: -1, val: v, add: add, writer: b.wid})
+}
+
+func (b *nBuf[T]) pushRun(lo int, src []T, add bool) {
+	off := len(b.arena)
+	b.arena = append(b.arena, src...)
+	if k := len(b.recs); k > 0 {
+		last := &b.recs[k-1]
+		if last.add == add && last.lo+last.n == lo && last.off >= 0 && last.off+last.n == off {
+			last.n += len(src)
+			return
+		}
+	}
+	b.recs = append(b.recs, writeRec[T]{lo: lo, n: len(src), off: off, add: add, writer: b.wid})
+}
 
 func (b *nBuf[T]) apply(d *doRun, phaseSeq int64) (int64, error) {
 	var bytes int64
 	var firstErr error
 	strict := d.rt.gs.opt.StrictWrites
-	for _, r := range b.recs {
-		if err := b.a.applyDirect(d.node, strict, phaseSeq, r); err != nil && firstErr == nil {
+	for ri := range b.recs {
+		r := &b.recs[ri]
+		sr := stageRec[T]{lo: r.lo, n: r.n, add: r.add, writer: r.writer}
+		if r.off >= 0 {
+			sr.vals = b.arena[r.off : r.off+r.n]
+		} else {
+			sr.val = r.val
+		}
+		if err := b.a.applyRun(d.node, strict, phaseSeq, &sr); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		bytes += int64(b.a.es)
+		bytes += int64(r.n) * int64(b.a.es)
 	}
 	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
 	return bytes, firstErr
 }
 
@@ -100,14 +241,21 @@ func (b *nBuf[T]) flushNode(d *doRun, phaseSeq int64) (int64, error) {
 	return b.apply(d, phaseSeq)
 }
 
-// bufFor finds (or creates) the calling VP's write buffer for g.
+// bufFor finds (or creates, drawing on the array's pool) the calling
+// VP's write buffer for g, and notes the owning VP's writer id.
 func bufFor[T Elem](vp *VP, g *Global[T]) *gBuf[T] {
 	for _, b := range vp.bufs {
 		if b.owner() == g {
 			return b.(*gBuf[T])
 		}
 	}
-	b := &gBuf[T]{g: g}
+	var b *gBuf[T]
+	if v := g.bufPool.Get(); v != nil {
+		b = v.(*gBuf[T])
+	} else {
+		b = &gBuf[T]{g: g}
+	}
+	b.wid = vp.wid
 	vp.bufs = append(vp.bufs, b)
 	return b
 }
@@ -119,7 +267,13 @@ func nodeBufFor[T Elem](vp *VP, a *Node[T]) *nBuf[T] {
 			return b.(*nBuf[T])
 		}
 	}
-	b := &nBuf[T]{a: a}
+	var b *nBuf[T]
+	if v := a.bufPool.Get(); v != nil {
+		b = v.(*nBuf[T])
+	} else {
+		b = &nBuf[T]{a: a}
+	}
+	b.wid = vp.wid
 	vp.bufs = append(vp.bufs, b)
 	return b
 }
@@ -177,6 +331,107 @@ func (d *doRun) bundleCount(elems, bytes int64) int64 {
 		n = 1
 	}
 	return n
+}
+
+// mergeReadSets folds every VP's phase-local remote-read tracking into
+// per-owner element and byte counts. Direct counters (the NoReadCache
+// path) sum in VP rank order; the cached path computes the union of the
+// per-VP read sets — exactly the set the old node-level map accumulated,
+// but without any cross-VP lock. Interval runs are sorted and swept into
+// a disjoint cover, scattered indices are deduplicated against each other
+// and against the cover, and the result is counted per owning node. All
+// counts are integers, so the merge order cannot perturb them.
+func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
+	gs := d.rt.gs
+	na := len(gs.arrays)
+	if len(d.mrRuns) < na {
+		d.mrRuns = make([][]intRun, na)
+		d.mrIdx = make([][]int, na)
+	}
+	cached := false
+	for _, vp := range d.vps {
+		if vp.rrElems != nil {
+			for n := range rrElems {
+				rrElems[n] += vp.rrElems[n]
+				rrBytes[n] += vp.rrBytes[n]
+				vp.rrElems[n], vp.rrBytes[n] = 0, 0
+			}
+		}
+		for id, rs := range vp.rdRuns {
+			if len(rs) > 0 {
+				d.mrRuns[id] = append(d.mrRuns[id], rs...)
+				vp.rdRuns[id] = rs[:0]
+				cached = true
+			}
+		}
+		if len(vp.rdIdx) > 0 {
+			for k := range vp.rdIdx {
+				d.mrIdx[k.array] = append(d.mrIdx[k.array], k.idx)
+			}
+			clear(vp.rdIdx)
+			cached = true
+		}
+	}
+	if !cached {
+		return
+	}
+	for id := 0; id < na; id++ {
+		runs, idxs := d.mrRuns[id], d.mrIdx[id]
+		if len(runs) == 0 && len(idxs) == 0 {
+			continue
+		}
+		arr := gs.arrays[id]
+		es := int64(arr.elemBytes())
+		// Sweep the runs into a disjoint cover, in place.
+		if len(runs) > 1 {
+			sort.Slice(runs, func(i, j int) bool { return runs[i].lo < runs[j].lo })
+			m := 0
+			for i := 1; i < len(runs); i++ {
+				if runs[i].lo <= runs[m].hi {
+					if runs[i].hi > runs[m].hi {
+						runs[m].hi = runs[i].hi
+					}
+				} else {
+					m++
+					runs[m] = runs[i]
+				}
+			}
+			runs = runs[:m+1]
+		}
+		for _, r := range runs {
+			for s := r.lo; s < r.hi; {
+				owner, end := arr.ownerSpan(s)
+				e := r.hi
+				if e > end {
+					e = end
+				}
+				rrElems[owner] += int64(e - s)
+				rrBytes[owner] += int64(e-s) * es
+				s = e
+			}
+		}
+		if len(idxs) > 0 {
+			sort.Ints(idxs)
+			ri, prev := 0, -1
+			for _, ix := range idxs {
+				if ix == prev {
+					continue
+				}
+				prev = ix
+				for ri < len(runs) && runs[ri].hi <= ix {
+					ri++
+				}
+				if ri < len(runs) && runs[ri].lo <= ix {
+					continue // already covered by a block run
+				}
+				owner, _ := arr.ownerSpan(ix)
+				rrElems[owner]++
+				rrBytes[owner] += es
+			}
+		}
+		d.mrRuns[id] = runs[:0]
+		d.mrIdx[id] = idxs[:0]
+	}
 }
 
 // commit finalizes one phase: merges VP accounting, models the bundled
@@ -243,8 +498,8 @@ func (d *doRun) commitGlobal() error {
 		Add(vtime.Duration(mach.PhaseFixedCost)).
 		Add(span)
 
-	// 2. Drain VP write buffers in rank order (fixes merge order) and
-	// collect read/write traffic tallies.
+	// 2. Drain VP write buffers in rank order (fixes merge order), then
+	// merge the per-VP read sets into the node-level traffic tallies.
 	tally := &sendTally{elems: make([]int64, nodes), bytes: make([]int64, nodes)}
 	rrElems := make([]int64, nodes)
 	rrBytes := make([]int64, nodes)
@@ -258,15 +513,9 @@ func (d *doRun) commitGlobal() error {
 				firstErr = err
 			}
 		}
-		if vp.rrElems != nil {
-			for n := 0; n < nodes; n++ {
-				rrElems[n] += vp.rrElems[n]
-				rrBytes[n] += vp.rrBytes[n]
-				vp.rrElems[n], vp.rrBytes[n] = 0, 0
-			}
-		}
 		vp.charge = 0
 	}
+	d.mergeReadSets(rrElems, rrBytes)
 
 	// 3. Model this node's outgoing bundled traffic: read request/reply
 	// round trips plus write pushes.
@@ -297,7 +546,6 @@ func (d *doRun) commitGlobal() error {
 			st.RemoteWriteElems += tally.elems[n]
 		}
 	}
-	clear(d.seen) // the node's read cache is only valid within one phase
 	st.BundlesOut += bundles
 	st.BytesOut += wireBytes
 

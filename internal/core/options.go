@@ -50,7 +50,10 @@ type Options struct {
 	// begin-of-phase value), so the runtime normally fetches each remote
 	// element at most once per node per phase into node shared memory and
 	// serves repeats locally; this switch charges every repeated fine-
-	// grained read as fresh traffic. Ablation switch.
+	// grained read as fresh traffic. The cache set is tracked per VP
+	// (interval runs for block reads, scattered indices for scalar reads)
+	// and merged into the node-level dedup counts at commit, so VPs never
+	// contend on a lock in the read hot path. Ablation switch.
 	NoReadCache bool
 	// StaticSchedule maps VPs to cores in contiguous blocks (the naive
 	// compiler loop transform) instead of the runtime's dynamic load

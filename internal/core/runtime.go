@@ -43,6 +43,10 @@ type registeredArray interface {
 	applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error)
 	// elemBytes returns the modeled element size.
 	elemBytes() int
+	// ownerSpan returns the node owning element i and the end of that
+	// node's partition (for splitting interval runs by owner at the
+	// read-set merge); node arrays are always local.
+	ownerSpan(i int) (owner, end int)
 	// label returns a diagnostic name.
 	label() string
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ppm/internal/mp"
 	"ppm/internal/partition"
@@ -12,12 +13,69 @@ import (
 // messaging layer uses.
 type Elem = mp.Elem
 
-// writeRec is one buffered shared-array update.
+// writeRec is one buffered run of shared-array updates: n consecutive
+// elements starting at lo. A scalar write is the n == 1, off < 0 case
+// with its value inline; block writes (and scalar writes coalesced into
+// them) keep their values in the owning buffer's arena at off. Run-length
+// records are what lets the commit path move a whole block with one copy
+// instead of one record per element.
 type writeRec[T Elem] struct {
-	idx    int
-	val    T
-	add    bool  // combine by addition instead of overwrite
+	lo     int
+	n      int
+	off    int // arena offset of the run's values; -1 for inline val
+	val    T   // inline value when off < 0 (then n == 1)
+	add    bool
 	writer int64 // (node<<32)|vpRank, for strict-mode diagnostics
+}
+
+// stageRec is one run staged for a destination node at a global-phase
+// commit: the same shape as writeRec but with the values resolved to a
+// concrete slice (runs may alias the source buffer's arena — safe,
+// because every node applies its incoming stage before the commit's
+// final barrier lets any VP buffer new writes).
+type stageRec[T Elem] struct {
+	lo     int
+	n      int
+	vals   []T // nil for an inline scalar
+	val    T
+	add    bool
+	writer int64
+}
+
+// conflictTracker is the strict-mode (StrictWrites) bookkeeping for one
+// shared array: per destination node, the writer of every element touched
+// in the current phase. It is allocated lazily at the first strict
+// commit, so runs without StrictWrites pay nothing for it.
+type conflictTracker struct {
+	seq []int64
+	m   []map[int]int64
+}
+
+func newConflictTracker(nodes int) *conflictTracker {
+	return &conflictTracker{seq: make([]int64, nodes), m: make([]map[int]int64, nodes)}
+}
+
+// check validates one run of plain writes against the phase's previous
+// writers, element by element (run-length records keep strict mode's
+// per-element semantics).
+func (ct *conflictTracker) check(name string, node int, phaseSeq int64, lo, n int, writer int64) error {
+	if ct.seq[node] != phaseSeq || ct.m[node] == nil {
+		ct.m[node] = make(map[int]int64)
+		ct.seq[node] = phaseSeq
+	}
+	mm := ct.m[node]
+	var firstErr error
+	for i := lo; i < lo+n; i++ {
+		if prev, ok := mm[i]; ok && prev != writer {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
+					name, i, prev>>32, prev&0xffffffff, writer>>32, writer&0xffffffff)
+			}
+			continue
+		}
+		mm[i] = writer
+	}
+	return firstErr
 }
 
 // allocArray registers a shared array collectively: every node calls the
@@ -52,8 +110,8 @@ func allocArray[A registeredArray](rt *Runtime, name string, mk func(id int) A) 
 // Global is a globally shared array: one logical array of n elements,
 // block-distributed across the cluster's nodes through virtual shared
 // memory (the paper's PPM_global_shared). Virtual processors access it
-// with Read/Write/Add inside phases; node-level code uses Local/At for
-// setup and result extraction.
+// with Read/Write/Add (or the block forms) inside phases; node-level
+// code uses Local/At for setup and result extraction.
 type Global[T Elem] struct {
 	gs   *globalState
 	id   int
@@ -62,13 +120,14 @@ type Global[T Elem] struct {
 	es   int
 	part partition.Block
 	base []T
-	// stage[dst][src] holds records written by src's VPs this phase,
+	// stage[dst][src] holds runs written by src's VPs this phase,
 	// destined for dst's partition; dst applies them after the phase's
 	// all-staged barrier.
-	stage [][][]writeRec[T]
-	// strict-mode conflict tracking, per destination node.
-	conflictSeq []int64
-	conflict    []map[int]int64
+	stage [][][]stageRec[T]
+	// strict-mode conflict tracking, allocated at first strict commit.
+	ct *conflictTracker
+	// bufPool recycles per-VP write buffers across Do invocations.
+	bufPool sync.Pool
 }
 
 // AllocGlobal allocates a globally shared array of n elements, block-
@@ -89,12 +148,10 @@ func AllocGlobal[T Elem](rt *Runtime, name string, n int) *Global[T] {
 			part: partition.NewBlock(n, nodes),
 			base: make([]T, n),
 		}
-		g.stage = make([][][]writeRec[T], nodes)
+		g.stage = make([][][]stageRec[T], nodes)
 		for d := range g.stage {
-			g.stage[d] = make([][]writeRec[T], nodes)
+			g.stage[d] = make([][]stageRec[T], nodes)
 		}
-		g.conflictSeq = make([]int64, nodes)
-		g.conflict = make([]map[int]int64, nodes)
 		return g
 	})
 	// Zeroing the local partition costs streaming time.
@@ -176,12 +233,14 @@ func (g *Global[T]) put(vp *VP, i int, v T, add bool) {
 		panic(fmt.Sprintf("core: Global(%q).Write(%d): remote access (owner %d) inside a node phase on node %d",
 			g.name, i, owner, vp.d.node))
 	}
-	buf := bufFor[T](vp, g)
-	buf.recs = append(buf.recs, writeRec[T]{idx: i, val: v, add: add, writer: vp.writerID()})
+	bufFor[T](vp, g).push(i, v, add)
 }
 
 // ReadBlock copies elements [lo, hi) into dst under phase semantics —
-// the array-section form of Read for contiguous access.
+// the array-section form of Read for contiguous access. It validates
+// once, copies with one memmove, and records remote traffic as interval
+// runs instead of per-element entries; the modeled per-element costs are
+// identical to hi-lo scalar Reads.
 func (g *Global[T]) ReadBlock(vp *VP, lo, hi int, dst []T) {
 	if lo < 0 || hi > g.n || lo > hi {
 		panic(fmt.Sprintf("core: Global(%q).ReadBlock[%d:%d] out of [0,%d)", g.name, lo, hi, g.n))
@@ -189,20 +248,78 @@ func (g *Global[T]) ReadBlock(vp *VP, lo, hi int, dst []T) {
 	if len(dst) < hi-lo {
 		panic(fmt.Sprintf("core: Global(%q).ReadBlock: dst holds %d of %d elements", g.name, len(dst), hi-lo))
 	}
-	for i := lo; i < hi; i++ {
-		dst[i-lo] = g.Read(vp, i)
+	if lo == hi {
+		return
 	}
+	vp.accessCheck(g.name, "Read")
+	n := hi - lo
+	vp.reads += int64(n)
+	rc := vp.d.sharedReadCost
+	for i := 0; i < n; i++ {
+		// Element-wise additions keep the float accumulation bit-identical
+		// to n scalar Reads.
+		vp.charge += rc
+	}
+	node := vp.d.node
+	for s := lo; s < hi; {
+		owner := g.part.Owner(s)
+		_, ohi := g.part.Range(owner)
+		e := hi
+		if e > ohi {
+			e = ohi
+		}
+		if owner != node {
+			if vp.phaseKind != phaseGlobal {
+				panic(fmt.Sprintf("core: Global(%q).Read(%d): remote access (owner %d) inside a node phase on node %d",
+					g.name, s, owner, node))
+			}
+			vp.noteRemoteRun(g.id, s, e, owner, g.es)
+		}
+		s = e
+	}
+	copy(dst, g.base[lo:hi])
 }
 
-// WriteBlock writes src over elements [lo, hi), committing at the end of
-// the current phase — the array-section form of Write.
-func (g *Global[T]) WriteBlock(vp *VP, lo int, src []T) {
+// WriteBlock writes src over elements [lo, lo+len(src)), committing at
+// the end of the current phase — the array-section form of Write. The
+// run is buffered as a single record and applied with copy at commit.
+func (g *Global[T]) WriteBlock(vp *VP, lo int, src []T) { g.putBlock(vp, lo, src, false, "WriteBlock") }
+
+// AddBlock accumulates src into elements [lo, lo+len(src)) at the end of
+// the current phase — the array-section form of Add.
+func (g *Global[T]) AddBlock(vp *VP, lo int, src []T) { g.putBlock(vp, lo, src, true, "AddBlock") }
+
+func (g *Global[T]) putBlock(vp *VP, lo int, src []T, add bool, op string) {
 	if lo < 0 || lo+len(src) > g.n {
-		panic(fmt.Sprintf("core: Global(%q).WriteBlock[%d:%d] out of [0,%d)", g.name, lo, lo+len(src), g.n))
+		panic(fmt.Sprintf("core: Global(%q).%s[%d:%d] out of [0,%d)", g.name, op, lo, lo+len(src), g.n))
 	}
-	for i, v := range src {
-		g.Write(vp, lo+i, v)
+	if len(src) == 0 {
+		return
 	}
+	vp.accessCheck(g.name, "Write")
+	n := len(src)
+	vp.writes += int64(n)
+	wc := vp.d.sharedWriteCost
+	for i := 0; i < n; i++ {
+		vp.charge += wc
+	}
+	if vp.phaseKind != phaseGlobal {
+		node := vp.d.node
+		for s := lo; s < lo+n; {
+			owner := g.part.Owner(s)
+			if owner != node {
+				panic(fmt.Sprintf("core: Global(%q).Write(%d): remote access (owner %d) inside a node phase on node %d",
+					g.name, s, owner, node))
+			}
+			_, ohi := g.part.Range(owner)
+			if ohi < lo+n {
+				s = ohi
+			} else {
+				break
+			}
+		}
+	}
+	bufFor[T](vp, g).pushRun(lo, src, add)
 }
 
 // label implements registeredArray.
@@ -211,7 +328,15 @@ func (g *Global[T]) label() string { return g.name }
 // elemBytes implements registeredArray.
 func (g *Global[T]) elemBytes() int { return g.es }
 
-// applyIncoming applies all staged records destined for node, in
+// ownerSpan implements registeredArray: the owner of element i and the
+// end of that owner's partition, for splitting interval runs by owner.
+func (g *Global[T]) ownerSpan(i int) (owner, end int) {
+	owner = g.part.Owner(i)
+	_, end = g.part.Range(owner)
+	return owner, end
+}
+
+// applyIncoming applies all staged runs destined for node, in
 // (source node, VP, program) order, and reports per-source traffic.
 func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error) {
 	nodes := g.gs.nodes
@@ -222,50 +347,45 @@ func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrc
 		if len(recs) == 0 {
 			continue
 		}
-		g.stage[node][src] = nil
-		perSrcElems[src] = len(recs)
-		perSrcBytes[src] = int64(len(recs) * (g.es + 8))
-		for _, r := range recs {
-			if strict && !r.add {
-				if e := g.checkConflict(node, phaseSeq, r); e != nil && err == nil {
-					err = e
-				}
-			}
-			if r.add {
-				g.base[r.idx] += r.val
-			} else {
-				g.base[r.idx] = r.val
+		g.stage[node][src] = recs[:0]
+		elems := 0
+		for i := range recs {
+			elems += recs[i].n
+			if e := g.applyRun(node, strict, phaseSeq, &recs[i]); e != nil && err == nil {
+				err = e
 			}
 		}
+		perSrcElems[src] = elems
+		perSrcBytes[src] = int64(elems) * int64(g.es+8)
 	}
 	return perSrcElems, perSrcBytes, err
 }
 
-// applyDirect applies one record immediately (node-phase commit path).
-func (g *Global[T]) applyDirect(node int, strict bool, phaseSeq int64, r writeRec[T]) error {
+// applyRun applies one resolved run to the node's base image.
+func (g *Global[T]) applyRun(node int, strict bool, phaseSeq int64, r *stageRec[T]) error {
 	var err error
 	if strict && !r.add {
-		err = g.checkConflict(node, phaseSeq, r)
+		if g.ct == nil {
+			g.ct = newConflictTracker(g.gs.nodes)
+		}
+		err = g.ct.check(g.name, node, phaseSeq, r.lo, r.n, r.writer)
 	}
-	if r.add {
-		g.base[r.idx] += r.val
-	} else {
-		g.base[r.idx] = r.val
+	switch {
+	case r.vals == nil:
+		if r.add {
+			g.base[r.lo] += r.val
+		} else {
+			g.base[r.lo] = r.val
+		}
+	case r.add:
+		dst := g.base[r.lo : r.lo+r.n]
+		for i, v := range r.vals {
+			dst[i] += v
+		}
+	default:
+		copy(g.base[r.lo:r.lo+r.n], r.vals)
 	}
 	return err
-}
-
-func (g *Global[T]) checkConflict(node int, phaseSeq int64, r writeRec[T]) error {
-	if g.conflictSeq[node] != phaseSeq || g.conflict[node] == nil {
-		g.conflict[node] = make(map[int]int64)
-		g.conflictSeq[node] = phaseSeq
-	}
-	if prev, ok := g.conflict[node][r.idx]; ok && prev != r.writer {
-		return fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
-			g.name, r.idx, prev>>32, prev&0xffffffff, r.writer>>32, r.writer&0xffffffff)
-	}
-	g.conflict[node][r.idx] = r.writer
-	return nil
 }
 
 // Node is a node-shared array: as in the paper's PPM_node_shared, the
@@ -279,9 +399,10 @@ type Node[T Elem] struct {
 	n    int
 	es   int
 	base [][]T
-	// strict-mode conflict tracking per node.
-	conflictSeq []int64
-	conflict    []map[int]int64
+	// strict-mode conflict tracking, allocated at first strict commit.
+	ct *conflictTracker
+	// bufPool recycles per-VP write buffers across Do invocations.
+	bufPool sync.Pool
 }
 
 // AllocNode allocates a node-shared array of n elements on every node.
@@ -293,14 +414,12 @@ func AllocNode[T Elem](rt *Runtime, name string, n int) *Node[T] {
 	a := allocArray(rt, name, func(id int) *Node[T] {
 		nodes := rt.gs.nodes
 		a := &Node[T]{
-			gs:          rt.gs,
-			id:          id,
-			name:        name,
-			n:           n,
-			es:          mp.SizeOf[T](),
-			base:        make([][]T, nodes),
-			conflictSeq: make([]int64, nodes),
-			conflict:    make([]map[int]int64, nodes),
+			gs:   rt.gs,
+			id:   id,
+			name: name,
+			n:    n,
+			es:   mp.SizeOf[T](),
+			base: make([][]T, nodes),
 		}
 		for i := range a.base {
 			a.base[i] = make([]T, n)
@@ -348,8 +467,54 @@ func (a *Node[T]) put(vp *VP, i int, v T, add bool) {
 	}
 	vp.writes++
 	vp.charge += vp.d.sharedWriteCost
-	buf := nodeBufFor[T](vp, a)
-	buf.recs = append(buf.recs, writeRec[T]{idx: i, val: v, add: add, writer: vp.writerID()})
+	nodeBufFor[T](vp, a).push(i, v, add)
+}
+
+// ReadBlock copies elements [lo, hi) of the node's instance into dst
+// under phase semantics — the array-section form of Read.
+func (a *Node[T]) ReadBlock(vp *VP, lo, hi int, dst []T) {
+	if lo < 0 || hi > a.n || lo > hi {
+		panic(fmt.Sprintf("core: Node(%q).ReadBlock[%d:%d] out of [0,%d)", a.name, lo, hi, a.n))
+	}
+	if len(dst) < hi-lo {
+		panic(fmt.Sprintf("core: Node(%q).ReadBlock: dst holds %d of %d elements", a.name, len(dst), hi-lo))
+	}
+	if lo == hi {
+		return
+	}
+	vp.accessCheck(a.name, "Read")
+	n := hi - lo
+	vp.reads += int64(n)
+	rc := vp.d.sharedReadCost
+	for i := 0; i < n; i++ {
+		vp.charge += rc
+	}
+	copy(dst, a.base[vp.d.node][lo:hi])
+}
+
+// WriteBlock writes src over elements [lo, lo+len(src)) of the node's
+// instance, committing at the end of the phase.
+func (a *Node[T]) WriteBlock(vp *VP, lo int, src []T) { a.putBlock(vp, lo, src, false, "WriteBlock") }
+
+// AddBlock accumulates src into elements [lo, lo+len(src)) at the end of
+// the phase.
+func (a *Node[T]) AddBlock(vp *VP, lo int, src []T) { a.putBlock(vp, lo, src, true, "AddBlock") }
+
+func (a *Node[T]) putBlock(vp *VP, lo int, src []T, add bool, op string) {
+	if lo < 0 || lo+len(src) > a.n {
+		panic(fmt.Sprintf("core: Node(%q).%s[%d:%d] out of [0,%d)", a.name, op, lo, lo+len(src), a.n))
+	}
+	if len(src) == 0 {
+		return
+	}
+	vp.accessCheck(a.name, "Write")
+	n := len(src)
+	vp.writes += int64(n)
+	wc := vp.d.sharedWriteCost
+	for i := 0; i < n; i++ {
+		vp.charge += wc
+	}
+	nodeBufFor[T](vp, a).pushRun(lo, src, add)
 }
 
 // label implements registeredArray.
@@ -358,30 +523,39 @@ func (a *Node[T]) label() string { return a.name }
 // elemBytes implements registeredArray.
 func (a *Node[T]) elemBytes() int { return a.es }
 
+// ownerSpan implements registeredArray; node arrays are always local.
+func (a *Node[T]) ownerSpan(i int) (owner, end int) { return 0, a.n }
+
 // applyIncoming implements registeredArray; node arrays stage nothing, so
 // it is a no-op (their records apply at flush).
 func (a *Node[T]) applyIncoming(node int, strict bool, phaseSeq int64) ([]int, []int64, error) {
 	return nil, nil, nil
 }
 
-func (a *Node[T]) applyDirect(node int, strict bool, phaseSeq int64, r writeRec[T]) error {
+// applyRun applies one resolved run to the node's instance.
+func (a *Node[T]) applyRun(node int, strict bool, phaseSeq int64, r *stageRec[T]) error {
 	var err error
 	if strict && !r.add {
-		if a.conflictSeq[node] != phaseSeq || a.conflict[node] == nil {
-			a.conflict[node] = make(map[int]int64)
-			a.conflictSeq[node] = phaseSeq
+		if a.ct == nil {
+			a.ct = newConflictTracker(a.gs.nodes)
 		}
-		if prev, ok := a.conflict[node][r.idx]; ok && prev != r.writer {
-			err = fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
-				a.name, r.idx, prev>>32, prev&0xffffffff, r.writer>>32, r.writer&0xffffffff)
-		} else {
-			a.conflict[node][r.idx] = r.writer
-		}
+		err = a.ct.check(a.name, node, phaseSeq, r.lo, r.n, r.writer)
 	}
-	if r.add {
-		a.base[node][r.idx] += r.val
-	} else {
-		a.base[node][r.idx] = r.val
+	base := a.base[node]
+	switch {
+	case r.vals == nil:
+		if r.add {
+			base[r.lo] += r.val
+		} else {
+			base[r.lo] = r.val
+		}
+	case r.add:
+		dst := base[r.lo : r.lo+r.n]
+		for i, v := range r.vals {
+			dst[i] += v
+		}
+	default:
+		copy(base[r.lo:r.lo+r.n], r.vals)
 	}
 	return err
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"ppm/internal/vtime"
 )
@@ -56,12 +55,18 @@ type vpEvent struct {
 // vpAbort unwinds a VP goroutine during teardown.
 type vpAbort struct{}
 
+// intRun is a half-open interval [lo, hi) of shared-array indices.
+type intRun struct {
+	lo, hi int
+}
+
 // VP is a virtual processor: one of the K parallel instances of a PPM
 // function started by Runtime.Do (the paper's PPM_do construct). All VP
 // methods must be called from the VP's own body.
 type VP struct {
 	d        *doRun
 	nodeRank int
+	wid      int64 // (node<<32)|nodeRank, precomputed writer id
 	resume   chan bool
 
 	// coordinator-only state
@@ -74,9 +79,17 @@ type VP struct {
 	charge  vtime.Duration
 	reads   int64
 	writes  int64
-	rrElems []int64 // remote read elements per owner node
+	rrElems []int64 // remote read elements per owner node (NoReadCache)
 	rrBytes []int64
 	bufs    []vpFlusher
+
+	// Per-VP remote-read tracking for the phase-local read cache: block
+	// reads record interval runs per array (indexed by array id), scalar
+	// reads record scattered indices. VP goroutines only ever touch their
+	// own set — no lock — and the coordinator merges the sets into the
+	// node-level dedup counts at commit.
+	rdRuns [][]intRun
+	rdIdx  map[readKey]struct{}
 }
 
 // readKey identifies one element of one shared array for the read cache.
@@ -104,8 +117,12 @@ func (vp *VP) Cores() int { return vp.d.rt.gs.cores }
 // GlobalRank returns this VP's rank across all nodes' current Do calls
 // (PPM_VP_global_rank): the sum of the K values of lower-numbered nodes
 // plus NodeRank. It is well defined only inside a global phase, when all
-// nodes are synchronously inside their Do.
+// nodes are synchronously inside their Do; the prefix sum is computed
+// once at phase open instead of per call.
 func (vp *VP) GlobalRank() int {
+	if vp.d.rankValid {
+		return vp.d.rankBase + vp.nodeRank
+	}
 	gs := vp.d.rt.gs
 	s := 0
 	for n := 0; n < vp.d.node; n++ {
@@ -117,6 +134,9 @@ func (vp *VP) GlobalRank() int {
 // GlobalK returns the total VP count across all nodes' current Do calls.
 // Like GlobalRank, it is well defined only inside a global phase.
 func (vp *VP) GlobalK() int {
+	if vp.d.rankValid {
+		return vp.d.globalK
+	}
 	gs := vp.d.rt.gs
 	s := 0
 	for n := 0; n < gs.nodes; n++ {
@@ -182,32 +202,53 @@ func (vp *VP) accessCheck(array, op string) {
 // noteRemoteRead accounts one remote element read for bundling. The
 // runtime keeps a node-level cache of remote values in node shared
 // memory: within a phase the element is immutable, so the node fetches it
-// at most once no matter how many VPs read it. The cache set is the union
-// of all VPs' reads, so the traffic counts are deterministic even though
-// VPs race to insert.
+// at most once no matter how many VPs read it. Each VP records its own
+// read set without locking; the commit merges the sets, so the traffic
+// counts are the same union the old global map computed — contention-free.
 func (vp *VP) noteRemoteRead(array, idx, owner, elemBytes int) {
-	d := vp.d
-	if !d.rt.gs.opt.NoReadCache {
-		k := readKey{array: array, idx: idx}
-		d.seenMu.Lock()
-		if _, dup := d.seen[k]; dup {
-			d.seenMu.Unlock()
-			return // served from the node's phase-local cache
-		}
-		d.seen[k] = struct{}{}
-		d.seenMu.Unlock()
+	if vp.d.rt.gs.opt.NoReadCache {
+		vp.countRemote(owner, 1, int64(elemBytes))
+		return
 	}
+	if vp.rdIdx == nil {
+		vp.rdIdx = make(map[readKey]struct{})
+	}
+	vp.rdIdx[readKey{array: array, idx: idx}] = struct{}{}
+}
+
+// noteRemoteRun accounts a remote block read of [lo, hi) as one interval
+// run — the bulk counterpart of noteRemoteRead. The caller has already
+// split the range so that one owner serves all of it.
+func (vp *VP) noteRemoteRun(array, lo, hi, owner, elemBytes int) {
+	if vp.d.rt.gs.opt.NoReadCache {
+		vp.countRemote(owner, int64(hi-lo), int64((hi-lo)*elemBytes))
+		return
+	}
+	if vp.rdRuns == nil {
+		vp.rdRuns = make([][]intRun, len(vp.d.rt.gs.arrays))
+	}
+	runs := vp.rdRuns[array]
+	if k := len(runs); k > 0 {
+		if last := &runs[k-1]; lo >= last.lo && lo <= last.hi {
+			if hi > last.hi {
+				last.hi = hi
+			}
+			return
+		}
+	}
+	vp.rdRuns[array] = append(runs, intRun{lo: lo, hi: hi})
+}
+
+// countRemote tallies uncached remote-read traffic directly (NoReadCache:
+// every fine-grained read is fresh traffic).
+func (vp *VP) countRemote(owner int, elems, bytes int64) {
 	if vp.rrElems == nil {
-		n := d.rt.gs.nodes
+		n := vp.d.rt.gs.nodes
 		vp.rrElems = make([]int64, n)
 		vp.rrBytes = make([]int64, n)
 	}
-	vp.rrElems[owner]++
-	vp.rrBytes[owner] += int64(elemBytes)
-}
-
-func (vp *VP) writerID() int64 {
-	return int64(vp.d.node)<<32 | int64(vp.nodeRank)
+	vp.rrElems[owner] += elems
+	vp.rrBytes[owner] += bytes
 }
 
 // doRun coordinates one Do invocation on one node.
@@ -222,11 +263,16 @@ type doRun struct {
 	phaseStart vtime.Time
 	openKind   phaseKind // kind of the phase currently open (set by openPhase)
 
-	// seen is the node-level remote-read cache for the current phase
-	// (see VP.noteRemoteRead). It is the one structure VP goroutines
-	// mutate concurrently, hence the mutex.
-	seenMu sync.Mutex
-	seen   map[readKey]struct{}
+	// Global-rank cache: the doK prefix sums are stable while a global
+	// phase is open (every node is synchronously inside its Do), so they
+	// are computed once at phase open.
+	rankBase  int
+	globalK   int
+	rankValid bool
+
+	// Commit-time scratch for merging the per-VP read sets (per array id).
+	mrRuns [][]intRun
+	mrIdx  [][]int
 
 	sharedReadCost  vtime.Duration
 	sharedWriteCost vtime.Duration
@@ -261,12 +307,12 @@ func (rt *Runtime) Do(k int, body func(vp *VP)) {
 		k:               k,
 		vps:             make([]*VP, k),
 		events:          make(chan vpEvent, k),
-		seen:            make(map[readKey]struct{}),
 		sharedReadCost:  vtime.Duration(rt.gs.mach.SharedReadCost),
 		sharedWriteCost: vtime.Duration(rt.gs.mach.SharedWriteCost),
 	}
+	widBase := int64(rt.node) << 32
 	for i := 0; i < k; i++ {
-		vp := &VP{d: d, nodeRank: i, resume: make(chan bool, 1)}
+		vp := &VP{d: d, nodeRank: i, wid: widBase | int64(i), resume: make(chan bool, 1)}
 		d.vps[i] = vp
 	}
 	for _, vp := range d.vps {
@@ -403,10 +449,22 @@ func (d *doRun) resumeParked(s vpStatus) int {
 
 // openPhase performs the phase-entry synchronization: global phases
 // synchronize the cluster so every node's partitions are committed and
-// stable before any VP reads them.
+// stable before any VP reads them. After that barrier every node's doK
+// is stable, so the GlobalRank/GlobalK prefix sums are computed here once
+// instead of on every call.
 func (d *doRun) openPhase(kind phaseKind) {
 	if kind == phaseGlobal {
 		d.rt.proc.Barrier()
+		gs := d.rt.gs
+		base := 0
+		for n := 0; n < d.node; n++ {
+			base += gs.doK[n]
+		}
+		total := base
+		for n := d.node; n < gs.nodes; n++ {
+			total += gs.doK[n]
+		}
+		d.rankBase, d.globalK, d.rankValid = base, total, true
 	}
 	d.openKind = kind
 	d.phaseStart = d.rt.proc.Clock()
@@ -414,7 +472,8 @@ func (d *doRun) openPhase(kind phaseKind) {
 }
 
 // finish charges any leftover VP work accumulated after the last phase
-// (or in a phase-less Do) and merges residual counters.
+// (or in a phase-less Do), merges residual counters, and returns the
+// VPs' write buffers to their arrays' pools for the next Do.
 func (d *doRun) finish() {
 	mach := d.rt.gs.mach
 	extra := vtime.Duration(0)
@@ -427,5 +486,9 @@ func (d *doRun) finish() {
 		st.SharedReads += vp.reads
 		st.SharedWrites += vp.writes
 		vp.charge, vp.reads, vp.writes = 0, 0, 0
+		for _, b := range vp.bufs {
+			b.release()
+		}
+		vp.bufs = nil
 	}
 }

@@ -270,6 +270,29 @@ func DecodeNode(at func(i int) float64, off, i int, out *FlatNode) {
 	}
 }
 
+// DecodeNodeRuns fills out from node i of the flat encoding using a bulk
+// reader: the header slots (mass, COM, half-width, children, body count)
+// form one contiguous run and the inline leaf bodies a second, so a
+// runtime with block access fetches a record in at most two range reads.
+// The elements touched, and their order, are exactly DecodeNode's.
+func DecodeNodeRuns(read func(lo, hi int, dst []float64), off, i int, out *FlatNode) {
+	base := off + i*Slots
+	var hdr [slotBodies]float64
+	read(base, base+slotBodies, hdr[:])
+	out.Mass = hdr[slotMass]
+	out.ComX = hdr[slotComX]
+	out.ComY = hdr[slotComY]
+	out.ComZ = hdr[slotComZ]
+	out.Half = hdr[slotHalf]
+	for c := 0; c < 8; c++ {
+		out.Child[c] = int32(hdr[slotChild0+c])
+	}
+	out.NBody = int32(hdr[slotNBody])
+	if nb := int(out.NBody) * 4; nb > 0 {
+		read(base+slotBodies, base+slotBodies+nb, out.Bodies[:nb])
+	}
+}
+
 // Source provides decoded node records of one flattened tree. Node must
 // fill out with record i; implementations may cache.
 type Source interface {

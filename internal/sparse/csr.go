@@ -200,3 +200,35 @@ func Stencil27(nx, ny, nz int) *CSR {
 	}
 	return a
 }
+
+// ColRun is one maximal run of consecutive column indices within a row:
+// columns Col, Col+1, ..., Col+N-1.
+type ColRun struct {
+	Col, N int
+}
+
+// ColRuns returns a run-length encoding of the matrix's column structure:
+// runs[runPtr[r]:runPtr[r+1]] lists row r's maximal runs of consecutive
+// columns, preserving the stored column order. maxN is the longest run.
+// Stencil matrices compress well (the 27-point stencil's rows become nine
+// x-direction triples), which lets gather loops read each run with one
+// block access instead of an element at a time.
+func (a *CSR) ColRuns() (runPtr []int, runs []ColRun, maxN int) {
+	runPtr = make([]int, a.Rows+1)
+	for r := 0; r < a.Rows; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; {
+			c := a.Col[k]
+			n := 1
+			for k+n < a.RowPtr[r+1] && a.Col[k+n] == c+n {
+				n++
+			}
+			runs = append(runs, ColRun{Col: c, N: n})
+			if n > maxN {
+				maxN = n
+			}
+			k += n
+		}
+		runPtr[r+1] = len(runs)
+	}
+	return runPtr, runs, maxN
+}
