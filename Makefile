@@ -1,15 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-hotpath figures
+.PHONY: check build vet ppmvet langcheck test race bench-hotpath figures
 
-## check: the tier-1 gate — build, vet and race-test everything.
-check: build vet race
+## check: the tier-1 gate — build, static analysis (go vet + the
+## phase-semantics analyzers over both front ends) and race-test.
+check: build vet ppmvet langcheck race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## ppmvet: phase-semantics static analysis of Go PPM programs.
+ppmvet:
+	$(GO) run ./cmd/ppmvet ./...
+
+## langcheck: phase-semantics analysis of the example .ppm programs.
+langcheck:
+	$(GO) run ./cmd/ppmc check examples/language/*.ppm
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,119 @@
+// Command ppmvet statically checks Go programs that use the ppm API for
+// phase-semantics misuse: the rules the runtime enforces dynamically
+// (access outside phases, guaranteed strict-mode write conflicts), plus
+// hazards it cannot see at all (stale same-phase reads, node-level
+// aliases leaking into VP code, discarded run errors).
+//
+// Usage:
+//
+//	ppmvet [-json] [-rules list] packages...
+//
+//	ppmvet ./...                    # check every package
+//	ppmvet -json ./internal/apps/...
+//	ppmvet -rules phasebound,staleread ./examples/...
+//
+// Findings print as file:line:col: rule: message and make the exit
+// status nonzero. A finding can be suppressed with a //ppmvet:ignore
+// [rule...] comment on (or immediately above) the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppm/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	ruleList := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	listRules := flag.Bool("list", false, "list the available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ppmvet [-json] [-rules list] packages...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.Rules() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rules := analysis.Rules()
+	if *ruleList != "" {
+		rules = rules[:0]
+		for _, name := range strings.Split(*ruleList, ",") {
+			a := analysis.RuleByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ppmvet: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			rules = append(rules, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmvet:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ppmvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Printf("%d problem%s\n", len(diags), plural(len(diags)))
+		}
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Printf("ok\t%d packages checked\n", len(pkgs))
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

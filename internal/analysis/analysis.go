@@ -1,0 +1,145 @@
+// Package analysis is a small static-analysis framework for PPM
+// programs written in Go, modeled on the golang.org/x/tools/go/analysis
+// vet architecture but self-contained (the toolchain's module proxy is
+// not assumed to be reachable). It provides the Analyzer/Pass/Diagnostic
+// core, a package loader built on `go list -export` plus the standard
+// go/types importer, and the ppmvet rule suite that checks the phase
+// semantics of the paper's model statically: shared-variable accesses
+// outside phases, guaranteed strict-mode write conflicts, same-phase
+// read-after-write staleness, node-level aliases leaking into VP code,
+// and ignored run errors.
+//
+// The runtime enforces each of these dynamically (accessCheck panics,
+// StrictWrites commit checks); ppmvet reports them before a program
+// runs, with source positions — the "compiler knows the model" advantage
+// the paper claims for a language front end, recovered for the Go API.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the rule (a lowercase identifier, used in
+	// diagnostics and //ppmvet:ignore comments).
+	Name string
+	// Doc is a one-paragraph description of what the rule reports.
+	Doc string
+	// Run applies the rule to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a loaded, type-checked package
+// and the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	pkg  *Package
+	sink *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless the source line carries a
+// //ppmvet:ignore annotation naming this rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Rule     string
+	Pos      token.Position
+	Message  string
+	Analyzer *Analyzer
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Packages that failed to load contribute
+// their load errors via the returned error (analysis of the remaining
+// packages still happens).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var loadErrs []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", pkg.ImportPath, e))
+			}
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				pkg:       pkg,
+				sink:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	if len(loadErrs) > 0 {
+		return diags, fmt.Errorf("load errors:\n  %s", strings.Join(loadErrs, "\n  "))
+	}
+	return diags, nil
+}
+
+// Rules returns the ppmvet analyzer suite in a stable order.
+func Rules() []*Analyzer {
+	return []*Analyzer{
+		PhaseBoundAnalyzer,
+		ConstWriteAnalyzer,
+		StaleReadAnalyzer,
+		LocalAliasAnalyzer,
+		RunErrorAnalyzer,
+	}
+}
+
+// RuleByName returns the named analyzer, or nil.
+func RuleByName(name string) *Analyzer {
+	for _, a := range Rules() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ConstWriteAnalyzer flags Write/WriteBlock calls whose index is a
+// rank-independent constant and which are executed by every VP of a
+// phase: every VP stores to the same element, which is a guaranteed
+// conflicting-writes abort under Options.StrictWrites (and silently
+// order-dependent without it). Writes guarded by a rank-dependent
+// condition (e.g. `if vp.NodeRank() == 0`) single out one writer and are
+// fine, as are Add/AddBlock (combining updates never conflict).
+var ConstWriteAnalyzer = &Analyzer{
+	Name: "constwrite",
+	Doc: "report phase writes to a rank-independent constant index executed by " +
+		"every VP — a guaranteed StrictWrites conflict",
+	Run: runConstWrite,
+}
+
+func runConstWrite(pass *Pass) error {
+	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		tainted := taintedVars(pass.TypesInfo, f)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sc, ok := asSharedCall(pass.TypesInfo, call)
+			if !ok || !sc.write || sc.add {
+				return
+			}
+			lit := ctx.enclosingPhaseLit(stack)
+			if lit == nil {
+				return // outside phases phasebound reports
+			}
+			for _, idx := range sc.indices {
+				if pass.TypesInfo.Types[idx].Value == nil {
+					return // not a compile-time constant
+				}
+			}
+			if rankGuarded(pass.TypesInfo, stack, lit, tainted) {
+				return
+			}
+			// A node array written by a single-VP Do conflicts with
+			// nobody on its node.
+			if sc.typ == "Node" && doKIsOne(pass.TypesInfo, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s to constant index %s is executed by every VP of the phase: guaranteed conflicting writes under StrictWrites — guard by rank or use Add",
+				types.ExprString(sc.recv), sc.method, types.ExprString(sc.indices[0]))
+		})
+	}
+	return nil
+}
+
+// rankGuarded reports whether any if-condition between the phase body
+// and the access depends on a per-rank quantity.
+func rankGuarded(info *types.Info, stack []ast.Node, lit *ast.FuncLit, tainted map[types.Object]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(lit) {
+			return false
+		}
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if rankDependent(info, ifs.Cond, tainted) {
+			return true
+		}
+	}
+	return false
+}
+
+// doKIsOne reports whether the enclosing Runtime.Do call on stack starts
+// a single VP (constant K == 1).
+func doKIsOne(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok || !isRuntimeMethod(info, call, "Do") || len(call.Args) != 2 {
+			continue
+		}
+		tv := info.Types[call.Args[0]]
+		return tv.Value != nil && tv.Value.String() == "1"
+	}
+	return false
+}

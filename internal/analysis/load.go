@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// Errors holds load, parse or type errors; analysis is skipped for
+	// packages that have any.
+	Errors []error
+
+	// ignore maps file name -> line -> rules suppressed on that line by
+	// a //ppmvet:ignore comment ("" suppresses every rule).
+	ignore map[string]map[int][]string
+	// ignoreRanges holds function-extent suppressions from //ppmvet:ignore
+	// annotations in declaration doc comments.
+	ignoreRanges map[string][]ignoreRange
+}
+
+// ignoreRange suppresses rules over a line range (a whole declaration).
+type ignoreRange struct {
+	from, to int
+	rules    []string
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (as the go tool would, e.g. "./...") relative
+// to dir, and returns the matched packages parsed and type-checked.
+// Dependencies are consumed as compiler export data produced by
+// `go list -export`, so loading works without network access and without
+// re-type-checking the world; only the matched packages get syntax.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var roots []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			roots = append(roots, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p)
+	})
+
+	var pkgs []*Package
+	for _, e := range roots {
+		pkg := &Package{
+			ImportPath:   e.ImportPath,
+			Dir:          e.Dir,
+			Fset:         fset,
+			ignore:       map[string]map[int][]string{},
+			ignoreRanges: map[string][]ignoreRange{},
+		}
+		if e.Error != nil {
+			pkg.Errors = append(pkg.Errors, fmt.Errorf("%s", e.Error.Err))
+		}
+		for _, name := range e.GoFiles {
+			path := filepath.Join(e.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err)
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.recordIgnores(f)
+		}
+		if len(pkg.Errors) == 0 {
+			pkg.TypesInfo = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			conf := types.Config{Importer: imp}
+			tpkg, err := conf.Check(e.ImportPath, fset, pkg.Files, pkg.TypesInfo)
+			pkg.Types = tpkg
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err)
+			}
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// recordIgnores scans f for //ppmvet:ignore comments. An annotation
+// suppresses the named rules (all rules when none are named) on its own
+// line and, for a standalone comment line, on the following line. An
+// annotation inside a function's doc comment suppresses over the whole
+// function (for infrastructure like the language interpreter, whose
+// phase discipline is established dynamically).
+func (p *Package) recordIgnores(f *ast.File) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			rules, ok := parseIgnore(c.Text)
+			if !ok {
+				continue
+			}
+			pos := p.Fset.Position(fd.Pos())
+			end := p.Fset.Position(fd.End())
+			p.ignoreRanges[pos.Filename] = append(p.ignoreRanges[pos.Filename],
+				ignoreRange{from: pos.Line, to: end.Line, rules: rules})
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rules, ok := parseIgnore(c.Text)
+			if !ok {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			lines := p.ignore[pos.Filename]
+			if lines == nil {
+				lines = map[int][]string{}
+				p.ignore[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], rules...)
+			lines[pos.Line+1] = append(lines[pos.Line+1], rules...)
+		}
+	}
+}
+
+// parseIgnore extracts the rule list from one //ppmvet:ignore comment.
+// An annotation without rule names (rules == [""]), suppresses all.
+// Everything after a "—" or "--" is commentary.
+func parseIgnore(comment string) (rules []string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "ppmvet:ignore") {
+		return nil, false
+	}
+	text = strings.TrimPrefix(text, "ppmvet:ignore")
+	if i := strings.IndexAny(text, "—"); i >= 0 {
+		text = text[:i]
+	}
+	if i := strings.Index(text, "--"); i >= 0 {
+		text = text[:i]
+	}
+	rules = strings.Fields(text)
+	if len(rules) == 0 {
+		rules = []string{""}
+	}
+	return rules, true
+}
+
+// suppressed reports whether rule is ignored at pos.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	for _, r := range p.ignore[pos.Filename][pos.Line] {
+		if r == "" || r == rule {
+			return true
+		}
+	}
+	for _, rng := range p.ignoreRanges[pos.Filename] {
+		if pos.Line < rng.from || pos.Line > rng.to {
+			continue
+		}
+		for _, r := range rng.rules {
+			if r == "" || r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

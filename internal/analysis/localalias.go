@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LocalAliasAnalyzer flags node-level base-image aliases leaking into VP
+// code: a slice obtained from Global.Local/Node.Local that is used
+// inside a Do body, or Local/At called inside a Do body outright. The
+// Local slice aliases the array's committed base image; touching it from
+// VP code bypasses the begin-of-phase/commit discipline entirely, and
+// the runtime can only catch the direct-call case (Local panics while a
+// Do is active) — a retained slice is invisible to it.
+var LocalAliasAnalyzer = &Analyzer{
+	Name: "localalias",
+	Doc: "report Local()/At() base-image access from inside Do bodies, including " +
+		"Local slices captured before the Do — they bypass phase semantics",
+	Run: runLocalAlias,
+}
+
+func runLocalAlias(pass *Pass) error {
+	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		aliases := localSlices(pass.TypesInfo, f)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			if !insideDoLit(ctx, stack) {
+				return
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if m, ok := nodeLevelAccessor(pass.TypesInfo, x); ok {
+					pass.Reportf(x.Pos(),
+						"%s called inside a Do body: node-level accessors bypass phase semantics and panic while a Do is active — use phase Read/Write instead", m)
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[x]; obj != nil && aliases[obj] != "" {
+					pass.Reportf(x.Pos(),
+						"%s aliases the base image of shared array (via %s) and is used inside a Do body: reads and writes through it bypass phase semantics", x.Name, aliases[obj])
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// localSlices maps variables assigned from a Local() call to the call's
+// printed receiver.
+func localSlices(info *types.Info, f *ast.File) map[types.Object]string {
+	aliases := map[types.Object]string{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		m, ok := nodeLevelAccessor(info, call)
+		if !ok {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			aliases[obj] = m
+		} else if obj := info.Uses[id]; obj != nil {
+			aliases[obj] = m
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					record(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					record(x.Names[i], x.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// nodeLevelAccessor recognizes Local and At calls on the shared-array
+// types and returns a printable description.
+func nodeLevelAccessor(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	typ := namedCoreType(selection.Recv())
+	if typ != "Global" && typ != "Node" && typ != "Global2D" {
+		return "", false
+	}
+	if name := sel.Sel.Name; name == "Local" || name == "At" {
+		return types.ExprString(sel.X) + "." + name, true
+	}
+	return "", false
+}
+
+// insideDoLit reports whether the innermost function on stack is (or is
+// nested within) a Do-body literal. Phase bodies count too: the alias
+// hazard is the same there.
+func insideDoLit(ctx *phaseCtx, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch h := stack[i].(type) {
+		case *ast.FuncLit:
+			if ctx.doLits[h] {
+				return true
+			}
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

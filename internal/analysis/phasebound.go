@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PhaseBoundAnalyzer flags shared-variable accessors (Read/Write/Add and
+// the block forms) reached outside any GlobalPhase/NodePhase body. The
+// runtime panics on such accesses (VP.accessCheck); this reports them
+// before the program runs. A package-local call-graph fixpoint keeps
+// helper functions that are only ever called from phase bodies quiet.
+var PhaseBoundAnalyzer = &Analyzer{
+	Name: "phasebound",
+	Doc: "report shared-array Read/Write/Add (and block variants) outside any " +
+		"GlobalPhase/NodePhase body; the runtime aborts on them at execution time",
+	Run: runPhaseBound,
+}
+
+func runPhaseBound(pass *Pass) error {
+	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sc, ok := asSharedCall(pass.TypesInfo, call)
+			if !ok {
+				return
+			}
+			if !ctx.siteOutsidePhase(stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s of shared array outside any GlobalPhase/NodePhase body: shared variables may only be accessed inside phases (the runtime panics here)",
+				types.ExprString(sc.recv), sc.method)
+		})
+	}
+	return nil
+}

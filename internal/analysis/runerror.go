@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RunErrorAnalyzer flags ppm.Run (and core.Run / lang.Interpret) calls
+// whose error result is discarded. Run's error is how strict-mode
+// write-conflict detection, phase-shape violations and VP panics
+// surface; dropping it silently accepts a failed run's partial results.
+var RunErrorAnalyzer = &Analyzer{
+	Name: "runerror",
+	Doc: "report discarded ppm.Run errors: strict-mode conflicts and phase-shape " +
+		"violations are only observable through them",
+	Run: runRunError,
+}
+
+// errFuncs lists (package path, function name, index of the error
+// result) triples the rule watches.
+var errFuncs = []struct {
+	pkg, name string
+	errIdx    int
+}{
+	{"ppm", "Run", 1},
+	{"ppm/internal/core", "Run", 1},
+	{"ppm/internal/lang", "Interpret", 1},
+}
+
+func runRunError(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			errIdx, ok := watchedCall(pass.TypesInfo, call)
+			if !ok {
+				return
+			}
+			name := types.ExprString(call.Fun)
+			if len(stack) < 2 {
+				return
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(),
+					"%s error discarded: strict-mode conflicts and run failures surface only through it", name)
+			case *ast.GoStmt, *ast.DeferStmt:
+				pass.Reportf(call.Pos(),
+					"%s error discarded (go/defer): strict-mode conflicts and run failures surface only through it", name)
+			case *ast.AssignStmt:
+				if len(parent.Rhs) == 1 && parent.Rhs[0] == ast.Expr(call) && errIdx < len(parent.Lhs) {
+					if id, ok := parent.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(call.Pos(),
+							"%s error assigned to _: strict-mode conflicts and run failures surface only through it", name)
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// watchedCall reports whether call invokes one of the watched
+// error-returning entry points, and which result is the error.
+func watchedCall(info *types.Info, call *ast.CallExpr) (int, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return 0, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return 0, false
+	}
+	for _, w := range errFuncs {
+		if fn.Pkg().Path() == w.pkg && fn.Name() == w.name {
+			return w.errIdx, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StaleReadAnalyzer flags a Read of a shared element after a Write/Add
+// of the same element in the same phase body. Phase semantics make every
+// read observe the begin-of-phase value: the freshly written value is
+// not visible until the implicit barrier at the phase's end, so code
+// that reads back what it just wrote is (perhaps surprisingly) reading
+// the old value. Read-then-write is the intended idiom and is not
+// flagged; neither are accesses in different phases.
+var StaleReadAnalyzer = &Analyzer{
+	Name: "staleread",
+	Doc: "report same-phase read-after-write of one shared element: the read " +
+		"observes the begin-of-phase value, not the value written this phase",
+	Run: runStaleRead,
+}
+
+func runStaleRead(pass *Pass) error {
+	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lit := phaseBodyLit(pass.TypesInfo, call); lit != nil && ctx.phaseLits[lit] {
+				checkPhaseBody(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// accessKey identifies one shared element syntactically: the receiver's
+// root object (or printed receiver), the accessor family (scalar/block)
+// and the printed index expression.
+type accessKey struct {
+	recv  any // types.Object or receiver string
+	block bool
+	index string
+}
+
+func keyOf(sc sharedCall) accessKey {
+	k := accessKey{block: sc.block, index: types.ExprString(sc.indices[0])}
+	if len(sc.indices) == 2 {
+		k.index += "," + types.ExprString(sc.indices[1])
+	}
+	if sc.recvObj != nil {
+		k.recv = sc.recvObj
+	} else {
+		k.recv = types.ExprString(sc.recv)
+	}
+	return k
+}
+
+// checkPhaseBody scans one phase body in source order. A write is
+// recorded at its call's End so that reads nested in the write's own
+// arguments (`a.Write(vp, i, a.Read(vp, i)+1)`, evaluated before the
+// write) are not flagged.
+func checkPhaseBody(pass *Pass, lit *ast.FuncLit) {
+	writes := map[accessKey]struct {
+		end    token.Pos
+		method string
+	}{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sc, ok := asSharedCall(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		key := keyOf(sc)
+		if sc.write {
+			if _, seen := writes[key]; !seen {
+				writes[key] = struct {
+					end    token.Pos
+					method string
+				}{call.End(), sc.method}
+			}
+			return true
+		}
+		if w, seen := writes[key]; seen && call.Pos() >= w.end {
+			pass.Reportf(call.Pos(),
+				"%s.%s(%s) after %s in the same phase reads the begin-of-phase value: writes only commit at the phase's end barrier — split the phases if the new value is needed",
+				types.ExprString(sc.recv), sc.method, keyOf(sc).index, w.method)
+		}
+		return true
+	})
+}

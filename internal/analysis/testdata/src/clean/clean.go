@@ -1,0 +1,51 @@
+// Fixture for the negative space of every rule at once: an idiomatic
+// PPM program (the paper's binary-search example, condensed) that must
+// produce zero findings.
+package clean
+
+import "ppm"
+
+const n = 1 << 10
+
+func Program() error {
+	_, err := ppm.Run(ppm.Options{Nodes: 2}, func(rt *ppm.Runtime) {
+		a := ppm.AllocGlobal[float64](rt, "a", n)
+		out := ppm.AllocNode[int64](rt, "out", 16)
+
+		local := a.Local(rt)
+		for i := range local {
+			local[i] = float64(i)
+		}
+
+		rt.Do(16, func(vp *ppm.VP) {
+			buf := make([]float64, 8)
+			vp.GlobalPhase(func() {
+				lo, hi := ppm.ChunkRange(n, vp.GlobalK(), vp.GlobalRank())
+				sum := 0.0
+				for s := lo; s < hi; s += len(buf) {
+					e := min(s+len(buf), hi)
+					a.ReadBlock(vp, s, e, buf[:e-s])
+					for _, v := range buf[:e-s] {
+						sum += v
+					}
+				}
+				out.Write(vp, vp.NodeRank(), int64(sum))
+			})
+			vp.NodePhase(func() {
+				v := out.Read(vp, vp.NodeRank())
+				out.Write(vp, vp.NodeRank(), v+1)
+			})
+		})
+
+		results := out.Local(rt)
+		_ = results[0]
+	})
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

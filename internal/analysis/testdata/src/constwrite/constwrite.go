@@ -1,0 +1,42 @@
+// Fixture for the constwrite rule: rank-independent constant-index
+// writes executed by every VP.
+package constwrite
+
+import "ppm"
+
+const slot = 7
+
+func Program(rt *ppm.Runtime) {
+	a := ppm.AllocGlobal[float64](rt, "a", 64)
+	b := ppm.AllocNode[int64](rt, "b", 8)
+
+	rt.Do(4, func(vp *ppm.VP) {
+		vp.GlobalPhase(func() {
+			a.Write(vp, 3, 1.0)            // want `constant index 3`
+			a.Write(vp, slot, 2.0)         // want `constant index slot`
+			a.WriteBlock(vp, 0, buf())     // want `constant index 0`
+			a.Write(vp, vp.GlobalRank(), 1) // ok: rank-dependent index
+			a.Add(vp, 3, 1.0)               // ok: adds combine
+			if vp.NodeRank() == 0 {
+				a.Write(vp, 3, 9.0) // ok: rank-guarded (one writer per node)
+			}
+			if vp.GlobalRank() == 0 {
+				a.Write(vp, 5, 9.0) // ok: rank-guarded single writer
+			}
+			lo, _ := ppm.ChunkRange(64, vp.GlobalK(), vp.GlobalRank())
+			a.Write(vp, lo, 4.0) // ok: index tainted by rank
+		})
+		vp.NodePhase(func() {
+			b.Write(vp, 2, 1) // want `constant index 2`
+		})
+	})
+
+	// A single-VP Do cannot conflict on a node array.
+	rt.Do(1, func(vp *ppm.VP) {
+		vp.NodePhase(func() {
+			b.Write(vp, 2, 1) // ok: K == 1
+		})
+	})
+}
+
+func buf() []float64 { return make([]float64, 4) }

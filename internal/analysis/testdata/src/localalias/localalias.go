@@ -1,0 +1,27 @@
+// Fixture for the localalias rule: base-image aliases inside Do bodies.
+package localalias
+
+import "ppm"
+
+func Program(rt *ppm.Runtime) {
+	a := ppm.AllocGlobal[float64](rt, "a", 64)
+	b := ppm.AllocNode[float64](rt, "b", 8)
+
+	local := a.Local(rt) // ok here: node-level initialization...
+	for i := range local {
+		local[i] = float64(i) // ok: outside Do
+	}
+
+	rt.Do(4, func(vp *ppm.VP) {
+		_ = local[0]        // want `bypass phase semantics`
+		_ = a.Local(rt)     // want `node-level accessors bypass phase semantics`
+		_ = a.At(rt, 3)     // want `node-level accessors bypass phase semantics`
+		vp.GlobalPhase(func() {
+			local[1] = 2.0 // want `bypass phase semantics`
+		})
+	})
+
+	// After the Do the alias is safe again.
+	_ = local[0] // ok
+	_ = b.Local(rt)[0]
+}

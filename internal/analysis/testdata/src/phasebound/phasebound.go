@@ -1,0 +1,35 @@
+// Fixture for the phasebound rule: shared accessors outside any phase.
+package phasebound
+
+import "ppm"
+
+func Program(rt *ppm.Runtime) {
+	a := ppm.AllocGlobal[float64](rt, "a", 64)
+	b := ppm.AllocNode[int64](rt, "b", 8)
+
+	rt.Do(4, func(vp *ppm.VP) {
+		v := a.Read(vp, vp.NodeRank())       // want `outside any GlobalPhase/NodePhase body`
+		a.Write(vp, vp.NodeRank(), v)        // want `outside any GlobalPhase/NodePhase body`
+		b.AddBlock(vp, 0, []int64{1})        // want `outside any GlobalPhase/NodePhase body`
+		helperOutside(vp, a)                 // reported inside the helper
+		vp.GlobalPhase(func() {
+			w := a.Read(vp, vp.NodeRank()) // ok: inside a phase
+			a.Write(vp, vp.NodeRank(), w)  // ok
+			helperInPhase(vp, a)           // ok: helper only called here
+		})
+		vp.NodePhase(func() {
+			b.Write(vp, vp.NodeRank(), 1) // ok
+		})
+	})
+}
+
+// helperOutside has a call site outside every phase, so its accesses are
+// reported.
+func helperOutside(vp *ppm.VP, a *ppm.Global[float64]) {
+	a.Write(vp, vp.NodeRank(), 1) // want `outside any GlobalPhase/NodePhase body`
+}
+
+// helperInPhase is only ever called from inside a phase body: quiet.
+func helperInPhase(vp *ppm.VP, a *ppm.Global[float64]) {
+	a.Write(vp, vp.NodeRank(), 2) // ok: every call site is in-phase
+}

@@ -1,0 +1,22 @@
+// Fixture for the runerror rule: discarded ppm.Run errors.
+package runerror
+
+import "ppm"
+
+func Program() error {
+	ppm.Run(ppm.Options{Nodes: 2}, prog) // want `error discarded`
+
+	rep, _ := ppm.Run(ppm.Options{Nodes: 2}, prog) // want `error assigned to _`
+	_ = rep
+
+	go ppm.Run(ppm.Options{Nodes: 2}, prog) // want `error discarded`
+
+	// ok: error consumed.
+	if _, err := ppm.Run(ppm.Options{Nodes: 2}, prog); err != nil {
+		return err
+	}
+	_, err := ppm.Run(ppm.Options{Nodes: 2}, prog)
+	return err
+}
+
+func prog(rt *ppm.Runtime) {}

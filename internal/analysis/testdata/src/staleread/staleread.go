@@ -1,0 +1,37 @@
+// Fixture for the staleread rule: same-phase read-after-write.
+package staleread
+
+import "ppm"
+
+func Program(rt *ppm.Runtime) {
+	a := ppm.AllocGlobal[float64](rt, "a", 64)
+	b := ppm.AllocNode[float64](rt, "b", 8)
+
+	rt.Do(4, func(vp *ppm.VP) {
+		i := vp.GlobalRank()
+		vp.GlobalPhase(func() {
+			a.Write(vp, i, 1.0)
+			_ = a.Read(vp, i) // want `reads the begin-of-phase value`
+			_ = a.Read(vp, i+1) // ok: different index
+		})
+		vp.GlobalPhase(func() {
+			_ = a.Read(vp, i)   // ok: read before write
+			a.Write(vp, i, 2.0) // the intended read-then-write idiom
+		})
+		vp.GlobalPhase(func() {
+			a.Write(vp, i, a.Read(vp, i)+1) // ok: argument read happens before the write
+		})
+		vp.GlobalPhase(func() {
+			_ = a.Read(vp, i) // ok: previous phase's write committed at its barrier
+		})
+		vp.NodePhase(func() {
+			b.Add(vp, 0, 1.0)
+			_ = b.Read(vp, 0) // want `reads the begin-of-phase value`
+		})
+		buf := make([]float64, 4)
+		vp.GlobalPhase(func() {
+			a.WriteBlock(vp, i, buf)
+			a.ReadBlock(vp, i, i+4, buf) // want `reads the begin-of-phase value`
+		})
+	})
+}

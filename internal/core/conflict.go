@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// WriterRef identifies one VP that updated a conflicted element, and
+// how (plain write or combining add).
+type WriterRef struct {
+	Node int  // source node
+	VP   int  // VP rank within that node
+	Add  bool // true when the update was an Add
+}
+
+func (w WriterRef) String() string {
+	kind := "write"
+	if w.Add {
+		kind = "add"
+	}
+	return fmt.Sprintf("VP %d:%d (%s)", w.Node, w.VP, kind)
+}
+
+// WriteConflict is one element of a shared array that received
+// conflicting updates within a single phase under StrictWrites: more
+// than one VP wrote it, or one VP wrote it while another added to it
+// (the model leaves such an element's end-of-phase value undefined).
+// Adds combining with adds are not conflicts.
+type WriteConflict struct {
+	Array   string      // shared-array name
+	Node    int         // destination node (the instance, for node arrays)
+	Index   int         // element index
+	Writers []WriterRef // every involved VP, in apply order
+}
+
+func (c WriteConflict) String() string {
+	s := fmt.Sprintf("core: conflicting writes to %s[%d] in one phase:", c.Array, c.Index)
+	for i, w := range c.Writers {
+		if i > 0 {
+			s += " and"
+		}
+		s += " " + w.String()
+	}
+	return s
+}
+
+// conflictKey identifies a conflicted element across a run.
+type conflictKey struct {
+	array string
+	node  int
+	index int
+}
+
+// conflictLog accumulates every strict-mode conflict of a run, keeping
+// discovery order. Like the rest of globalState it is mutated only
+// under the cluster's cooperative turn discipline, so it needs no lock.
+type conflictLog struct {
+	order []*WriteConflict
+	byKey map[conflictKey]*WriteConflict
+}
+
+// note records that writer updated a conflicted element, creating the
+// conflict entry on first sight and appending previously unseen
+// writers.
+func (l *conflictLog) note(array string, node, index int, writers ...WriterRef) *WriteConflict {
+	if l.byKey == nil {
+		l.byKey = map[conflictKey]*WriteConflict{}
+	}
+	k := conflictKey{array, node, index}
+	c := l.byKey[k]
+	if c == nil {
+		c = &WriteConflict{Array: array, Node: node, Index: index}
+		l.byKey[k] = c
+		l.order = append(l.order, c)
+	}
+	for _, w := range writers {
+		seen := false
+		for _, have := range c.Writers {
+			if have == w {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			c.Writers = append(c.Writers, w)
+		}
+	}
+	return c
+}
+
+// list returns the run's conflicts in discovery order.
+func (l *conflictLog) list() []WriteConflict {
+	out := make([]WriteConflict, len(l.order))
+	for i, c := range l.order {
+		out[i] = *c
+	}
+	return out
+}
+
+func writerRef(writer int64, add bool) WriterRef {
+	return WriterRef{Node: int(writer >> 32), VP: int(writer & 0xffffffff), Add: add}
+}

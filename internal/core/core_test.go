@@ -296,10 +296,11 @@ func TestStrictWritesAllowsAddAndDisjoint(t *testing.T) {
 	o.StrictWrites = true
 	mustRun(t, o, func(rt *Runtime) {
 		g := AllocGlobal[int64](rt, "c", 8)
+		s := AllocGlobal[int64](rt, "s", 1)
 		a := AllocNode[int64](rt, "n", 8)
 		rt.Do(4, func(vp *VP) {
 			vp.GlobalPhase(func() {
-				g.Add(vp, 0, 1)                 // adds may conflict
+				s.Add(vp, 0, 1)                 // adds combine, never conflict
 				g.Write(vp, vp.GlobalRank(), 1) // disjoint writes
 			})
 			vp.NodePhase(func() {
@@ -734,6 +735,119 @@ func TestStrictCrossNodeConflict(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "conflicting writes") {
 		t.Errorf("expected cross-node conflict, got %v", err)
+	}
+}
+
+// TestStrictCollectsAllConflicts checks that a strict run reports every
+// conflicting element with full writer attribution, not only the first
+// error it aborted with.
+func TestStrictCollectsAllConflicts(t *testing.T) {
+	o := opts(2)
+	o.StrictWrites = true
+	rep, err := Run(o, func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "g", 8)
+		a := AllocNode[int64](rt, "n", 4)
+		rt.Do(2, func(vp *VP) {
+			vp.GlobalPhase(func() {
+				g.Write(vp, 0, 1) // all 4 VPs
+				g.Write(vp, 5, 2) // all 4 VPs
+			})
+			vp.NodePhase(func() {
+				a.Write(vp, 3, int64(vp.NodeRank())) // both VPs of each node
+			})
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "conflicting writes") {
+		t.Fatalf("expected conflict error, got %v", err)
+	}
+	byKey := map[string]WriteConflict{}
+	for _, c := range rep.Conflicts {
+		byKey[fmt.Sprintf("%s[%d]@%d", c.Array, c.Index, c.Node)] = c
+	}
+	// g[0] and g[5] conflict on their owner nodes; n[3] conflicts on
+	// every node's instance.
+	for _, want := range []string{"g[0]@0", "g[5]@1", "n[3]@0", "n[3]@1"} {
+		if _, ok := byKey[want]; !ok {
+			t.Errorf("missing conflict %s; got %v", want, rep.Conflicts)
+		}
+	}
+	if len(byKey) != 4 {
+		t.Errorf("got %d distinct conflicts, want 4: %v", len(byKey), rep.Conflicts)
+	}
+	// Four VPs wrote g[0]: attribution names all of them.
+	if c := byKey["g[0]@0"]; len(c.Writers) != 4 {
+		t.Errorf("g[0] attribution = %v, want all 4 writers", c.Writers)
+	}
+	for _, c := range rep.Conflicts {
+		for _, w := range c.Writers {
+			if w.Add {
+				t.Errorf("conflict %v attributes an add; all updates were writes", c)
+			}
+		}
+	}
+}
+
+// TestStrictCrossKindConflict checks that a combining AddBlock
+// overlapping a plain WriteBlock on another node's VP is a conflict
+// (the element's end-of-phase value would depend on apply order), while
+// adds overlapping adds stay allowed.
+func TestStrictCrossKindConflict(t *testing.T) {
+	o := opts(2)
+	o.StrictWrites = true
+	rep, err := Run(o, func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "g", 16)
+		rt.Do(1, func(vp *VP) {
+			vp.GlobalPhase(func() {
+				vals := []int64{1, 1, 1, 1}
+				if vp.Node() == 0 {
+					g.WriteBlock(vp, 4, vals) // elements 4..7
+				} else {
+					g.AddBlock(vp, 6, vals) // elements 6..9: overlaps 6,7
+				}
+			})
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "conflicting writes") {
+		t.Fatalf("expected cross-kind conflict, got %v", err)
+	}
+	if len(rep.Conflicts) != 2 {
+		t.Fatalf("got %d conflicts, want 2 (elements 6 and 7): %v", len(rep.Conflicts), rep.Conflicts)
+	}
+	for _, c := range rep.Conflicts {
+		if c.Array != "g" || (c.Index != 6 && c.Index != 7) {
+			t.Errorf("unexpected conflict %v", c)
+		}
+		var adds, writes int
+		for _, w := range c.Writers {
+			if w.Add {
+				adds++
+			} else {
+				writes++
+			}
+		}
+		if adds != 1 || writes != 1 {
+			t.Errorf("conflict %v: want one add and one write attributed", c)
+		}
+	}
+
+	// The same overlap with adds on both sides is fine.
+	o = opts(2)
+	o.StrictWrites = true
+	rep = mustRun(t, o, func(rt *Runtime) {
+		g := AllocGlobal[int64](rt, "g", 16)
+		rt.Do(1, func(vp *VP) {
+			vp.GlobalPhase(func() {
+				vals := []int64{1, 1, 1, 1}
+				if vp.Node() == 0 {
+					g.AddBlock(vp, 4, vals)
+				} else {
+					g.AddBlock(vp, 6, vals)
+				}
+			})
+		})
+	})
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("add/add overlap reported conflicts: %v", rep.Conflicts)
 	}
 }
 

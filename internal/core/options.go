@@ -139,11 +139,14 @@ func (s *NodeStats) add(o NodeStats) {
 }
 
 // Report summarizes a PPM run: the underlying cluster report plus PPM
-// runtime statistics.
+// runtime statistics. Under StrictWrites, Conflicts holds every
+// conflicting update detected (the run's error is only the first); it
+// is empty otherwise.
 type Report struct {
-	Cluster *cluster.Report
-	PerNode []NodeStats
-	Totals  NodeStats
+	Cluster   *cluster.Report
+	PerNode   []NodeStats
+	Totals    NodeStats
+	Conflicts []WriteConflict
 }
 
 // Makespan returns the modeled wall-clock time of the run.

@@ -25,7 +25,8 @@ type globalState struct {
 	phaseSeqs []int64           // per node: phases committed (strict-mode epochs)
 	stats     []NodeStats
 
-	strictErr error // first strict-mode violation
+	strictErr error       // first strict-mode violation
+	conflicts conflictLog // every strict-mode conflict, with attribution
 }
 
 // noteStrict records the first strict-mode violation of the run.
@@ -92,8 +93,9 @@ func Run(opt Options, prog func(rt *Runtime)) (*Report, error) {
 		prog(rt)
 	})
 	rep := &Report{
-		Cluster: crep,
-		PerNode: gs.stats,
+		Cluster:   crep,
+		PerNode:   gs.stats,
+		Conflicts: gs.conflicts.list(),
 	}
 	for _, s := range gs.stats {
 		rep.Totals.add(s)

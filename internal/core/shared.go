@@ -42,38 +42,75 @@ type stageRec[T Elem] struct {
 	writer int64
 }
 
+// elemUpdaters is the strict-mode record for one element within a
+// phase: the VP that last plain-wrote it and the first VP that added to
+// it (-1 when no update of that kind happened yet). One of each suffices
+// to detect every conflict class; full attribution for elements that do
+// conflict accumulates in the run's conflictLog.
+type elemUpdaters struct {
+	writeBy int64
+	addBy   int64
+}
+
 // conflictTracker is the strict-mode (StrictWrites) bookkeeping for one
-// shared array: per destination node, the writer of every element touched
-// in the current phase. It is allocated lazily at the first strict
-// commit, so runs without StrictWrites pay nothing for it.
+// shared array: per destination node, the updaters of every element
+// touched in the current phase. It is allocated lazily at the first
+// strict commit, so runs without StrictWrites pay nothing for it.
 type conflictTracker struct {
 	seq []int64
-	m   []map[int]int64
+	m   []map[int]elemUpdaters
 }
 
 func newConflictTracker(nodes int) *conflictTracker {
-	return &conflictTracker{seq: make([]int64, nodes), m: make([]map[int]int64, nodes)}
+	return &conflictTracker{seq: make([]int64, nodes), m: make([]map[int]elemUpdaters, nodes)}
 }
 
-// check validates one run of plain writes against the phase's previous
-// writers, element by element (run-length records keep strict mode's
-// per-element semantics).
-func (ct *conflictTracker) check(name string, node int, phaseSeq int64, lo, n int, writer int64) error {
+// check validates one resolved run against the phase's previous
+// updaters, element by element (run-length records keep strict mode's
+// per-element semantics). Conflicts are plain writes to one element by
+// different VPs, or a plain write and an add to one element by
+// different VPs; adds combine with adds freely. Every conflict is
+// recorded in log with full writer attribution; the returned error is
+// the run's first (the abort signal).
+func (ct *conflictTracker) check(log *conflictLog, name string, node int, phaseSeq int64, lo, n int, writer int64, add bool) error {
 	if ct.seq[node] != phaseSeq || ct.m[node] == nil {
-		ct.m[node] = make(map[int]int64)
+		ct.m[node] = make(map[int]elemUpdaters)
 		ct.seq[node] = phaseSeq
 	}
 	mm := ct.m[node]
 	var firstErr error
 	for i := lo; i < lo+n; i++ {
-		if prev, ok := mm[i]; ok && prev != writer {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: conflicting writes to %s[%d] in one phase: VP %d:%d and VP %d:%d",
-					name, i, prev>>32, prev&0xffffffff, writer>>32, writer&0xffffffff)
+		rec, ok := mm[i]
+		if !ok {
+			rec = elemUpdaters{writeBy: -1, addBy: -1}
+		}
+		prev := int64(-1)
+		prevAdd := false
+		if add {
+			if rec.writeBy >= 0 && rec.writeBy != writer {
+				prev = rec.writeBy
 			}
+			if rec.addBy < 0 {
+				rec.addBy = writer
+			}
+		} else {
+			switch {
+			case rec.writeBy >= 0 && rec.writeBy != writer:
+				prev = rec.writeBy
+			case rec.addBy >= 0 && rec.addBy != writer:
+				prev, prevAdd = rec.addBy, true
+			}
+			rec.writeBy = writer
+		}
+		mm[i] = rec
+		if prev < 0 {
 			continue
 		}
-		mm[i] = writer
+		c := log.note(name, node, i, writerRef(prev, prevAdd), writerRef(writer, add))
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: conflicting writes to %s[%d] in one phase: %v and %v",
+				name, i, c.Writers[0], writerRef(writer, add))
+		}
 	}
 	return firstErr
 }
@@ -364,11 +401,11 @@ func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrc
 // applyRun applies one resolved run to the node's base image.
 func (g *Global[T]) applyRun(node int, strict bool, phaseSeq int64, r *stageRec[T]) error {
 	var err error
-	if strict && !r.add {
+	if strict {
 		if g.ct == nil {
 			g.ct = newConflictTracker(g.gs.nodes)
 		}
-		err = g.ct.check(g.name, node, phaseSeq, r.lo, r.n, r.writer)
+		err = g.ct.check(&g.gs.conflicts, g.name, node, phaseSeq, r.lo, r.n, r.writer, r.add)
 	}
 	switch {
 	case r.vals == nil:
@@ -535,11 +572,11 @@ func (a *Node[T]) applyIncoming(node int, strict bool, phaseSeq int64) ([]int, [
 // applyRun applies one resolved run to the node's instance.
 func (a *Node[T]) applyRun(node int, strict bool, phaseSeq int64, r *stageRec[T]) error {
 	var err error
-	if strict && !r.add {
+	if strict {
 		if a.ct == nil {
 			a.ct = newConflictTracker(a.gs.nodes)
 		}
-		err = a.ct.check(a.name, node, phaseSeq, r.lo, r.n, r.writer)
+		err = a.ct.check(&a.gs.conflicts, a.name, node, phaseSeq, r.lo, r.n, r.writer, r.add)
 	}
 	base := a.base[node]
 	switch {

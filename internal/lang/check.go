@@ -77,29 +77,65 @@ type checker struct {
 	scopes  []map[string]symbol
 	ctx     context
 	inPhase bool
+	diags   []Diag
 }
 
 // Check validates the program semantically and annotates expression
-// types. It must run before interpretation or code generation.
+// types. It must run before interpretation or code generation. It
+// returns the first problem found; Analyze reports all of them.
 func Check(prog *Program) error {
-	c := &checker{
+	c := newChecker(prog)
+	c.run()
+	if len(c.diags) > 0 {
+		d := c.diags[0]
+		return &Error{Line: d.Line, Col: d.Col, Msg: d.Msg, Rule: d.Rule}
+	}
+	return nil
+}
+
+func newChecker(prog *Program) *checker {
+	return &checker{
 		prog:   prog,
 		consts: map[string]int64{},
 		shared: map[string]*SharedDecl{},
 		funcs:  map[string]*FuncDecl{},
 	}
-	for _, d := range prog.Consts {
+}
+
+// record converts an error into a diagnostic. The checker records
+// problems statement by statement and keeps going, so one mistake does
+// not hide the rest of the program's.
+func (c *checker) record(err error) {
+	if err == nil {
+		return
+	}
+	if e, ok := err.(*Error); ok {
+		rule := e.Rule
+		if rule == "" {
+			rule = "check"
+		}
+		c.diags = append(c.diags, Diag{Line: e.Line, Col: e.Col, Rule: rule, Sev: SevError, Msg: e.Msg})
+		return
+	}
+	c.diags = append(c.diags, Diag{Rule: "internal", Sev: SevError, Msg: err.Error()})
+}
+
+func (c *checker) run() {
+	for _, d := range c.prog.Consts {
 		if _, dup := c.consts[d.Name]; dup {
-			return errf(d.Pos.Line, d.Pos.Col, "duplicate const %q", d.Name)
+			c.record(errf(d.Pos.Line, d.Pos.Col, "duplicate const %q", d.Name))
+			continue
 		}
 		c.consts[d.Name] = d.Value
 	}
-	for _, d := range prog.Shared {
+	for _, d := range c.prog.Shared {
 		if _, dup := c.shared[d.Name]; dup {
-			return errf(d.Pos.Line, d.Pos.Col, "duplicate shared array %q", d.Name)
+			c.record(errf(d.Pos.Line, d.Pos.Col, "duplicate shared array %q", d.Name))
+			continue
 		}
 		if _, clash := c.consts[d.Name]; clash {
-			return errf(d.Pos.Line, d.Pos.Col, "shared array %q collides with a const", d.Name)
+			c.record(errf(d.Pos.Line, d.Pos.Col, "shared array %q collides with a const", d.Name))
+			continue
 		}
 		c.shared[d.Name] = d
 		// Sizes are node-level expressions evaluated once at startup.
@@ -107,38 +143,35 @@ func Check(prog *Program) error {
 		c.scopes = []map[string]symbol{{}}
 		t, err := c.expr(d.Size)
 		if err != nil {
-			return err
-		}
-		if t != TypeInt {
-			return errf(d.Pos.Line, d.Pos.Col, "size of %q must be int, got %v", d.Name, t)
+			c.record(err)
+		} else if t != TypeInt {
+			c.record(errf(d.Pos.Line, d.Pos.Col, "size of %q must be int, got %v", d.Name, t))
 		}
 	}
-	for _, f := range prog.Funcs {
+	for _, f := range c.prog.Funcs {
 		if _, dup := c.funcs[f.Name]; dup {
-			return errf(f.Pos.Line, f.Pos.Col, "duplicate function %q", f.Name)
+			c.record(errf(f.Pos.Line, f.Pos.Col, "duplicate function %q", f.Name))
+			continue
 		}
 		if builtinByName(f.Name) != nil || f.Name == "print" || f.Name == "barrier" {
-			return errf(f.Pos.Line, f.Pos.Col, "function %q shadows a builtin", f.Name)
+			c.record(errf(f.Pos.Line, f.Pos.Col, "function %q shadows a builtin", f.Name))
+			continue
 		}
 		c.funcs[f.Name] = f
 	}
-	for _, f := range prog.Funcs {
+	for _, f := range c.prog.Funcs {
 		c.ctx = ctxFunc
 		c.inPhase = false
 		c.scopes = []map[string]symbol{{}}
 		for _, pr := range f.Params {
-			if err := c.declare(pr.Name, symbol{typ: pr.Type, isVar: true}, f.Pos); err != nil {
-				return err
-			}
+			c.record(c.declare(pr.Name, symbol{typ: pr.Type, isVar: true}, f.Pos))
 		}
-		if err := c.block(f.Body); err != nil {
-			return err
-		}
+		c.block(f.Body)
 	}
 	c.ctx = ctxMain
 	c.inPhase = false
 	c.scopes = []map[string]symbol{{}}
-	return c.block(prog.Main)
+	c.block(c.prog.Main)
 }
 
 func (c *checker) declare(name string, s symbol, pos Token) error {
@@ -167,76 +200,68 @@ func (c *checker) lookup(name string) (symbol, bool) {
 	return symbol{}, false
 }
 
-func (c *checker) block(b *Block) error {
+func (c *checker) block(b *Block) {
 	c.scopes = append(c.scopes, map[string]symbol{})
 	defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
 	for _, s := range b.Stmts {
-		if err := c.stmt(s); err != nil {
-			return err
-		}
+		c.record(c.stmt(s))
 	}
-	return nil
 }
 
 func (c *checker) stmt(s Stmt) error {
 	switch st := s.(type) {
 	case *Block:
-		return c.block(st)
+		c.block(st)
+		return nil
 	case *VarDecl:
 		if st.Init != nil {
 			t, err := c.expr(st.Init)
 			if err != nil {
-				return err
-			}
-			if t != st.Type {
-				return errf(st.Pos.Line, st.Pos.Col, "cannot initialize %v variable %q with %v value (use int()/float())", st.Type, st.Name, t)
+				c.record(err)
+			} else if t != st.Type {
+				c.record(errf(st.Pos.Line, st.Pos.Col, "cannot initialize %v variable %q with %v value (use int()/float())", st.Type, st.Name, t))
 			}
 		}
+		// Declare even when the initializer is bad, so later uses of
+		// the variable do not cascade into "undefined" errors.
 		return c.declare(st.Name, symbol{typ: st.Type, isVar: true}, st.Pos)
 	case *Assign:
 		return c.assign(st)
 	case *If:
 		t, err := c.expr(st.Cond)
 		if err != nil {
-			return err
+			c.record(err)
+		} else if t != TypeBool {
+			c.record(errf(st.Pos.Line, st.Pos.Col, "if condition must be bool, got %v", t))
 		}
-		if t != TypeBool {
-			return errf(st.Pos.Line, st.Pos.Col, "if condition must be bool, got %v", t)
-		}
-		if err := c.block(st.Then); err != nil {
-			return err
-		}
+		c.block(st.Then)
 		if st.Else != nil {
-			return c.block(st.Else)
+			c.block(st.Else)
 		}
 		return nil
 	case *While:
 		t, err := c.expr(st.Cond)
 		if err != nil {
-			return err
+			c.record(err)
+		} else if t != TypeBool {
+			c.record(errf(st.Pos.Line, st.Pos.Col, "while condition must be bool, got %v", t))
 		}
-		if t != TypeBool {
-			return errf(st.Pos.Line, st.Pos.Col, "while condition must be bool, got %v", t)
-		}
-		return c.block(st.Body)
+		c.block(st.Body)
+		return nil
 	case *For:
-		lt, err := c.expr(st.Lo)
-		if err != nil {
-			return err
-		}
-		ht, err := c.expr(st.Hi)
-		if err != nil {
-			return err
-		}
-		if lt != TypeInt || ht != TypeInt {
-			return errf(st.Pos.Line, st.Pos.Col, "for bounds must be int")
+		lt, lerr := c.expr(st.Lo)
+		ht, herr := c.expr(st.Hi)
+		if lerr != nil || herr != nil {
+			c.record(lerr)
+			c.record(herr)
+		} else if lt != TypeInt || ht != TypeInt {
+			c.record(errf(st.Pos.Line, st.Pos.Col, "for bounds must be int"))
 		}
 		c.scopes = append(c.scopes, map[string]symbol{})
 		defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
-		if err := c.declare(st.Var, symbol{typ: TypeInt, isVar: true}, st.Pos); err != nil {
-			return err
-		}
-		return c.block(st.Body)
+		c.record(c.declare(st.Var, symbol{typ: TypeInt, isVar: true}, st.Pos))
+		c.block(st.Body)
+		return nil
 	case *Phase:
 		if c.ctx == ctxMain {
 			return errf(st.Pos.Line, st.Pos.Col, "phases are only allowed inside PPM functions (the paper's PPM functions)")
@@ -247,20 +272,19 @@ func (c *checker) stmt(s Stmt) error {
 		c.inPhase = true
 		prev := c.ctx
 		c.ctx = ctxPhase
-		err := c.block(st.Body)
+		c.block(st.Body)
 		c.ctx = prev
 		c.inPhase = false
-		return err
+		return nil
 	case *Do:
 		if c.ctx != ctxMain {
 			return errf(st.Pos.Line, st.Pos.Col, "do is only allowed in main (node-level code)")
 		}
 		kt, err := c.expr(st.K)
 		if err != nil {
-			return err
-		}
-		if kt != TypeInt {
-			return errf(st.Pos.Line, st.Pos.Col, "do count must be int, got %v", kt)
+			c.record(err)
+		} else if kt != TypeInt {
+			c.record(errf(st.Pos.Line, st.Pos.Col, "do count must be int, got %v", kt))
 		}
 		f, ok := c.funcs[st.Name]
 		if !ok {
@@ -272,10 +296,11 @@ func (c *checker) stmt(s Stmt) error {
 		for i, a := range st.Args {
 			at, err := c.expr(a)
 			if err != nil {
-				return err
+				c.record(err)
+				continue
 			}
 			if at != f.Params[i].Type {
-				return errf(st.Pos.Line, st.Pos.Col, "argument %d of %q must be %v, got %v", i+1, st.Name, f.Params[i].Type, at)
+				c.record(errf(st.Pos.Line, st.Pos.Col, "argument %d of %q must be %v, got %v", i+1, st.Name, f.Params[i].Type, at))
 			}
 		}
 		return nil
@@ -288,7 +313,7 @@ func (c *checker) stmt(s Stmt) error {
 				continue
 			}
 			if _, err := c.expr(a); err != nil {
-				return err
+				c.record(err)
 			}
 		}
 		return nil
@@ -327,7 +352,7 @@ func (c *checker) assign(st *Assign) error {
 			return errf(lv.Pos.Line, lv.Pos.Col, "cannot assign %v to %v array %q", vt, sh.Elem, lv.Name)
 		}
 		if c.ctx == ctxFunc {
-			return errf(lv.Pos.Line, lv.Pos.Col, "shared array %q may only be accessed inside a phase", lv.Name)
+			return errRule("phasebound", lv.Pos.Line, lv.Pos.Col, "shared array %q may only be accessed inside a phase", lv.Name)
 		}
 		return nil
 	}
@@ -381,7 +406,7 @@ func (c *checker) expr(e Expr) (Type, error) {
 			return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "array index must be int, got %v", it)
 		}
 		if c.ctx == ctxFunc {
-			return TypeInvalid, errf(ex.Pos.Line, ex.Pos.Col, "shared array %q may only be accessed inside a phase", ex.Name)
+			return TypeInvalid, errRule("phasebound", ex.Pos.Line, ex.Pos.Col, "shared array %q may only be accessed inside a phase", ex.Name)
 		}
 		ex.setType(sh.Elem)
 	case *Unary:

@@ -1,0 +1,316 @@
+package lang
+
+import "fmt"
+
+// This file holds the phase-semantics lint passes behind Analyze: the
+// .ppm counterparts of the Go-side ppmvet rules. They work on the bare
+// syntax tree (no type information needed), so they run even over
+// programs the checker rejected.
+
+// lintProgram runs every warning pass over prog.
+func lintProgram(prog *Program) []Diag {
+	consts := map[string]int64{}
+	for _, d := range prog.Consts {
+		if _, dup := consts[d.Name]; !dup {
+			consts[d.Name] = d.Value
+		}
+	}
+	shared := map[string]*SharedDecl{}
+	for _, d := range prog.Shared {
+		if _, dup := shared[d.Name]; !dup {
+			shared[d.Name] = d
+		}
+	}
+
+	var diags []Diag
+	diags = append(diags, lintConstWrite(prog, consts, shared)...)
+	diags = append(diags, lintStaleRead(prog, shared)...)
+	diags = append(diags, lintUnusedShared(prog)...)
+	return diags
+}
+
+// rankDependent reports whether e mentions a VP- or node-identifying
+// value (directly, or through a tainted local variable), so that its
+// value differs between the VPs executing the phase.
+func rankDependent(e Expr, tainted map[string]bool) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		switch v := x.(type) {
+		case *Ident:
+			switch v.Name {
+			case "vp_node_rank", "vp_global_rank", "node_id":
+				found = true
+			default:
+				if tainted[v.Name] {
+					found = true
+				}
+			}
+		case *Call:
+			// Owned ranges differ per node.
+			if v.Name == "my_lo" || v.Name == "my_hi" {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// taintedVars computes the variables of f whose value derives from a
+// rank, iterating assignments to a fixed point so chains like
+// `var i int = vp_node_rank; var j int = i * 2` are caught.
+func taintedVars(f *FuncDecl) map[string]bool {
+	tainted := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		mark := func(name string, dep bool) {
+			if dep && !tainted[name] {
+				tainted[name] = true
+				changed = true
+			}
+		}
+		walkStmt(f.Body, func(s Stmt) {
+			switch st := s.(type) {
+			case *VarDecl:
+				if st.Init != nil {
+					mark(st.Name, rankDependent(st.Init, tainted))
+				}
+			case *Assign:
+				if st.Target.Index == nil {
+					mark(st.Target.Name, rankDependent(st.Value, tainted))
+				}
+			case *For:
+				mark(st.Var, rankDependent(st.Lo, tainted) || rankDependent(st.Hi, tainted))
+			}
+		})
+	}
+	return tainted
+}
+
+// evalConst resolves e to a compile-time integer if it is built from
+// literals and consts only.
+func evalConst(e Expr, consts map[string]int64) (int64, bool) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Value, true
+	case *Ident:
+		v, ok := consts[ex.Name]
+		return v, ok
+	case *Unary:
+		if ex.Op == MINUS {
+			v, ok := evalConst(ex.X, consts)
+			return -v, ok
+		}
+	case *Binary:
+		l, lok := evalConst(ex.L, consts)
+		r, rok := evalConst(ex.R, consts)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch ex.Op {
+		case PLUS:
+			return l + r, true
+		case MINUS:
+			return l - r, true
+		case STAR:
+			return l * r, true
+		case SLASH:
+			if r != 0 {
+				return l / r, true
+			}
+		case PERCENT:
+			if r != 0 {
+				return l % r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lintConstWrite flags plain writes (not +=) inside a phase whose index
+// is a rank-independent constant and which are not guarded by a
+// rank-dependent condition: every VP of the phase then writes the same
+// element, a guaranteed conflict under the runtime's strict mode. Node
+// arrays are exempt when every `do` of the function starts a single VP
+// per node; global arrays conflict across nodes regardless of K.
+func lintConstWrite(prog *Program, consts map[string]int64, shared map[string]*SharedDecl) []Diag {
+	doK := map[string][]Expr{}
+	walkStmt(prog.Main, func(s Stmt) {
+		if d, ok := s.(*Do); ok {
+			doK[d.Name] = append(doK[d.Name], d.K)
+		}
+	})
+	alwaysSingleVP := func(fname string) bool {
+		ks := doK[fname]
+		if len(ks) == 0 {
+			return false
+		}
+		for _, k := range ks {
+			if v, ok := evalConst(k, consts); !ok || v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var diags []Diag
+	for _, f := range prog.Funcs {
+		tainted := taintedVars(f)
+		var inPhase func(s Stmt, guarded bool)
+		inPhase = func(s Stmt, guarded bool) {
+			switch st := s.(type) {
+			case *Block:
+				for _, n := range st.Stmts {
+					inPhase(n, guarded)
+				}
+			case *If:
+				g := guarded || rankDependent(st.Cond, tainted)
+				inPhase(st.Then, g)
+				if st.Else != nil {
+					inPhase(st.Else, g)
+				}
+			case *While:
+				inPhase(st.Body, guarded)
+			case *For:
+				inPhase(st.Body, guarded)
+			case *Assign:
+				if st.Add || guarded || st.Target.Index == nil {
+					return
+				}
+				sh := shared[st.Target.Name]
+				if sh == nil {
+					return
+				}
+				v, isConst := evalConst(st.Target.Index, consts)
+				if !isConst {
+					return
+				}
+				if !sh.GlobalScope && alwaysSingleVP(f.Name) {
+					return
+				}
+				diags = append(diags, Diag{
+					Line: st.Target.Pos.Line, Col: st.Target.Pos.Col,
+					Rule: "constwrite", Sev: SevWarning,
+					Msg: fmt.Sprintf("every VP of the phase writes %s[%d]: guaranteed conflicting writes under strict mode — guard the write by rank or use +=", st.Target.Name, v),
+				})
+			}
+		}
+		walkStmt(f.Body, func(s Stmt) {
+			if p, ok := s.(*Phase); ok {
+				inPhase(p.Body, false)
+			}
+		})
+	}
+	return diags
+}
+
+// lintStaleRead flags a read of a shared element that an earlier
+// statement of the same phase wrote (same array, syntactically
+// identical index): the read still observes the begin-of-phase value,
+// because writes commit only at the phase's end barrier. Reads
+// evaluated before the write of their own statement (`A[i] = A[i]+1`)
+// are the model's intended idiom and are not flagged.
+func lintStaleRead(prog *Program, shared map[string]*SharedDecl) []Diag {
+	var diags []Diag
+	key := func(name string, idx Expr) string { return name + "[" + exprString(idx) + "]" }
+
+	lintPhase := func(p *Phase) {
+		writes := map[string]Token{}
+		checkReads := func(e Expr) {
+			walkExpr(e, func(x Expr) {
+				ix, ok := x.(*Index)
+				if !ok {
+					return
+				}
+				k := key(ix.Name, ix.Inner)
+				w, written := writes[k]
+				if !written {
+					return
+				}
+				diags = append(diags, Diag{
+					Line: ix.Pos.Line, Col: ix.Pos.Col,
+					Rule: "staleread", Sev: SevWarning,
+					Msg: fmt.Sprintf("read of %s observes the begin-of-phase value: the update at line %d commits only at the phase's end barrier — split the phase if the new value is needed", k, w.Line),
+				})
+			})
+		}
+		var scan func(s Stmt)
+		scan = func(s Stmt) {
+			for _, e := range stmtExprs(s) {
+				checkReads(e)
+			}
+			if a, ok := s.(*Assign); ok && a.Target.Index != nil && shared[a.Target.Name] != nil {
+				writes[key(a.Target.Name, a.Target.Index)] = a.Pos
+			}
+			switch st := s.(type) {
+			case *Block:
+				for _, n := range st.Stmts {
+					scan(n)
+				}
+			case *If:
+				scan(st.Then)
+				if st.Else != nil {
+					scan(st.Else)
+				}
+			case *While:
+				scan(st.Body)
+			case *For:
+				scan(st.Body)
+			}
+		}
+		scan(p.Body)
+	}
+
+	for _, f := range prog.Funcs {
+		walkStmt(f.Body, func(s Stmt) {
+			if p, ok := s.(*Phase); ok {
+				lintPhase(p)
+			}
+		})
+	}
+	return diags
+}
+
+// lintUnusedShared flags shared arrays that no expression or
+// assignment in the program ever touches.
+func lintUnusedShared(prog *Program) []Diag {
+	used := map[string]bool{}
+	markExpr := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			switch v := x.(type) {
+			case *Index:
+				used[v.Name] = true
+			case *Call:
+				if (v.Name == "my_lo" || v.Name == "my_hi") && len(v.Args) == 1 {
+					if id, ok := v.Args[0].(*Ident); ok {
+						used[id.Name] = true
+					}
+				}
+			}
+		})
+	}
+	markStmt := func(s Stmt) {
+		for _, e := range stmtExprs(s) {
+			markExpr(e)
+		}
+		if a, ok := s.(*Assign); ok && a.Target.Index != nil {
+			used[a.Target.Name] = true
+		}
+	}
+	for _, f := range prog.Funcs {
+		walkStmt(f.Body, markStmt)
+	}
+	walkStmt(prog.Main, markStmt)
+
+	var diags []Diag
+	for _, d := range prog.Shared {
+		if used[d.Name] {
+			continue
+		}
+		diags = append(diags, Diag{
+			Line: d.Pos.Line, Col: d.Pos.Col,
+			Rule: "unusedshared", Sev: SevWarning,
+			Msg: fmt.Sprintf("shared array %q is declared but never used", d.Name),
+		})
+	}
+	return diags
+}

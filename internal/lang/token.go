@@ -138,10 +138,12 @@ type Token struct {
 	Col  int
 }
 
-// Error is a front-end diagnostic with a source position.
+// Error is a front-end diagnostic with a source position. Rule, when
+// set, names the semantic check that produced it (see Diag).
 type Error struct {
 	Line, Col int
 	Msg       string
+	Rule      string
 }
 
 func (e *Error) Error() string {
@@ -150,6 +152,12 @@ func (e *Error) Error() string {
 
 func errf(line, col int, format string, args ...any) *Error {
 	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func errRule(rule string, line, col int, format string, args ...any) *Error {
+	e := errf(line, col, format, args...)
+	e.Rule = rule
+	return e
 }
 
 // Lex tokenizes src. Comments run from // to end of line.

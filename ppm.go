@@ -64,6 +64,14 @@ type Report = core.Report
 // NodeStats aggregates one node's runtime activity.
 type NodeStats = core.NodeStats
 
+// WriteConflict is one strict-mode conflict: a shared element updated
+// incompatibly by more than one VP within a single phase. Report.Conflicts
+// lists every one detected during a StrictWrites run.
+type WriteConflict = core.WriteConflict
+
+// WriterRef identifies one VP involved in a WriteConflict.
+type WriterRef = core.WriterRef
+
 // Global is a globally shared array (the paper's PPM_global_shared),
 // block-distributed over the cluster. Besides the scalar Read/Write/Add
 // accessors it offers ReadBlock, WriteBlock and AddBlock for contiguous
