@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet langcheck test race bench-hotpath figures
+.PHONY: check build vet ppmvet langcheck test race race-parallel bench-hotpath bench-parallel figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends) and race-test.
@@ -26,10 +26,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+## race-parallel: the whole suite under the race detector with the
+## parallel in-run scheduler forced on for every cluster.Run. Passing
+## means the parallel scheduler is data-race-free AND bit-identical to
+## the sequential one on every golden test in the repo.
+race-parallel:
+	PPM_PARALLEL=1 $(GO) test -race ./...
+
 ## bench-hotpath: regenerate BENCH_hotpath.json (host costs of the
 ## shared-access hot path; see bench_test.go).
 bench-hotpath:
 	BENCH_HOTPATH=1 $(GO) test -run TestHotpathBenchArtifact -v .
+
+## bench-parallel: regenerate BENCH_parallel.json (host wall-clock of
+## the full Figure 1 sweep, sequential vs the parallel harness; see
+## parallel_bench_test.go).
+bench-parallel:
+	BENCH_PARALLEL=1 $(GO) test -run TestParallelBenchArtifact -v .
 
 ## figures: print the paper's figure sweeps.
 figures:

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ppm-figures [-fig 1|2|3|0] [-nodes 1,2,4,8,16,32,64] [-cores 4]
-//	            [-csv] [-chart]
+//	            [-csv] [-chart] [-parallel N] [-par-run] [-quiet]
+//	            [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	            [-cg-grid 24x24x48] [-cg-iters 20]
 //	            [-colloc-levels 7] [-colloc-m0 12]
 //	            [-bh-n 3000] [-bh-steps 2]
@@ -13,6 +14,12 @@
 // -fig 0 (default) runs all three figures. The default workload sizes are
 // laptop-scale; raise them toward the paper's (see DESIGN.md) if you have
 // the patience.
+//
+// Sweep points run concurrently on a bounded worker pool (-parallel,
+// default GOMAXPROCS); -par-run additionally runs each point's simulator
+// on the cluster's parallel scheduler. Both are host-time optimizations
+// only: the emitted tables are bit-identical for every setting. Progress
+// lines stream to stderr as points complete.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -30,6 +39,41 @@ import (
 	"ppm/internal/bench"
 	"ppm/internal/machine"
 )
+
+// startProfiles arms the optional pprof outputs and returns the function
+// that finalizes them (stops the CPU profile, snapshots the heap).
+func startProfiles(cpu, mem string) func() {
+	var stopCPU func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
 
 func parseNodeList(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
@@ -74,13 +118,32 @@ func main() {
 	collocM0 := flag.Int("colloc-m0", 12, "Figure 2 level-0 basis count")
 	bhN := flag.Int("bh-n", 3000, "Figure 3 body count")
 	bhSteps := flag.Int("bh-steps", 2, "Figure 3 time steps")
+	parallel := flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential); results identical for every value")
+	parRun := flag.Bool("par-run", false, "run each point's simulator on the parallel scheduler (bit-identical results)")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress lines on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	nodes, err := parseNodeList(*nodeList)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := bench.SweepConfig{NodeCounts: nodes, CoresPerNode: *cores, Machine: machine.Franklin()}
+	cfg := bench.SweepConfig{
+		NodeCounts:   nodes,
+		CoresPerNode: *cores,
+		Machine:      machine.Franklin(),
+		Parallel:     *parallel,
+		ParallelRun:  *parRun,
+	}
+	if !*quiet {
+		// Stderr is unbuffered, so each point's line is visible the
+		// moment the point completes, even mid-sweep.
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
 
 	emit := func(s *bench.Series) {
 		if *emitCSV {

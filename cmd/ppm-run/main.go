@@ -7,6 +7,7 @@
 //
 //	ppm-run -app cg|colloc|nbody|search [-model ppm|mpi] [-nodes 8] [-cores 4]
 //	        [-no-bundling] [-no-overlap] [-no-readcache] [-static] [-smartmap]
+//	        [-parallel] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	        [app-specific flags, see -h]
 package main
 
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ppm/internal/apps/cg"
 	"ppm/internal/apps/colloc"
@@ -24,6 +27,41 @@ import (
 	"ppm/internal/machine"
 	"ppm/internal/trace"
 )
+
+// startProfiles arms the optional pprof outputs and returns the function
+// that finalizes them (stops the CPU profile, snapshots the heap).
+func startProfiles(cpu, mem string) func() {
+	var stopCPU func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +77,9 @@ func main() {
 	static := flag.Bool("static", false, "static VP-to-core schedule (PPM)")
 	smartMap := flag.Bool("smartmap", false, "enable SmartMap-style intra-node MPI optimization")
 	timeline := flag.Bool("timeline", false, "print a communication summary and per-rank timeline (PPM runs)")
+	parallel := flag.Bool("parallel", false, "run the simulator on the parallel host scheduler (bit-identical results)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 	cgGrid := flag.String("cg-grid", "24x24x48", "cg: grid NXxNYxNZ")
 	cgIters := flag.Int("cg-iters", 20, "cg: iterations (tol=0)")
@@ -50,6 +91,9 @@ func main() {
 	searchK := flag.Int("search-k", 1<<14, "search: keys per node")
 	flag.Parse()
 
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+
 	mach := machine.Franklin()
 	mach.SmartMap = *smartMap
 	popt := core.Options{
@@ -60,6 +104,7 @@ func main() {
 		NoOverlap:      *noOverlap,
 		NoReadCache:    *noReadCache,
 		StaticSchedule: *static,
+		Parallel:       *parallel,
 	}
 	var collector *trace.Collector
 	if *timeline {
@@ -80,7 +125,7 @@ func main() {
 		}
 		prm := cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: *cgIters, Tol: 0}
 		if *model == "mpi" {
-			res, rep, err := cg.RunMPI(cg.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			res, rep, err := cg.RunMPI(cg.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach, Parallel: *parallel}, prm)
 			exitOn(err)
 			fmt.Printf("cg/mpi: %d iterations, residual %.3e\n%v\n", res.Iters, res.Residual, rep)
 			return
@@ -92,7 +137,7 @@ func main() {
 	case "colloc":
 		prm := colloc.Params{Levels: *collocLevels, M0: *collocM0, Delta: 3}
 		if *model == "mpi" {
-			m, rep, err := colloc.RunMPI(colloc.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			m, rep, err := colloc.RunMPI(colloc.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach, Parallel: *parallel}, prm)
 			exitOn(err)
 			fmt.Printf("colloc/mpi: %d x %d matrix, %d nonzeros\n%v\n", m.N, m.N, m.NNZ(), rep)
 			return
@@ -104,7 +149,7 @@ func main() {
 	case "nbody":
 		prm := nbody.Params{N: *bhN, Steps: *bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42}
 		if *model == "mpi" {
-			_, rep, err := nbody.RunMPI(nbody.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach}, prm)
+			_, rep, err := nbody.RunMPI(nbody.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach, Parallel: *parallel}, prm)
 			exitOn(err)
 			fmt.Printf("nbody/mpi: %d bodies, %d steps\n%v\n", prm.N, prm.Steps, rep)
 			return

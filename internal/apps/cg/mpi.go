@@ -17,6 +17,7 @@ type MPIOptions struct {
 	Nodes        int
 	CoresPerNode int // ranks per node; 0 uses the machine's core count
 	Machine      *machine.Machine
+	Parallel     bool // host-parallel scheduler (bit-identical results)
 }
 
 func (o MPIOptions) fill() (MPIOptions, error) {
@@ -53,6 +54,7 @@ func RunMPI(opt MPIOptions, prm Params) (*Result, *cluster.Report, error) {
 		Procs:        o.Nodes * o.CoresPerNode,
 		ProcsPerNode: o.CoresPerNode,
 		Machine:      o.Machine,
+		Parallel:     o.Parallel,
 	}, func(proc *cluster.Proc) {
 		mpiNode(mp.New(proc), prm, res)
 	})

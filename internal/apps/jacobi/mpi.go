@@ -15,6 +15,7 @@ type MPIOptions struct {
 	Nodes        int
 	CoresPerNode int
 	Machine      *machine.Machine
+	Parallel     bool // host-parallel scheduler (bit-identical results)
 }
 
 func (o MPIOptions) fill() (MPIOptions, error) {
@@ -52,6 +53,7 @@ func RunMPI(opt MPIOptions, p Params) ([]float64, *cluster.Report, error) {
 		Procs:        o.Nodes * o.CoresPerNode,
 		ProcsPerNode: o.CoresPerNode,
 		Machine:      o.Machine,
+		Parallel:     o.Parallel,
 	}, func(proc *cluster.Proc) {
 		c := mp.New(proc)
 		part := partition.NewBlock(n, c.Size())

@@ -14,6 +14,7 @@ type MPIOptions struct {
 	Nodes        int
 	CoresPerNode int
 	Machine      *machine.Machine
+	Parallel     bool // host-parallel scheduler (bit-identical results)
 }
 
 func (o MPIOptions) fill() (MPIOptions, error) {
@@ -53,6 +54,7 @@ func RunMPI(opt MPIOptions, p Params) (*State, *cluster.Report, error) {
 		Procs:        o.Nodes * o.CoresPerNode,
 		ProcsPerNode: o.CoresPerNode,
 		Machine:      o.Machine,
+		Parallel:     o.Parallel,
 	}, func(proc *cluster.Proc) {
 		c := mp.New(proc)
 		ranks, me := c.Size(), c.Rank()

@@ -12,7 +12,10 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"ppm/internal/apps/cg"
 	"ppm/internal/apps/colloc"
@@ -29,8 +32,26 @@ type SweepConfig struct {
 	// CoresPerNode is the cores (and MPI ranks) per node; 0 uses the
 	// machine's count (4 on Franklin, as in the paper).
 	CoresPerNode int
-	// Machine is the cost model; machine.Franklin() if nil.
+	// Machine is the cost model; machine.Franklin() if nil. It is
+	// shared read-only by every point of the sweep.
 	Machine *machine.Machine
+
+	// Parallel is the number of sweep points run concurrently on the
+	// host: 0 uses GOMAXPROCS, 1 runs the sweep sequentially. Points
+	// are independent — each run constructs its own Cluster, shared
+	// arrays, pools, and RNG state — and results are assembled in
+	// NodeCounts order regardless of completion order, so the Series
+	// is bit-identical for every worker count.
+	Parallel int
+	// ParallelRun additionally runs each point's simulator under the
+	// cluster's conservative parallel scheduler (see cluster.Config
+	// .Parallel). Host-time optimization only; modeled results are
+	// bit-identical either way.
+	ParallelRun bool
+	// Progress, if non-nil, receives one line per completed point, in
+	// completion order (out of order when Parallel > 1), prefixed with
+	// the point id. The callback is serialized by the harness.
+	Progress func(line string)
 }
 
 func (c SweepConfig) fill() SweepConfig {
@@ -49,6 +70,132 @@ func (c SweepConfig) fill() SweepConfig {
 // DefaultSweep returns the paper-shaped sweep: 1-64 Franklin nodes with 4
 // cores each.
 func DefaultSweep() SweepConfig { return SweepConfig{}.fill() }
+
+// runPoints executes a figure's sweep on a bounded worker pool and
+// appends the results to s.Points in NodeCounts order. Each point is
+// two independent work units — the PPM run and the MPI run — which
+// fill disjoint fields of the point, so the pool schedules 2*len
+// (NodeCounts) jobs; splitting the halves shortens the critical path
+// (the largest point's PPM run) that bounds the sweep's wall-clock.
+//
+// With one worker the halves run in the historical order (PPM then MPI,
+// points in NodeCounts order, fail-fast: later work never runs after an
+// error). With several workers every job runs and the reported error is
+// the one the sequential order would have hit first — smallest point
+// index, PPM half before MPI — so the error too is deterministic.
+// Completed points stream through c.Progress as both halves finish.
+func (c SweepConfig) runPoints(s *Series, ppm, mpi func(nodes int, pt *Point) error) error {
+	total := len(c.NodeCounts)
+	workers := c.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 2*total {
+		workers = 2 * total
+	}
+	pts := make([]Point, total)
+	for i, nodes := range c.NodeCounts {
+		pts[i].Nodes = nodes
+	}
+	if workers <= 1 {
+		done := 0
+		for i, nodes := range c.NodeCounts {
+			err := ppm(nodes, &pts[i])
+			if err == nil {
+				err = mpi(nodes, &pts[i])
+			}
+			done++
+			c.emitProgress(s, nodes, pts[i], err, done, total)
+			if err != nil {
+				return err
+			}
+		}
+		s.Points = append(s.Points, pts...)
+		return nil
+	}
+	// A job is point index * 2 + half (0 = PPM, 1 = MPI). The halves
+	// write disjoint fields of their point, so they need no lock; the
+	// progress/error bookkeeping does.
+	errs := make([]error, 2*total)
+	left := make([]int, total) // halves still running per point
+	for i := range left {
+		left[i] = 2
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				i, nodes := j/2, c.NodeCounts[j/2]
+				var err error
+				if j%2 == 0 {
+					err = ppm(nodes, &pts[i])
+				} else {
+					err = mpi(nodes, &pts[i])
+				}
+				mu.Lock()
+				errs[j] = err
+				left[i]--
+				if left[i] == 0 {
+					done++
+					perr := errs[2*i]
+					if perr == nil {
+						perr = errs[2*i+1]
+					}
+					c.emitProgress(s, nodes, pts[i], perr, done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// Dispatch biggest points first: host time grows with the proc
+	// count, so on typical sweeps (1..64 nodes) the largest point is
+	// the critical path. Starting it last would leave it running alone
+	// after the small points drain; starting it first lets the small
+	// points pack around it. Results are index-addressed, so dispatch
+	// order never affects the assembled Series.
+	order := make([]int, 2*total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := c.NodeCounts[order[a]/2], c.NodeCounts[order[b]/2]
+		if na != nb {
+			return na > nb
+		}
+		return order[a] < order[b] // PPM (usually costlier) before MPI
+	})
+	for _, j := range order {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.Points = append(s.Points, pts...)
+	return nil
+}
+
+// emitProgress formats and delivers one completed-point line. Callers
+// serialize invocations.
+func (c SweepConfig) emitProgress(s *Series, nodes int, pt Point, err error, done, total int) {
+	if c.Progress == nil {
+		return
+	}
+	id := fmt.Sprintf("[%s n=%d]", s.Figure, nodes)
+	if err != nil {
+		c.Progress(fmt.Sprintf("%s error: %v (%d/%d points)", id, err, done, total))
+		return
+	}
+	c.Progress(fmt.Sprintf("%s PPM %.6fs MPI %.6fs (%d/%d points)", id, pt.PPMSec, pt.MPISec, done, total))
+}
 
 // Point is one x-position of a figure: both implementations at one
 // cluster size.
@@ -144,28 +291,31 @@ func Figure1CG(cfg SweepConfig, prm cg.Params) (*Series, error) {
 		Name: fmt.Sprintf("CG solver, %dx%dx%d grid (%d rows), %d iterations",
 			prm.NX, prm.NY, prm.NZ, prm.N(), prm.MaxIter),
 	}
-	for _, nodes := range c.NodeCounts {
-		var pt Point
-		pt.Nodes = nodes
+	err := c.runPoints(s, func(nodes int, pt *Point) error {
 		_, prep, err := cg.RunPPM(core.Options{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 1: PPM at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 1: PPM at %d nodes: %w", nodes, err)
 		}
 		pt.PPMSec = prep.Makespan().Seconds()
 		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
 		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		return nil
+	}, func(nodes int, pt *Point) error {
 		_, mrep, err := cg.RunMPI(cg.MPIOptions{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 1: MPI at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 1: MPI at %d nodes: %w", nodes, err)
 		}
 		pt.MPISec = mrep.Makespan.Seconds()
 		pt.MPIBytes = mrep.Totals.BytesSent
 		pt.MPIMsgs = mrep.Totals.MsgsSent
-		s.Points = append(s.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -179,28 +329,31 @@ func Figure2Colloc(cfg SweepConfig, prm colloc.Params) (*Series, error) {
 		Name: fmt.Sprintf("collocation matrix generation, %d levels, n=%d",
 			prm.Levels, prm.N()),
 	}
-	for _, nodes := range c.NodeCounts {
-		var pt Point
-		pt.Nodes = nodes
+	err := c.runPoints(s, func(nodes int, pt *Point) error {
 		_, prep, err := colloc.RunPPM(core.Options{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 2: PPM at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 2: PPM at %d nodes: %w", nodes, err)
 		}
 		pt.PPMSec = prep.Makespan().Seconds()
 		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
 		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		return nil
+	}, func(nodes int, pt *Point) error {
 		_, mrep, err := colloc.RunMPI(colloc.MPIOptions{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 2: MPI at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 2: MPI at %d nodes: %w", nodes, err)
 		}
 		pt.MPISec = mrep.Makespan.Seconds()
 		pt.MPIBytes = mrep.Totals.BytesSent
 		pt.MPIMsgs = mrep.Totals.MsgsSent
-		s.Points = append(s.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -215,28 +368,31 @@ func Figure3BarnesHut(cfg SweepConfig, prm nbody.Params) (*Series, error) {
 		Name: fmt.Sprintf("Barnes-Hut, %d bodies, theta=%.2f, %d steps",
 			prm.N, prm.Theta, prm.Steps),
 	}
-	for _, nodes := range c.NodeCounts {
-		var pt Point
-		pt.Nodes = nodes
+	err := c.runPoints(s, func(nodes int, pt *Point) error {
 		_, prep, err := nbody.RunPPM(core.Options{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 3: PPM at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 3: PPM at %d nodes: %w", nodes, err)
 		}
 		pt.PPMSec = prep.Makespan().Seconds()
 		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
 		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		return nil
+	}, func(nodes int, pt *Point) error {
 		_, mrep, err := nbody.RunMPI(nbody.MPIOptions{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure 3: MPI at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure 3: MPI at %d nodes: %w", nodes, err)
 		}
 		pt.MPISec = mrep.Makespan.Seconds()
 		pt.MPIBytes = mrep.Totals.BytesSent
 		pt.MPIMsgs = mrep.Totals.MsgsSent
-		s.Points = append(s.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -250,28 +406,31 @@ func FigureS1Jacobi(cfg SweepConfig, prm jacobi.Params) (*Series, error) {
 		Name: fmt.Sprintf("Jacobi relaxation (structured counterpoint), %dx%dx%d grid, %d sweeps",
 			prm.NX, prm.NY, prm.NZ, prm.Sweeps),
 	}
-	for _, nodes := range c.NodeCounts {
-		var pt Point
-		pt.Nodes = nodes
+	err := c.runPoints(s, func(nodes int, pt *Point) error {
 		_, prep, err := jacobi.RunPPM(core.Options{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure S1: PPM at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure S1: PPM at %d nodes: %w", nodes, err)
 		}
 		pt.PPMSec = prep.Makespan().Seconds()
 		pt.PPMBytes = prep.Totals.BytesOut + prep.Cluster.Totals.BytesSent
 		pt.PPMMsgs = prep.Totals.BundlesOut + prep.Cluster.Totals.MsgsSent
+		return nil
+	}, func(nodes int, pt *Point) error {
 		_, mrep, err := jacobi.RunMPI(jacobi.MPIOptions{
-			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine,
+			Nodes: nodes, CoresPerNode: c.CoresPerNode, Machine: c.Machine, Parallel: c.ParallelRun,
 		}, prm)
 		if err != nil {
-			return nil, fmt.Errorf("figure S1: MPI at %d nodes: %w", nodes, err)
+			return fmt.Errorf("figure S1: MPI at %d nodes: %w", nodes, err)
 		}
 		pt.MPISec = mrep.Makespan.Seconds()
 		pt.MPIBytes = mrep.Totals.BytesSent
 		pt.MPIMsgs = mrep.Totals.MsgsSent
-		s.Points = append(s.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

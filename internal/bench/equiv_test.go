@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/core"
+)
+
+// Small paper-shaped workloads: big enough to exercise every phase kind,
+// small enough that six runs per figure stay fast.
+var (
+	equivCG     = cg.Params{NX: 10, NY: 10, NZ: 20, MaxIter: 4, Tol: 0}
+	equivColloc = colloc.Params{Levels: 4, M0: 6, Delta: 3}
+	equivNbody  = nbody.Params{N: 260, Steps: 2, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42}
+)
+
+// equivNodeCounts are the two cluster sizes the acceptance criteria
+// require the sequential/parallel comparison to cover.
+var equivNodeCounts = []int{2, 4}
+
+// jsonBytes marshals a report for the byte-level comparison; the JSON
+// form catches float formatting or field drift that DeepEqual alone
+// could mask behind NaN semantics.
+func jsonBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkRunEquivalence runs one figure's PPM program at one node count
+// under the sequential and the parallel in-run scheduler and requires
+// bit-identical reports.
+func checkRunEquivalence(t *testing.T, name string, run func(opt core.Options) (*core.Report, error), nodes int) {
+	t.Helper()
+	opt := core.Options{Nodes: nodes, CoresPerNode: 2}
+	seq, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s n=%d sequential: %v", name, nodes, err)
+	}
+	opt.Parallel = true
+	par, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s n=%d parallel: %v", name, nodes, err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("%s n=%d: reports differ between schedulers:\nseq: %v\npar: %v", name, nodes, seq, par)
+	}
+	if sb, pb := jsonBytes(t, seq), jsonBytes(t, par); string(sb) != string(pb) {
+		t.Errorf("%s n=%d: report JSON differs between schedulers:\n%s\n%s", name, nodes, sb, pb)
+	}
+}
+
+func TestFigure1RunEquivalence(t *testing.T) {
+	for _, n := range equivNodeCounts {
+		checkRunEquivalence(t, "figure1/cg", func(opt core.Options) (*core.Report, error) {
+			_, rep, err := cg.RunPPM(opt, equivCG)
+			return rep, err
+		}, n)
+	}
+}
+
+func TestFigure2RunEquivalence(t *testing.T) {
+	for _, n := range equivNodeCounts {
+		checkRunEquivalence(t, "figure2/colloc", func(opt core.Options) (*core.Report, error) {
+			_, rep, err := colloc.RunPPM(opt, equivColloc)
+			return rep, err
+		}, n)
+	}
+}
+
+func TestFigure3RunEquivalence(t *testing.T) {
+	for _, n := range equivNodeCounts {
+		checkRunEquivalence(t, "figure3/nbody", func(opt core.Options) (*core.Report, error) {
+			_, rep, err := nbody.RunPPM(opt, equivNbody)
+			return rep, err
+		}, n)
+	}
+}
+
+// TestSweepWorkerCountEquivalence checks the other determinism axis: the
+// assembled Series must be bit-identical whether the sweep runs on one
+// worker or many, with or without the parallel in-run scheduler.
+func TestSweepWorkerCountEquivalence(t *testing.T) {
+	base := SweepConfig{NodeCounts: equivNodeCounts, CoresPerNode: 2}
+	variants := []SweepConfig{
+		{NodeCounts: base.NodeCounts, CoresPerNode: 2, Parallel: 1},
+		{NodeCounts: base.NodeCounts, CoresPerNode: 2, Parallel: 4},
+		{NodeCounts: base.NodeCounts, CoresPerNode: 2, Parallel: 4, ParallelRun: true},
+	}
+	var ref *Series
+	for i, cfg := range variants {
+		s, err := Figure1CG(cfg, equivCG)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if !reflect.DeepEqual(ref, s) {
+			t.Errorf("variant %d series differs:\nref: %+v\ngot: %+v", i, ref, s)
+		}
+		if rb, sb := jsonBytes(t, ref), jsonBytes(t, s); string(rb) != string(sb) {
+			t.Errorf("variant %d series JSON differs", i)
+		}
+	}
+}
+
+// TestSweepProgressAndErrorDeterminism checks that a failing point
+// yields the same (smallest-index) error for any worker count, and that
+// progress lines carry the point id.
+func TestSweepProgressAndErrorDeterminism(t *testing.T) {
+	bad := cg.Params{NX: 0, NY: 0, NZ: 0, MaxIter: 1} // invalid: every point fails
+	var refErr string
+	for _, workers := range []int{1, 3} {
+		var lines []string
+		cfg := SweepConfig{
+			NodeCounts:   []int{1, 2, 4},
+			CoresPerNode: 2,
+			Parallel:     workers,
+			Progress:     func(line string) { lines = append(lines, line) },
+		}
+		_, err := Figure1CG(cfg, bad)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error for invalid params", workers)
+		}
+		if refErr == "" {
+			refErr = err.Error()
+		} else if err.Error() != refErr {
+			t.Errorf("workers=%d: error differs: %q vs %q", workers, err.Error(), refErr)
+		}
+		if len(lines) == 0 {
+			t.Fatalf("workers=%d: no progress lines", workers)
+		}
+		for _, l := range lines {
+			if !reflect.DeepEqual(l[:9], "[Figure 1") {
+				t.Errorf("workers=%d: progress line missing point id: %q", workers, l)
+			}
+		}
+	}
+}

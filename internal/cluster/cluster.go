@@ -21,6 +21,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -53,6 +54,15 @@ type Config struct {
 	// barrier releases, exits) in deterministic schedule order. Used by
 	// the trace/timeline tooling.
 	Observer func(Event)
+	// Parallel selects the conservative parallel scheduler: process
+	// compute sections execute concurrently on host cores while every
+	// operation on shared simulator state is re-serialized in exactly
+	// the order the sequential scheduler would run it, so reports,
+	// observer streams, and all modeled results stay bit-identical.
+	// See parallel.go. Setting PPM_PARALLEL=1 in the environment
+	// forces this mode for every run (used by CI to exercise the whole
+	// test suite under it).
+	Parallel bool
 }
 
 func (c *Config) validate() error {
@@ -132,6 +142,12 @@ type Cluster struct {
 
 	yield chan *Proc // processes announce they stopped running
 
+	// Parallel-scheduler state: parkReq is where a process announces it
+	// reached an operation and needs the turn (buffered so announcing
+	// never blocks the scheduler's grant cycle).
+	parallel bool
+	parkReq  chan *Proc
+
 	sendSeq    int64
 	barrierGen int64
 	inBarrier  int
@@ -152,9 +168,13 @@ func Run(cfg Config, prog Program) (*Report, error) {
 	}
 	nodes := (cfg.Procs + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
 	c := &Cluster{
-		cfg:   cfg,
-		mach:  mach,
-		yield: make(chan *Proc),
+		cfg:      cfg,
+		mach:     mach,
+		yield:    make(chan *Proc),
+		parallel: cfg.Parallel || envParallel,
+	}
+	if c.parallel {
+		c.parkReq = make(chan *Proc, cfg.Procs)
 	}
 	c.nics = make([]*vtime.Resource, nodes)
 	for i := range c.nics {
@@ -168,15 +188,27 @@ func Run(cfg Config, prog Program) (*Report, error) {
 			node:    r / cfg.ProcsPerNode,
 			state:   stateRunnable,
 			resume:  make(chan bool),
+			turnCh:  make(chan bool),
 		}
 	}
 	for _, p := range c.procs {
 		go p.run(prog)
 	}
-	err := c.schedule()
+	var err error
+	if c.parallel {
+		err = c.scheduleParallel()
+	} else {
+		err = c.schedule()
+	}
 	rep := c.report()
 	return rep, err
 }
+
+// envParallel forces the parallel scheduler for every run in the
+// process when PPM_PARALLEL=1, regardless of Config.Parallel. CI uses
+// it to run the full test suite (including the race detector) under the
+// parallel scheduler.
+var envParallel = os.Getenv("PPM_PARALLEL") == "1"
 
 // schedule is the main scheduling loop, run on the caller's goroutine.
 func (c *Cluster) schedule() error {
@@ -244,30 +276,55 @@ func (c *Cluster) teardown() {
 	}
 }
 
+// deadlockError builds a diagnostic for a run with live processes but
+// nothing runnable: per stuck process it reports the virtual clock, the
+// pending operation (with wildcard receive arguments spelled out and
+// barrier occupancy), and how many unmatched messages sit in its
+// mailbox — enough to diagnose a hang in a large sweep without a trace.
 func (c *Cluster) deadlockError() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: deadlock — no runnable process among %d", len(c.procs))
-	// Summarize blocked processes, a few per state, for diagnosis.
 	var blocked []*Proc
+	recvs, barriers, done := 0, 0, 0
 	for _, p := range c.procs {
-		if p.state == stateBlockedRecv || p.state == stateBlockedBarrier {
+		switch p.state {
+		case stateBlockedRecv:
+			recvs++
 			blocked = append(blocked, p)
+		case stateBlockedBarrier:
+			barriers++
+			blocked = append(blocked, p)
+		case stateDone:
+			done++
 		}
 	}
+	live := len(c.procs) - done
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: deadlock — no runnable process among %d (%d waiting on recv, %d in barrier, %d exited)",
+		len(c.procs), recvs, barriers, done)
 	sort.Slice(blocked, func(i, j int) bool { return blocked[i].rank < blocked[j].rank })
+	const maxDetail = 16
 	for i, p := range blocked {
-		if i == 8 {
-			fmt.Fprintf(&b, "; … %d more", len(blocked)-i)
+		if i == maxDetail {
+			fmt.Fprintf(&b, "\n  … %d more stuck process(es)", len(blocked)-i)
 			break
 		}
 		switch p.state {
 		case stateBlockedRecv:
-			fmt.Fprintf(&b, "; rank %d waits recv(src=%d, tag=%d) at %v", p.rank, p.wantSrc, p.wantTag, p.clock)
+			fmt.Fprintf(&b, "\n  rank %d: clock=%v pending recv(src=%s, tag=%s), %d queued message(s), none matching",
+				p.rank, p.clock, fmtWild(p.wantSrc, AnySource), fmtWild(p.wantTag, AnyTag), len(p.mailbox))
 		case stateBlockedBarrier:
-			fmt.Fprintf(&b, "; rank %d waits in barrier at %v", p.rank, p.clock)
+			fmt.Fprintf(&b, "\n  rank %d: clock=%v pending barrier #%d (%d of %d live entered)",
+				p.rank, p.clock, c.barrierGen+1, c.inBarrier, live)
 		}
 	}
 	return errors.New(b.String())
+}
+
+// fmtWild renders a Recv argument, naming the wildcard.
+func fmtWild(v, wild int) string {
+	if v == wild {
+		return "any"
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 func (c *Cluster) trace(format string, args ...any) {
@@ -279,8 +336,12 @@ func (c *Cluster) trace(format string, args ...any) {
 // tryBarrierRelease releases all processes if every live process has
 // entered the barrier. Completed processes do not participate: a program
 // must make all ranks reach every barrier (like MPI_Barrier), and a rank
-// exiting early while others wait is reported as deadlock.
-func (c *Cluster) tryBarrierRelease() {
+// exiting early while others wait is reported as deadlock. releaser is
+// the process whose arrival (or exit) triggered the attempt; under the
+// parallel scheduler every other released process is woken immediately
+// so its next compute section runs concurrently, while releaser keeps
+// the turn.
+func (c *Cluster) tryBarrierRelease(releaser *Proc) {
 	live := 0
 	for _, p := range c.procs {
 		if p.state != stateDone {
@@ -302,9 +363,13 @@ func (c *Cluster) tryBarrierRelease() {
 	for _, p := range c.procs {
 		if p.state == stateBlockedBarrier {
 			p.clock = release
+			p.pickClock = release
 			p.state = stateRunnable
 			p.stats.Barriers++
 			c.observe(Event{Kind: EvBarrier, Rank: p.rank, Peer: -1, Time: release})
+			if c.parallel && p != releaser {
+				p.resume <- true
+			}
 		}
 	}
 	c.trace("barrier released at %v (%d procs)", release, live)

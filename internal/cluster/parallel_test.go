@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ppm/internal/machine"
+	"ppm/internal/vtime"
+)
+
+// gnarly is a deliberately awkward message-passing program: uneven
+// compute, wildcard receives, a TryRecv poll loop, yields, explicit NIC
+// holds, and repeated barriers. It exercises every scheduler decision
+// point the parallel turn-grant protocol must reproduce exactly.
+func gnarly(p *Proc) {
+	procs := p.Procs()
+	for round := 0; round < 4; round++ {
+		p.Charge(vtime.Duration(float64((p.Rank()*7+round*3)%5) * 1e-5))
+		next := (p.Rank() + 1) % procs
+		prev := (p.Rank() + procs - 1) % procs
+		p.Send(next, round, p.Rank()*100+round, 64+32*round)
+		if round%2 == 0 {
+			p.Recv(AnySource, round) // wildcard: global send order decides
+		} else {
+			for p.TryRecv(prev, round) == nil {
+				p.Yield()
+			}
+		}
+		if p.Rank() == round%procs {
+			p.NICAcquire(p.Clock(), 1e-5)
+		}
+		p.Barrier()
+	}
+	// Ragged tail: low ranks exchange one extra pair after the others
+	// have exited, so barrier bookkeeping sees finished procs.
+	if p.Rank() < 2 && procs >= 2 {
+		peer := 1 - p.Rank()
+		p.Send(peer, 99, nil, 8)
+		p.Recv(peer, 99)
+	}
+}
+
+// runBoth runs prog under the sequential and the parallel scheduler with
+// identical shapes and returns both reports plus both observer streams.
+func runBoth(t *testing.T, procs, perNode int, prog Program) (seq, par *Report, seqEv, parEv []Event) {
+	t.Helper()
+	run := func(parallel bool) (*Report, []Event) {
+		var evs []Event
+		cfg := Config{
+			Procs: procs, ProcsPerNode: perNode, Machine: machine.Generic(),
+			Parallel: parallel,
+			Observer: func(ev Event) { evs = append(evs, ev) },
+		}
+		rep, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		return rep, evs
+	}
+	seq, seqEv = run(false)
+	par, parEv = run(true)
+	return seq, par, seqEv, parEv
+}
+
+func TestParallelSchedulerEquivalence(t *testing.T) {
+	// Two cluster shapes, as the acceptance criteria require: the whole
+	// Report (clocks, stats, NIC accounting) and the observer event
+	// stream must be bit-identical across schedulers.
+	for _, shape := range []struct{ procs, perNode int }{{6, 2}, {12, 4}} {
+		seq, par, seqEv, parEv := runBoth(t, shape.procs, shape.perNode, gnarly)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%d/%d: reports differ:\nseq: %+v\npar: %+v", shape.procs, shape.perNode, seq, par)
+		}
+		if !reflect.DeepEqual(seqEv, parEv) {
+			t.Errorf("%d/%d: observer streams differ (%d vs %d events)",
+				shape.procs, shape.perNode, len(seqEv), len(parEv))
+			for i := range seqEv {
+				if i < len(parEv) && seqEv[i] != parEv[i] {
+					t.Errorf("  first divergence at event %d: seq=%+v par=%+v", i, seqEv[i], parEv[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSchedulerRepeatable(t *testing.T) {
+	// The parallel scheduler must also be deterministic against itself:
+	// repeated runs of the same program give byte-identical reports.
+	cfg := Config{Procs: 8, ProcsPerNode: 2, Machine: machine.Generic(), Parallel: true}
+	var first *Report
+	for i := 0; i < 5; i++ {
+		rep, err := Run(cfg, gnarly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = rep
+		} else if !reflect.DeepEqual(first, rep) {
+			t.Fatalf("run %d differs from run 0:\n%+v\n%+v", i, rep, first)
+		}
+	}
+}
+
+func TestParallelDeadlockDetected(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		_, err := Run(Config{Procs: 2, ProcsPerNode: 1, Machine: machine.Generic(), Parallel: parallel},
+			func(p *Proc) {
+				p.Charge(vtime.Duration(float64(p.Rank()+1) * 1e-6))
+				p.Recv(1-p.Rank(), 7) // both wait, nobody sends
+			})
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("parallel=%v: expected deadlock error, got %v", parallel, err)
+		}
+		// The diagnostic must name each stuck proc with its virtual
+		// clock and pending operation.
+		for _, want := range []string{"rank 0:", "rank 1:", "clock=", "pending recv(src=", "tag=7"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("parallel=%v: deadlock error missing %q:\n%v", parallel, want, err)
+			}
+		}
+	}
+}
+
+func TestParallelBarrierDeadlockDetail(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		_, err := Run(Config{Procs: 3, ProcsPerNode: 1, Machine: machine.Generic(), Parallel: parallel},
+			func(p *Proc) {
+				if p.Rank() == 2 {
+					p.Recv(0, 0)
+				} else {
+					p.Barrier()
+				}
+			})
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("parallel=%v: expected deadlock error, got %v", parallel, err)
+		}
+		for _, want := range []string{"pending barrier #1 (2 of 3 live entered)", "pending recv(src=0"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("parallel=%v: deadlock error missing %q:\n%v", parallel, want, err)
+			}
+		}
+	}
+}
+
+func TestParallelPanicTeardown(t *testing.T) {
+	// A panicking rank must abort the run cleanly under the parallel
+	// scheduler too: same error, no hang, no goroutine leak.
+	_, err := Run(Config{Procs: 4, ProcsPerNode: 2, Machine: machine.Generic(), Parallel: true},
+		func(p *Proc) {
+			if p.Rank() == 2 {
+				panic("boom")
+			}
+			p.Barrier()
+		})
+	if err == nil || !strings.Contains(err.Error(), "rank 2 panicked: boom") {
+		t.Errorf("expected rank-2 panic error, got %v", err)
+	}
+}
+
+func TestParallelSerialHelper(t *testing.T) {
+	// Proc.Serial must serialize host-side mutations in the sequential
+	// cooperative schedule's order under both schedulers, regardless of
+	// which goroutine computes ahead fastest. Charging does not yield
+	// the turn, so the first Serial per rank lands in initial schedule
+	// order; the barrier then re-sorts ranks by release, so the second
+	// Serial lands in rank order again — the point is that the parallel
+	// scheduler reproduces the exact same interleaving.
+	runOrder := func(parallel bool) []int {
+		var order []int
+		_, err := Run(Config{Procs: 4, ProcsPerNode: 2, Machine: machine.Generic(), Parallel: parallel},
+			func(p *Proc) {
+				p.Charge(vtime.Duration(float64(3-p.Rank()) * 1e-5))
+				p.Serial(func() { order = append(order, p.Rank()) })
+				p.Barrier()
+				p.Charge(vtime.Duration(float64(p.Rank()) * 1e-6))
+				p.Serial(func() { order = append(order, 10+p.Rank()) })
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	seq := runOrder(false)
+	par := runOrder(true)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Serial order differs: seq=%v par=%v", seq, par)
+	}
+	if len(seq) != 8 {
+		t.Errorf("expected 8 Serial entries, got %v", seq)
+	}
+}

@@ -25,7 +25,9 @@ type ProcStats struct {
 // single execution turn back and forth over the resume/yield channels;
 // every access to shared cluster state happens while holding the turn, so
 // the accesses are ordered by the channel operations and no locks are
-// needed.
+// needed. Under Config.Parallel the turn still exists and still moves in
+// the same order; processes merely compute ahead between operations (see
+// parallel.go for the full protocol and determinism argument).
 type Proc struct {
 	cluster *Cluster
 	rank    int
@@ -35,6 +37,21 @@ type Proc struct {
 	state  procState
 	resume chan bool
 
+	// Parallel-mode fields (see parallel.go). turnCh delivers turn
+	// grants to a process parked at an operation; hasTurn is owned by
+	// the process goroutine; pickClock is the clock at which the
+	// process last became runnable — exactly the frozen clock the
+	// sequential scheduler would compare, since a sequential process
+	// never advances its clock while runnable-but-not-running. parked
+	// is owned by the scheduler and tracks whether the process waits
+	// between parkReq and its turn grant; pendingOp names the
+	// operation the process is parked at, for diagnostics.
+	turnCh    chan bool
+	hasTurn   bool
+	pickClock vtime.Time
+	parked    bool
+	pendingOp string
+
 	mailbox []*Message
 	wantSrc int
 	wantTag int
@@ -42,23 +59,88 @@ type Proc struct {
 	stats ProcStats
 }
 
+// acquireTurn blocks until this process holds the serialization turn.
+// Mutating (or order-sensitively reading) any state outside the
+// process's own fields requires the turn; the process then keeps it
+// until it blocks, yields, or exits. In sequential mode holding the
+// turn is implicit in having been resumed, so this is a no-op.
+func (p *Proc) acquireTurn(op string) {
+	if !p.cluster.parallel || p.hasTurn {
+		return
+	}
+	p.pendingOp = op
+	p.cluster.parkReq <- p
+	if !<-p.turnCh {
+		panic(abortSignal{})
+	}
+	p.hasTurn = true
+	p.pendingOp = ""
+}
+
+// acquireTurnExit is acquireTurn for the exit path: instead of
+// panicking when the run is being torn down it reports false, so the
+// deferred exit handler can finish without touching shared state.
+func (p *Proc) acquireTurnExit() bool {
+	if !p.cluster.parallel || p.hasTurn {
+		return true
+	}
+	p.pendingOp = "exit"
+	p.cluster.parkReq <- p
+	if !<-p.turnCh {
+		return false
+	}
+	p.hasTurn = true
+	p.pendingOp = ""
+	return true
+}
+
+// Serial runs f while holding the serialization turn, then keeps the
+// turn (it is released at the process's next block or yield, like any
+// other operation). Runtime layers use it to fence sections that touch
+// cross-process host state outside the message-passing API — e.g.
+// collective registration or shared diagnostic logs — so the sections
+// execute in exactly the order the sequential scheduler would run them.
+// In sequential mode it simply calls f.
+func (p *Proc) Serial(f func()) {
+	p.acquireTurn("serial")
+	f()
+}
+
 // run is the goroutine body wrapping the user program.
 func (p *Proc) run(prog Program) {
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(abortSignal); !ok && p.cluster.failure == nil {
-				p.cluster.failure = fmt.Errorf("cluster: rank %d panicked: %v", p.rank, r)
-			}
+		r := recover()
+		_, aborted := r.(abortSignal)
+		if aborted {
+			r = nil
+		}
+		// Exiting mutates shared state (the observer stream, barrier
+		// bookkeeping, the failure slot), so under the parallel
+		// scheduler it waits for this process's sequential turn. A
+		// false grant means the run is being torn down: finish without
+		// touching shared state.
+		if !aborted && !p.acquireTurnExit() {
+			aborted = true
+		}
+		if aborted && p.cluster.parallel {
+			p.state = stateDone
+			p.cluster.yield <- p
+			return
+		}
+		if r != nil && p.cluster.failure == nil {
+			p.cluster.failure = fmt.Errorf("cluster: rank %d panicked: %v", p.rank, r)
 		}
 		p.state = stateDone
 		p.cluster.observe(Event{Kind: EvExit, Rank: p.rank, Peer: -1, Time: p.clock})
 		// A finished process no longer participates in barriers; waiters
 		// must not hang on it.
-		p.cluster.tryBarrierRelease()
+		p.cluster.tryBarrierRelease(p)
+		p.hasTurn = false
 		p.cluster.yield <- p
 	}()
 	// First resume: the scheduler hands us the turn without a prior yield
-	// from us.
+	// from us. (In parallel mode every process is resumed at start and
+	// acquires the turn lazily at its first operation.)
 	if cont := <-p.resume; !cont {
 		panic(abortSignal{})
 	}
@@ -66,9 +148,13 @@ func (p *Proc) run(prog Program) {
 }
 
 // yieldBlocked parks the process in the given blocked state until the
-// scheduler makes it runnable again and resumes it.
+// scheduler (or, in parallel mode, the process that unblocks it) makes
+// it runnable again and resumes it. In parallel mode the process
+// resumes computing without the turn and reacquires it at its next
+// operation.
 func (p *Proc) yieldBlocked(s procState) {
 	p.state = s
+	p.hasTurn = false
 	p.cluster.yield <- p
 	if cont := <-p.resume; !cont {
 		panic(abortSignal{})
@@ -126,13 +212,19 @@ func (p *Proc) AdvanceTo(t vtime.Time) {
 
 // NICAcquire occupies this process's node NIC for d starting no earlier
 // than at, returning the completion time. Runtime layers use it to model
-// bundled traffic without materializing messages.
+// bundled traffic without materializing messages. The NIC is shared by
+// every process on the node, so acquisition order is part of the
+// deterministic schedule and requires the turn.
 func (p *Proc) NICAcquire(at vtime.Time, d vtime.Duration) vtime.Time {
+	p.acquireTurn("nic-acquire")
 	return p.cluster.nics[p.node].Acquire(at, d)
 }
 
 // NICFreeAt returns the earliest idle time of this node's NIC.
-func (p *Proc) NICFreeAt() vtime.Time { return p.cluster.nics[p.node].FreeAt() }
+func (p *Proc) NICFreeAt() vtime.Time {
+	p.acquireTurn("nic-free")
+	return p.cluster.nics[p.node].FreeAt()
+}
 
 // CountTraffic records modeled traffic in the statistics without
 // performing a send; runtime layers use it alongside NICAcquire.
@@ -159,6 +251,7 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("cluster: rank %d Send with negative bytes %d", p.rank, bytes))
 	}
+	p.acquireTurn("send")
 	c := p.cluster
 	m := c.mach
 	target := c.procs[dst]
@@ -189,9 +282,15 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	}
 	c.trace("send %d->%d tag=%d bytes=%d arrival=%v", p.rank, dst, tag, bytes, arrival)
 	c.observe(Event{Kind: EvSend, Rank: p.rank, Peer: dst, Tag: tag, Bytes: bytes, Intra: intra, Time: p.clock})
-	// If the destination is parked on a matching receive, wake it.
+	// If the destination is parked on a matching receive, wake it. Its
+	// pick clock is the clock it blocked at (unchanged while blocked),
+	// which is what the sequential scheduler would compare.
 	if target.state == stateBlockedRecv && matches(target.wantSrc, target.wantTag, msg) {
 		target.state = stateRunnable
+		target.pickClock = target.clock
+		if c.parallel {
+			target.resume <- true
+		}
 	}
 }
 
@@ -207,6 +306,7 @@ func matches(wantSrc, wantTag int, m *Message) bool {
 // keeps runs deterministic.
 func (p *Proc) Recv(src, tag int) *Message {
 	for {
+		p.acquireTurn("recv")
 		if msg := p.consumeMatch(src, tag); msg != nil {
 			return msg
 		}
@@ -218,6 +318,7 @@ func (p *Proc) Recv(src, tag int) *Message {
 // TryRecv returns a matching message if one is already available, without
 // blocking. It returns nil when none is queued.
 func (p *Proc) TryRecv(src, tag int) *Message {
+	p.acquireTurn("recv")
 	return p.consumeMatch(src, tag)
 }
 
@@ -251,15 +352,17 @@ func (p *Proc) consumeMatch(src, tag int) *Message {
 // arrival plus the machine's modeled barrier cost. Processes that have
 // already finished do not participate.
 func (p *Proc) Barrier() {
+	p.acquireTurn("barrier")
 	c := p.cluster
 	p.state = stateBlockedBarrier
 	c.inBarrier++
-	c.tryBarrierRelease()
+	c.tryBarrierRelease(p)
 	if p.state == stateRunnable {
 		// Our own arrival completed the barrier; we keep the turn.
 		p.state = stateRunning
 		return
 	}
+	p.hasTurn = false
 	c.yield <- p
 	if cont := <-p.resume; !cont {
 		panic(abortSignal{})
@@ -270,5 +373,15 @@ func (p *Proc) Barrier() {
 // remains runnable at its current clock. Useful in tests to force
 // interleavings.
 func (p *Proc) Yield() {
+	if p.cluster.parallel {
+		// Give up the turn but keep computing; the next operation
+		// parks until the turn comes around again at this clock.
+		p.acquireTurn("yield")
+		p.state = stateRunnable
+		p.pickClock = p.clock
+		p.hasTurn = false
+		p.cluster.yield <- p
+		return
+	}
 	p.yieldBlocked(stateRunnable)
 }

@@ -21,6 +21,10 @@ type Report struct {
 	PerProc []ProcStats
 	// Totals aggregates the per-process statistics.
 	Totals ProcStats
+	// NICs holds each node NIC's final accounting state. Acquisition
+	// order affects these values, so they are part of the surface the
+	// sequential-vs-parallel equivalence tests compare bit for bit.
+	NICs []vtime.ResourceState
 }
 
 func (c *Cluster) report() *Report {
@@ -29,6 +33,10 @@ func (c *Cluster) report() *Report {
 		Nodes:       len(c.nics),
 		FinalClocks: make([]vtime.Time, len(c.procs)),
 		PerProc:     make([]ProcStats, len(c.procs)),
+		NICs:        make([]vtime.ResourceState, len(c.nics)),
+	}
+	for i, n := range c.nics {
+		r.NICs[i] = n.State()
 	}
 	for i, p := range c.procs {
 		r.FinalClocks[i] = p.clock

@@ -461,17 +461,29 @@ func (d *doRun) commitNode() error {
 
 	var firstErr error
 	var applyBytes int64
-	for _, vp := range d.vps {
-		st.SharedReads += vp.reads
-		st.SharedWrites += vp.writes
-		vp.reads, vp.writes, vp.charge = 0, 0, 0
-		for _, b := range vp.bufs {
-			bytes, err := b.flushNode(d, seq)
-			if err != nil && firstErr == nil {
-				firstErr = err
+	flush := func() {
+		for _, vp := range d.vps {
+			st.SharedReads += vp.reads
+			st.SharedWrites += vp.writes
+			vp.reads, vp.writes, vp.charge = 0, 0, 0
+			for _, b := range vp.bufs {
+				bytes, err := b.flushNode(d, seq)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				applyBytes += bytes
 			}
-			applyBytes += bytes
 		}
+	}
+	if gs.opt.StrictWrites {
+		// Strict-mode applies touch cross-node conflict trackers and the
+		// shared conflict log; the turn serializes them in sequential
+		// order so attribution order is mode-independent. Non-strict
+		// node-phase applies touch only node-owned state and stay
+		// concurrent under the parallel scheduler.
+		rt.proc.Serial(flush)
+	} else {
+		flush()
 	}
 	rt.proc.ChargeMem(applyBytes)
 	st.PhaseApplyTime += mach.MemTime(applyBytes)
@@ -504,16 +516,26 @@ func (d *doRun) commitGlobal() error {
 	rrElems := make([]int64, nodes)
 	rrBytes := make([]int64, nodes)
 	var firstErr error
-	for _, vp := range d.vps {
-		st.SharedReads += vp.reads
-		st.SharedWrites += vp.writes
-		vp.reads, vp.writes = 0, 0
-		for _, b := range vp.bufs {
-			if err := b.flushGlobal(d, tally, seq); err != nil && firstErr == nil {
-				firstErr = err
+	drain := func() {
+		for _, vp := range d.vps {
+			st.SharedReads += vp.reads
+			st.SharedWrites += vp.writes
+			vp.reads, vp.writes = 0, 0
+			for _, b := range vp.bufs {
+				if err := b.flushGlobal(d, tally, seq); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
+			vp.charge = 0
 		}
-		vp.charge = 0
+	}
+	if opt.StrictWrites {
+		// Node-array buffers apply here and feed the cross-node strict
+		// trackers; see commitNode. Global-array buffers only stage into
+		// this node's cells, which is safe either way.
+		rt.proc.Serial(drain)
+	} else {
+		drain()
 	}
 	d.mergeReadSets(rrElems, rrBytes)
 
@@ -580,15 +602,28 @@ func (d *doRun) commitGlobal() error {
 	// costs.
 	inElems := make([]int64, nodes)
 	inBytes := make([]int64, nodes)
-	for _, arr := range gs.arrays {
-		perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
-		if err != nil && firstErr == nil {
-			firstErr = err
+	apply := func() {
+		for _, arr := range gs.arrays {
+			perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			for n := range perElems {
+				inElems[n] += int64(perElems[n])
+				inBytes[n] += perBytes[n]
+			}
 		}
-		for n := range perElems {
-			inElems[n] += int64(perElems[n])
-			inBytes[n] += perBytes[n]
-		}
+	}
+	if opt.StrictWrites {
+		// Strict applies serialize (conflict trackers and the conflict
+		// log are cross-node); each node still applies only runs staged
+		// for its own partition. Without strict mode the applies run
+		// concurrently under the parallel scheduler — every node touches
+		// only its own partition and its own stage cells, and the phase's
+		// exchange barrier (step 4) ordered all staging before any apply.
+		rt.proc.Serial(apply)
+	} else {
+		apply()
 	}
 	var inCPU vtime.Duration
 	var inBundles, inWire int64
@@ -613,7 +648,9 @@ func (d *doRun) commitGlobal() error {
 	rt.proc.Barrier()
 
 	if firstErr != nil {
-		gs.noteStrict(firstErr)
+		// After the release the process may no longer hold the turn;
+		// "first violation wins" must follow sequential order.
+		rt.proc.Serial(func() { gs.noteStrict(firstErr) })
 	}
 	return nil
 }

@@ -870,7 +870,7 @@ func TestSequentialDosShareState(t *testing.T) {
 // sorted global array A, one VP per element of B.
 func TestPaperBinarySearchExample(t *testing.T) {
 	const N, K = 1024, 64
-	results := make(map[int][]int64)
+	results := make([][]int64, 4) // indexed by node: disjoint slots, parallel-scheduler safe
 	mustRun(t, opts(4), func(rt *Runtime) {
 		A := AllocGlobal[float64](rt, "A", N)
 		B := AllocNode[float64](rt, "B", K)

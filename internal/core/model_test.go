@@ -105,9 +105,9 @@ func runModel(p *modelProgram) ([][]int64, map[[2]int]int64) {
 func runReal(t *testing.T, p *modelProgram) ([][]int64, map[[2]int]int64) {
 	t.Helper()
 	finals := make([][]int64, len(p.arrays))
-	sums := make(map[[2]int]int64)
-	sumArrays := make([]*Node[int64], 0) // one per node is implicit; use a Node array indexed by vp
-	_ = sumArrays
+	// One sums map per node (disjoint slots, parallel-scheduler safe),
+	// merged after the run.
+	nodeSums := make([]map[[2]int]int64, p.nodes)
 	_, err := Run(Options{Nodes: p.nodes, Machine: machine.Generic()}, func(rt *Runtime) {
 		gs := make([]*Global[int64], len(p.arrays))
 		for a, n := range p.arrays {
@@ -146,14 +146,22 @@ func runReal(t *testing.T, p *modelProgram) ([][]int64, map[[2]int]int64) {
 				finals[a] = out
 			}
 		}
+		ns := make(map[[2]int]int64)
 		for v, s := range acc.Local(rt) {
 			if s != 0 {
-				sums[[2]int{node, v}] = s
+				ns[[2]int{node, v}] = s
 			}
 		}
+		nodeSums[node] = ns
 	})
 	if err != nil {
 		t.Fatalf("program failed under runtime: %v", err)
+	}
+	sums := make(map[[2]int]int64)
+	for _, ns := range nodeSums {
+		for k, v := range ns {
+			sums[k] = v
+		}
 	}
 	return finals, sums
 }

@@ -64,6 +64,14 @@ type Options struct {
 	// phase. Costs host time and memory; meant for debugging.
 	StrictWrites bool
 
+	// Parallel runs the simulator under the cluster's conservative
+	// parallel scheduler: node compute sections (phase bodies, commit
+	// application) execute concurrently on host cores while every
+	// operation on shared simulator state is re-serialized in
+	// sequential order, so the report is bit-identical to a sequential
+	// run. Host-time optimization only; modeled results never change.
+	Parallel bool
+
 	// Trace, if non-nil, receives scheduler events (see cluster.Config).
 	Trace func(string)
 	// Observer, if non-nil, receives structured cluster events (sends,

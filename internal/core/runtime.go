@@ -88,6 +88,7 @@ func Run(opt Options, prog func(rt *Runtime)) (*Report, error) {
 		Machine:      o.Machine,
 		Trace:        o.Trace,
 		Observer:     o.Observer,
+		Parallel:     o.Parallel,
 	}, func(p *cluster.Proc) {
 		rt := &Runtime{gs: gs, proc: p, comm: mp.New(p), node: p.Rank()}
 		prog(rt)

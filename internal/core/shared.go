@@ -123,25 +123,34 @@ func allocArray[A registeredArray](rt *Runtime, name string, mk func(id int) A) 
 	if rt.inDo {
 		panic(fmt.Sprintf("core: alloc of %q must happen at node level, not inside Do", name))
 	}
-	if gs.allocSeq == nil {
-		gs.allocSeq = make([]int, gs.nodes)
-	}
-	seq := gs.allocSeq[rt.node]
-	gs.allocSeq[rt.node]++
-	if seq == len(gs.arrays) {
-		a := mk(seq)
-		gs.arrays = append(gs.arrays, a)
-		return a
-	}
-	if seq > len(gs.arrays) {
-		panic(fmt.Sprintf("core: node %d allocation sequence diverged at %q", rt.node, name))
-	}
-	a, ok := gs.arrays[seq].(A)
-	if !ok || gs.arrays[seq].label() != name {
-		panic(fmt.Sprintf("core: node %d allocated %q where other nodes allocated %q — SPMD allocation order diverged",
-			rt.node, name, gs.arrays[seq].label()))
-	}
-	return a
+	// The registry (gs.arrays) is cross-node host state mutated outside
+	// any phase window, so registration holds the cluster turn: under
+	// the parallel scheduler concurrent allocating nodes serialize in
+	// sequential order ("first caller constructs" stays deterministic);
+	// under the sequential scheduler Serial is free.
+	var out A
+	rt.proc.Serial(func() {
+		if gs.allocSeq == nil {
+			gs.allocSeq = make([]int, gs.nodes)
+		}
+		seq := gs.allocSeq[rt.node]
+		gs.allocSeq[rt.node]++
+		if seq == len(gs.arrays) {
+			out = mk(seq)
+			gs.arrays = append(gs.arrays, out)
+			return
+		}
+		if seq > len(gs.arrays) {
+			panic(fmt.Sprintf("core: node %d allocation sequence diverged at %q", rt.node, name))
+		}
+		a, ok := gs.arrays[seq].(A)
+		if !ok || gs.arrays[seq].label() != name {
+			panic(fmt.Sprintf("core: node %d allocated %q where other nodes allocated %q — SPMD allocation order diverged",
+				rt.node, name, gs.arrays[seq].label()))
+		}
+		out = a
+	})
+	return out
 }
 
 // Global is a globally shared array: one logical array of n elements,

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+
+	"ppm/internal/cluster"
+	"ppm/internal/machine"
+	"ppm/internal/vtime"
+)
+
+// collectMode runs prog under the chosen scheduler with a collector
+// attached and returns it.
+func collectMode(t *testing.T, procs, perNode int, parallel bool, prog cluster.Program) *Collector {
+	t.Helper()
+	col := NewCollector()
+	cfg := cluster.Config{
+		Procs: procs, ProcsPerNode: perNode, Machine: machine.Generic(),
+		Parallel: parallel, Observer: col.Observer(),
+	}
+	if _, err := cluster.Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// busyProg mixes the event sources the collector distinguishes — sends,
+// receives (one wildcard), barriers, exits at different clocks — with
+// enough rank-skewed compute that a racy parallel scheduler would
+// reorder events.
+func busyProg(p *cluster.Proc) {
+	procs := p.Procs()
+	for i := 0; i < 3; i++ {
+		p.Charge(vtime.Duration(float64((p.Rank()+i)%4) * 1e-5))
+		next := (p.Rank() + 1) % procs
+		p.Send(next, i, nil, 64*(i+1))
+		if i == 1 {
+			p.Recv(cluster.AnySource, i)
+		} else {
+			p.Recv((p.Rank()+procs-1)%procs, i)
+		}
+		p.Barrier()
+	}
+}
+
+// TestParallelSchedulerEventStream is the trace-level equivalence check:
+// the collector must see the exact same event sequence — kinds, ranks,
+// payloads, virtual times, order — whichever scheduler produced it, so
+// timelines and per-rank summaries are byte-identical too.
+func TestParallelSchedulerEventStream(t *testing.T) {
+	seq := collectMode(t, 6, 2, false, busyProg)
+	par := collectMode(t, 6, 2, true, busyProg)
+	a, b := seq.Events(), par.Events()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: sequential %d, parallel %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: sequential %+v, parallel %+v", i, a[i], b[i])
+		}
+	}
+	if s, p := seq.Summarize().String(), par.Summarize().String(); s != p {
+		t.Errorf("summaries differ:\n--- sequential ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if s, p := seq.Timeline(60), par.Timeline(60); s != p {
+		t.Errorf("timelines differ:\n--- sequential ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestParallelSchedulerSummaryCounts sanity-checks the per-rank numbers
+// under the parallel scheduler alone (not merely that the two modes
+// agree): every rank did 3 sends, 3 recvs, 3 barriers.
+func TestParallelSchedulerSummaryCounts(t *testing.T) {
+	col := collectMode(t, 4, 2, true, busyProg)
+	s := col.Summarize()
+	if len(s.Ranks) != 4 {
+		t.Fatalf("ranks: %d", len(s.Ranks))
+	}
+	for _, r := range s.Ranks {
+		if r.Sends != 3 || r.Recvs != 3 || r.Barriers != 3 {
+			t.Errorf("rank %d: sends=%d recvs=%d barriers=%d, want 3/3/3",
+				r.Rank, r.Sends, r.Recvs, r.Barriers)
+		}
+		if r.ExitTime <= 0 {
+			t.Errorf("rank %d exit time missing", r.Rank)
+		}
+	}
+	if s.Makespan <= 0 {
+		t.Error("makespan missing")
+	}
+}

@@ -93,6 +93,15 @@ func MaxDuration(a, b Duration) Duration {
 // Resource models a serially reusable piece of hardware (a NIC, a link, a
 // DMA engine). Work items occupy it back to back: a request that arrives
 // while the resource is busy waits until it frees.
+//
+// A Resource is not internally synchronized, and its results depend on
+// acquisition order, so order is part of the simulator's deterministic
+// schedule: under the cluster's parallel scheduler every Acquire and
+// FreeAt happens while the calling process holds the serialization
+// turn, which both orders the calls exactly as the sequential scheduler
+// would and publishes the mutations across goroutines through the
+// scheduler's channel operations. Charging order therefore never
+// changes between scheduler modes.
 type Resource struct {
 	name string
 	free Time // earliest time the resource is idle
@@ -136,4 +145,20 @@ func (r *Resource) Reset() {
 	r.free = Zero
 	r.used = 0
 	r.ops = 0
+}
+
+// ResourceState is an immutable snapshot of a Resource's accounting.
+// Reports embed it so that equivalence tests can compare the full
+// modeled hardware state (not just process clocks) bit for bit between
+// scheduler modes.
+type ResourceState struct {
+	Name string
+	Free Time
+	Used Duration
+	Ops  int64
+}
+
+// State returns a snapshot of the resource's accounting.
+func (r *Resource) State() ResourceState {
+	return ResourceState{Name: r.name, Free: r.free, Used: r.used, Ops: r.ops}
 }
