@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet langcheck test race race-parallel bench-hotpath bench-parallel figures
+.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel dist-smoke figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends) and race-test.
-check: build vet ppmvet langcheck race
+check: build vet ppmvet ppmvet-examples langcheck race
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ vet:
 ## ppmvet: phase-semantics static analysis of Go PPM programs.
 ppmvet:
 	$(GO) run ./cmd/ppmvet ./...
+
+## ppmvet-examples: the same analyzers over the runnable examples, which
+## are what new users copy from — kept green explicitly.
+ppmvet-examples:
+	$(GO) run ./cmd/ppmvet ./examples/...
 
 ## langcheck: phase-semantics analysis of the example .ppm programs.
 langcheck:
@@ -43,6 +48,12 @@ bench-hotpath:
 ## parallel_bench_test.go).
 bench-parallel:
 	BENCH_PARALLEL=1 $(GO) test -run TestParallelBenchArtifact -v .
+
+## dist-smoke: a real multi-process run — 2 ppm-node processes over
+## loopback TCP solving a small cg point, launched by ppm-run.
+dist-smoke:
+	$(GO) build -o bin/ ./cmd/ppm-run ./cmd/ppm-node
+	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6
 
 ## figures: print the paper's figure sweeps.
 figures:

@@ -167,33 +167,25 @@ func main() {
 			log.Fatal(err)
 		}
 		s, err := bench.Figure1CG(cfg, cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: *cgIters, Tol: 0})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exitOn(err)
 		emit(s)
 	}
 	run2 := func() {
 		s, err := bench.Figure2Colloc(cfg, colloc.Params{Levels: *collocLevels, M0: *collocM0, Delta: 3})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exitOn(err)
 		emit(s)
 	}
 	run3 := func() {
 		s, err := bench.Figure3BarnesHut(cfg, nbody.Params{
 			N: *bhN, Steps: *bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exitOn(err)
 		emit(s)
 	}
 
 	runS1 := func() {
 		s, err := bench.FigureS1Jacobi(cfg, jacobi.Params{NX: 24, NY: 24, NZ: 48, Sweeps: 10})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exitOn(err)
 		emit(s)
 	}
 
@@ -214,5 +206,17 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "ppm-figures: -fig must be 0, 1, 2, 3 or 4")
 		os.Exit(2)
+	}
+}
+
+// exitOn reports a failed sweep point on stderr — including the
+// scheduler's full multi-line per-process deadlock diagnostics, which
+// arrive embedded in the error — and exits non-zero. Every figure's run
+// path funnels through it, so a hang in any point is attributable and
+// the command never exits 0 after a failure.
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppm-figures: run failed: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,134 @@
+// Command ppm-node is one node process of a distributed PPM run. It is
+// normally forked by `ppm-run -distributed`, which assigns ranks, points
+// every process at a shared rendezvous directory, and collects results —
+// but it can be started by hand (or by a process manager across real
+// machines, with -listen and a shared -rendezvous path on a network
+// filesystem).
+//
+// The process connects to its peers over TCP, runs its share of the
+// selected application under the distributed runtime, and prints a
+// single-line JSON NodeResult on stdout: its runtime counters plus its
+// fragment of the application output. Any failure is reported both in
+// that JSON (so the launcher can attribute it to a rank) and on stderr,
+// with a non-zero exit.
+//
+// Usage:
+//
+//	ppm-node -rank R -nodes N -rendezvous DIR [-listen 127.0.0.1:0]
+//	         -app cg|colloc|nbody|jacobi|search [-cores 4]
+//	         [-no-bundling] [-no-overlap] [-no-readcache] [-static]
+//	         [app-specific flags, see -h]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/search"
+	"ppm/internal/core"
+	"ppm/internal/dist"
+	"ppm/internal/machine"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "this process's node id in [0, nodes)")
+	nodes := flag.Int("nodes", 0, "total node processes in the run")
+	rendezvous := flag.String("rendezvous", "", "shared directory where peers publish their listen addresses")
+	listen := flag.String("listen", "", "TCP listen address (default 127.0.0.1:0)")
+	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "deadline for the full mesh to come up")
+	bundleBytes := flag.Int("bundle-bytes", 0, "wire-level bundle coalescing threshold in bytes (default 8192)")
+
+	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search")
+	cores := flag.Int("cores", 4, "cores per node (VP scheduling width)")
+	noBundling := flag.Bool("no-bundling", false, "disable remote-access bundling counters")
+	noOverlap := flag.Bool("no-overlap", false, "disable comm/compute overlap counters")
+	noReadCache := flag.Bool("no-readcache", false, "disable the node-level read cache")
+	static := flag.Bool("static", false, "static VP-to-core schedule")
+
+	cgGrid := flag.String("cg-grid", "24x24x48", "cg: grid NXxNYxNZ")
+	cgIters := flag.Int("cg-iters", 20, "cg: iterations (tol=0)")
+	collocLevels := flag.Int("colloc-levels", 7, "colloc: levels")
+	collocM0 := flag.Int("colloc-m0", 12, "colloc: level-0 basis count")
+	bhN := flag.Int("bh-n", 3000, "nbody: bodies")
+	bhSteps := flag.Int("bh-steps", 2, "nbody: steps")
+	jacGrid := flag.String("jacobi-grid", "24x24x48", "jacobi: grid NXxNYxNZ")
+	jacSweeps := flag.Int("jacobi-sweeps", 10, "jacobi: sweeps")
+	searchN := flag.Int("search-n", 1<<20, "search: sorted array length")
+	searchK := flag.Int("search-k", 1<<14, "search: keys per node")
+	flag.Parse()
+
+	fail := func(err error) {
+		out, _ := json.Marshal(dist.NodeResult{Rank: *rank, Err: err.Error()})
+		fmt.Println(string(out))
+		fmt.Fprintf(os.Stderr, "ppm-node[%d]: %v\n", *rank, err)
+		os.Exit(1)
+	}
+
+	if *nodes <= 0 || *rank < 0 || *rank >= *nodes {
+		fail(fmt.Errorf("need -rank in [0, nodes) and -nodes > 0, got rank=%d nodes=%d", *rank, *nodes))
+	}
+	spec := dist.AppSpec{App: *app}
+	switch *app {
+	case "cg":
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*cgGrid, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			fail(fmt.Errorf("bad -cg-grid %q", *cgGrid))
+		}
+		spec.CG = cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: *cgIters, Tol: 0}
+	case "colloc":
+		spec.Colloc = colloc.Params{Levels: *collocLevels, M0: *collocM0, Delta: 3}
+	case "nbody":
+		spec.Nbody = nbody.Params{N: *bhN, Steps: *bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42}
+	case "jacobi":
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*jacGrid, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			fail(fmt.Errorf("bad -jacobi-grid %q", *jacGrid))
+		}
+		spec.Jacobi = jacobi.Params{NX: nx, NY: ny, NZ: nz, Sweeps: *jacSweeps}
+	case "search":
+		spec.Search = search.Params{N: *searchN, K: *searchK, Seed: 42}
+	default:
+		fail(fmt.Errorf("unknown -app %q (want cg, colloc, nbody, jacobi, search)", *app))
+	}
+	opt := core.Options{
+		Nodes:          *nodes,
+		CoresPerNode:   *cores,
+		Machine:        machine.Franklin(),
+		NoBundling:     *noBundling,
+		NoOverlap:      *noOverlap,
+		NoReadCache:    *noReadCache,
+		StaticSchedule: *static,
+	}
+
+	eng, err := dist.Connect(dist.Config{
+		Rank:           *rank,
+		Nodes:          *nodes,
+		RendezvousDir:  *rendezvous,
+		ListenAddr:     *listen,
+		BundleBytes:    *bundleBytes,
+		ConnectTimeout: *connectTimeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	res := dist.RunApp(eng, opt, spec)
+	if err := eng.Close(); err != nil && res.Err == "" {
+		res.Err = err.Error()
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		fail(fmt.Errorf("encoding result: %v", err))
+	}
+	fmt.Println(string(out))
+	if res.Err != "" {
+		fmt.Fprintf(os.Stderr, "ppm-node[%d]: %s\n", *rank, res.Err)
+		os.Exit(1)
+	}
+}

@@ -1,13 +1,20 @@
 // Command ppm-run executes a single application run — one app, one
 // programming model, one cluster shape — and prints the result summary
-// and the modeled run report. It is the quickest way to poke at the
-// simulator interactively.
+// and the run report. It is the quickest way to poke at the simulator
+// interactively.
+//
+// With -distributed the run leaves the simulator entirely: ppm-run forks
+// one ppm-node process per node on localhost, the processes connect into
+// a TCP mesh, and the same application produces bit-identical results
+// over real sockets (the report then counts real traffic, not modeled
+// time).
 //
 // Usage:
 //
-//	ppm-run -app cg|colloc|nbody|search [-model ppm|mpi] [-nodes 8] [-cores 4]
+//	ppm-run -app cg|colloc|nbody|jacobi|search [-model ppm|mpi] [-nodes 8] [-cores 4]
 //	        [-no-bundling] [-no-overlap] [-no-readcache] [-static] [-smartmap]
-//	        [-parallel] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	        [-parallel] [-distributed [-node-bin path/to/ppm-node]]
+//	        [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	        [app-specific flags, see -h]
 package main
 
@@ -16,14 +23,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"ppm/internal/apps/cg"
 	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
 	"ppm/internal/apps/nbody"
 	"ppm/internal/apps/search"
 	"ppm/internal/core"
+	"ppm/internal/dist"
 	"ppm/internal/machine"
 	"ppm/internal/trace"
 )
@@ -67,7 +79,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ppm-run: ")
 
-	app := flag.String("app", "cg", "application: cg, colloc, nbody, search")
+	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search")
 	model := flag.String("model", "ppm", "programming model: ppm or mpi")
 	nodes := flag.Int("nodes", 8, "cluster nodes")
 	cores := flag.Int("cores", 4, "cores per node")
@@ -78,6 +90,8 @@ func main() {
 	smartMap := flag.Bool("smartmap", false, "enable SmartMap-style intra-node MPI optimization")
 	timeline := flag.Bool("timeline", false, "print a communication summary and per-rank timeline (PPM runs)")
 	parallel := flag.Bool("parallel", false, "run the simulator on the parallel host scheduler (bit-identical results)")
+	distributed := flag.Bool("distributed", false, "run as real node processes over loopback TCP instead of the simulator (PPM)")
+	nodeBin := flag.String("node-bin", "", "ppm-node binary for -distributed (default: next to this binary, else $PATH)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -87,12 +101,48 @@ func main() {
 	collocM0 := flag.Int("colloc-m0", 12, "colloc: level-0 basis count")
 	bhN := flag.Int("bh-n", 3000, "nbody: bodies")
 	bhSteps := flag.Int("bh-steps", 2, "nbody: steps")
+	jacGrid := flag.String("jacobi-grid", "24x24x48", "jacobi: grid NXxNYxNZ")
+	jacSweeps := flag.Int("jacobi-sweeps", 10, "jacobi: sweeps")
 	searchN := flag.Int("search-n", 1<<20, "search: sorted array length")
 	searchK := flag.Int("search-k", 1<<14, "search: keys per node")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
+
+	if *distributed {
+		if *model != "ppm" {
+			exitOn(fmt.Errorf("-distributed runs the PPM runtime; use -model ppm"))
+		}
+		// Forward the app and ablation selection verbatim to every node
+		// process; ppm-node resolves them into the same Params this
+		// binary would use, so the two paths stay comparable.
+		args := []string{
+			"-app", *app,
+			"-cores", strconv.Itoa(*cores),
+			"-cg-grid", *cgGrid, "-cg-iters", strconv.Itoa(*cgIters),
+			"-colloc-levels", strconv.Itoa(*collocLevels), "-colloc-m0", strconv.Itoa(*collocM0),
+			"-bh-n", strconv.Itoa(*bhN), "-bh-steps", strconv.Itoa(*bhSteps),
+			"-jacobi-grid", *jacGrid, "-jacobi-sweeps", strconv.Itoa(*jacSweeps),
+			"-search-n", strconv.Itoa(*searchN), "-search-k", strconv.Itoa(*searchK),
+		}
+		for _, f := range []struct {
+			on   bool
+			name string
+		}{{*noBundling, "-no-bundling"}, {*noOverlap, "-no-overlap"}, {*noReadCache, "-no-readcache"}, {*static, "-static"}} {
+			if f.on {
+				args = append(args, f.name)
+			}
+		}
+		runDistributed(*app, *nodes, *nodeBin, args, distParams{
+			cgGrid: *cgGrid, cgIters: *cgIters,
+			collocLevels: *collocLevels, collocM0: *collocM0,
+			bhN: *bhN, bhSteps: *bhSteps,
+			jacGrid: *jacGrid, jacSweeps: *jacSweeps,
+			searchN: *searchN, searchK: *searchK,
+		})
+		return
+	}
 
 	mach := machine.Franklin()
 	mach.SmartMap = *smartMap
@@ -158,6 +208,22 @@ func main() {
 		exitOn(err)
 		fmt.Printf("nbody/ppm: %d bodies, %d steps\n%v\n", prm.N, prm.Steps, rep)
 
+	case "jacobi":
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*jacGrid, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			log.Fatalf("bad -jacobi-grid %q", *jacGrid)
+		}
+		prm := jacobi.Params{NX: nx, NY: ny, NZ: nz, Sweeps: *jacSweeps}
+		if *model == "mpi" {
+			_, rep, err := jacobi.RunMPI(jacobi.MPIOptions{Nodes: *nodes, CoresPerNode: *cores, Machine: mach, Parallel: *parallel}, prm)
+			exitOn(err)
+			fmt.Printf("jacobi/mpi: %dx%dx%d grid, %d sweeps\n%v\n", nx, ny, nz, prm.Sweeps, rep)
+			return
+		}
+		_, rep, err := jacobi.RunPPM(popt, prm)
+		exitOn(err)
+		fmt.Printf("jacobi/ppm: %dx%dx%d grid, %d sweeps\n%v\n", nx, ny, nz, prm.Sweeps, rep)
+
 	case "search":
 		if *model == "mpi" {
 			log.Fatal("search has no message-passing variant (it is the paper's PPM code example)")
@@ -168,13 +234,114 @@ func main() {
 		fmt.Printf("search/ppm: %d keys/node in array of %d\n%v\n", prm.K, prm.N, rep)
 
 	default:
-		fmt.Fprintf(os.Stderr, "ppm-run: unknown -app %q (want cg, colloc, nbody, search)\n", *app)
+		fmt.Fprintf(os.Stderr, "ppm-run: unknown -app %q (want cg, colloc, nbody, jacobi, search)\n", *app)
 		os.Exit(2)
 	}
 }
 
+// distParams carries the app-parameter flags into the distributed path so
+// the launcher can rebuild the same AppSpec the node processes use.
+type distParams struct {
+	cgGrid       string
+	cgIters      int
+	collocLevels int
+	collocM0     int
+	bhN          int
+	bhSteps      int
+	jacGrid      string
+	jacSweeps    int
+	searchN      int
+	searchK      int
+}
+
+// spec resolves the flags into the AppSpec ppm-node will derive from the
+// same arguments (Merge needs it to reassemble fragments).
+func (d distParams) spec(app string) (dist.AppSpec, error) {
+	spec := dist.AppSpec{App: app}
+	parseGrid := func(flagName, s string) (nx, ny, nz int, err error) {
+		if _, err = fmt.Sscanf(s, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			err = fmt.Errorf("bad %s %q", flagName, s)
+		}
+		return
+	}
+	switch app {
+	case "cg":
+		nx, ny, nz, err := parseGrid("-cg-grid", d.cgGrid)
+		if err != nil {
+			return spec, err
+		}
+		spec.CG = cg.Params{NX: nx, NY: ny, NZ: nz, MaxIter: d.cgIters, Tol: 0}
+	case "colloc":
+		spec.Colloc = colloc.Params{Levels: d.collocLevels, M0: d.collocM0, Delta: 3}
+	case "nbody":
+		spec.Nbody = nbody.Params{N: d.bhN, Steps: d.bhSteps, Theta: 0.5, Eps: 0.05, DT: 0.01, Seed: 42}
+	case "jacobi":
+		nx, ny, nz, err := parseGrid("-jacobi-grid", d.jacGrid)
+		if err != nil {
+			return spec, err
+		}
+		spec.Jacobi = jacobi.Params{NX: nx, NY: ny, NZ: nz, Sweeps: d.jacSweeps}
+	case "search":
+		spec.Search = search.Params{N: d.searchN, K: d.searchK, Seed: 42}
+	default:
+		return spec, fmt.Errorf("unknown -app %q (want cg, colloc, nbody, jacobi, search)", app)
+	}
+	return spec, nil
+}
+
+// findNodeBin locates the ppm-node binary: an explicit -node-bin wins,
+// then a sibling of this executable, then $PATH.
+func findNodeBin(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "ppm-node")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if p, err := exec.LookPath("ppm-node"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("ppm-node binary not found (build it with `go build ./cmd/ppm-node` and pass -node-bin, or put it next to ppm-run)")
+}
+
+// runDistributed forks one ppm-node per node over loopback TCP, merges
+// the per-rank results, and prints the same summary the simulator path
+// would.
+func runDistributed(app string, nodes int, nodeBin string, nodeArgs []string, d distParams) {
+	spec, err := d.spec(app)
+	exitOn(err)
+	bin, err := findNodeBin(nodeBin)
+	exitOn(err)
+	results, err := dist.LaunchLocal(dist.LaunchOpts{Nodes: nodes, NodeBin: bin, NodeArgs: nodeArgs})
+	exitOn(err)
+	m, err := dist.Merge(spec, results)
+	exitOn(err)
+	rep := &core.Report{PerNode: m.PerNode, Totals: m.Totals}
+	switch app {
+	case "cg":
+		fmt.Printf("cg/ppm-dist: %d iterations, residual %.3e\n%v\n", m.CG.Iters, m.CG.Residual, rep)
+	case "colloc":
+		fmt.Printf("colloc/ppm-dist: %d x %d matrix, %d nonzeros\n%v\n", m.Colloc.N, m.Colloc.N, m.Colloc.NNZ(), rep)
+	case "nbody":
+		fmt.Printf("nbody/ppm-dist: %d bodies, %d steps\n%v\n", spec.Nbody.N, spec.Nbody.Steps, rep)
+	case "jacobi":
+		fmt.Printf("jacobi/ppm-dist: %dx%dx%d grid, %d sweeps\n%v\n",
+			spec.Jacobi.NX, spec.Jacobi.NY, spec.Jacobi.NZ, spec.Jacobi.Sweeps, rep)
+	case "search":
+		fmt.Printf("search/ppm-dist: %d keys/node in array of %d\n%v\n", spec.Search.K, spec.Search.N, rep)
+	}
+}
+
+// exitOn reports a failed run on stderr — including the scheduler's full
+// multi-line per-process deadlock diagnostics, which arrive embedded in
+// the error — and exits non-zero. Every run path funnels through it, so
+// a hang or crash is always attributable and never exits 0.
 func exitOn(err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "ppm-run: run failed: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -9,11 +9,19 @@ import (
 )
 
 func RunPPM(opt core.Options, prm Params) (*Result, *core.Report, error) {
+	return RunPPMOn(core.Run, opt, prm)
+}
+
+// RunPPMOn executes the same PPM program under any core.Runner — the
+// simulator (core.Run) or one process of a distributed run. A single
+// program text for both modes is what makes their results comparable
+// bit for bit.
+func RunPPMOn(run core.Runner, opt core.Options, prm Params) (*Result, *core.Report, error) {
 	if err := prm.validate(); err != nil {
 		return nil, nil, err
 	}
 	res := &Result{}
-	rep, err := core.Run(opt, func(rt *core.Runtime) {
+	rep, err := run(opt, func(rt *core.Runtime) {
 		n := prm.N()
 		p := core.AllocGlobal[float64](rt, "cg.p", n)
 		xOut := core.AllocGlobal[float64](rt, "cg.x", n)

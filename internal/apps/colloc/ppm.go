@@ -11,12 +11,20 @@ import (
 // the entries whose quadrature lives at that level, reading the table
 // with global indexing (the runtime bundles the scattered reads).
 func RunPPM(opt core.Options, p Params) (*Matrix, *core.Report, error) {
+	return RunPPMOn(core.Run, opt, p)
+}
+
+// RunPPMOn executes the same PPM program under any core.Runner — the
+// simulator (core.Run) or one process of a distributed run. Out.Rows is
+// populated only for the calling process's cyclic rows in the latter
+// case; the launcher merges the fragments.
+func RunPPMOn(run core.Runner, opt core.Options, p Params) (*Matrix, *core.Report, error) {
 	if err := p.validate(); err != nil {
 		return nil, nil, err
 	}
 	n := p.N()
 	out := &Matrix{N: n, Rows: make([][]Entry, n)}
-	rep, err := core.Run(opt, func(rt *core.Runtime) {
+	rep, err := run(opt, func(rt *core.Runtime) {
 		nodes := rt.NodeCount()
 		me := rt.NodeID()
 		// Rows are dealt cyclically over the nodes: entry cost grows

@@ -9,12 +9,18 @@ import (
 // previous iterate — begin-of-phase semantics ARE the double buffer — and
 // writes the new values, which commit at the phase end.
 func RunPPM(opt core.Options, p Params) ([]float64, *core.Report, error) {
+	return RunPPMOn(core.Run, opt, p)
+}
+
+// RunPPMOn executes the same PPM program under any core.Runner — the
+// simulator (core.Run) or one process of a distributed run.
+func RunPPMOn(run core.Runner, opt core.Options, p Params) ([]float64, *core.Report, error) {
 	if err := p.validate(); err != nil {
 		return nil, nil, err
 	}
 	n := p.N()
 	out := make([]float64, n)
-	rep, err := core.Run(opt, func(rt *core.Runtime) {
+	rep, err := run(opt, func(rt *core.Runtime) {
 		u := core.AllocGlobal[float64](rt, "jacobi.u", n)
 		lo, hi := u.OwnerRange(rt)
 		nLocal := hi - lo

@@ -37,6 +37,14 @@ func (s *treeSource) Node(i int, out *octree.FlatNode) {
 
 // RunPPM runs the simulation under the Parallel Phase Model.
 func RunPPM(opt core.Options, p Params) (*State, *core.Report, error) {
+	return RunPPMOn(core.Run, opt, p)
+}
+
+// RunPPMOn executes the same PPM program under any core.Runner — the
+// simulator (core.Run) or one process of a distributed run. In the
+// latter case only the calling process's block of the position/velocity
+// arrays is populated; the launcher merges the fragments.
+func RunPPMOn(run core.Runner, opt core.Options, p Params) (*State, *core.Report, error) {
 	if err := p.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -46,13 +54,12 @@ func RunPPM(opt core.Options, p Params) (*State, *core.Report, error) {
 		VX: make([]float64, p.N), VY: make([]float64, p.N), VZ: make([]float64, p.N),
 		M: append([]float64(nil), init.M...),
 	}
-	rep, err := core.Run(opt, func(rt *core.Runtime) {
+	rep, err := run(opt, func(rt *core.Runtime) {
 		nodes, me := rt.NodeCount(), rt.NodeID()
 		part := partition.NewBlock(p.N, nodes)
 		lo, hi := part.Range(me)
 		nLocal := hi - lo
-		maxLocal := part.Size(0)
-		capN := segCap(maxLocal) // per-node tree segment, in tree nodes
+		capN := segCap(part.Size(0)) // per-node tree segment, in tree nodes
 		segLen := capN * octree.Slots
 		trees := core.AllocGlobal[float64](rt, "bh.trees", nodes*segLen)
 		if glo, _ := trees.OwnerRange(rt); glo != me*segLen {
@@ -96,8 +103,7 @@ func RunPPM(opt core.Options, p Params) (*State, *core.Report, error) {
 					for r := range sources {
 						sources[r] = &treeSource{g: trees, vp: vp, off: r * segLen, cache: cache}
 					}
-					inter := step(p, s, part, vlo, vhi,
-						func(r int) octree.Source { return sources[r] })
+					inter := step(p, s, part, vlo, vhi, func(r int) octree.Source { return sources[r] })
 					vp.ChargeFlops(inter * interactionFlops)
 				})
 			})

@@ -62,12 +62,19 @@ func RankSeq(a []float64, key float64) int {
 // writing the result rank into the node-shared rank array. It returns the
 // per-node rank arrays.
 func RunPPM(opt core.Options, p Params) ([][]int64, *core.Report, error) {
+	return RunPPMOn(core.Run, opt, p)
+}
+
+// RunPPMOn executes the same PPM program under any core.Runner — the
+// simulator (core.Run) or one process of a distributed run (which fills
+// only its own node's rank slice).
+func RunPPMOn(run core.Runner, opt core.Options, p Params) ([][]int64, *core.Report, error) {
 	if err := p.validate(); err != nil {
 		return nil, nil, err
 	}
 	a := MakeArray(p)
 	out := make([][]int64, opt.Nodes)
-	rep, err := core.Run(opt, func(rt *core.Runtime) {
+	rep, err := run(opt, func(rt *core.Runtime) {
 		A := core.AllocGlobal[float64](rt, "A", p.N)
 		B := core.AllocNode[float64](rt, "B", p.K)
 		rankInA := core.AllocNode[int64](rt, "rank_in_A", p.K)

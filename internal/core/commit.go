@@ -439,6 +439,9 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 // resets per-VP state.
 func (d *doRun) commit(kind phaseKind) error {
 	if kind == phaseGlobal {
+		if d.rt.gs.dist != nil {
+			return d.commitGlobalDist()
+		}
 		return d.commitGlobal()
 	}
 	return d.commitNode()
@@ -453,11 +456,13 @@ func (d *doRun) commitNode() error {
 	gs.phaseSeqs[d.node]++
 	seq := gs.phaseSeqs[d.node]
 
-	span := d.makespan(vtime.Duration(mach.VPStartCost))
-	st.PhaseComputeTime += vtime.Duration(mach.PhaseFixedCost) + span
-	rt.proc.AdvanceTo(d.phaseStart.
-		Add(vtime.Duration(mach.PhaseFixedCost)).
-		Add(span))
+	if rt.proc != nil {
+		span := d.makespan(vtime.Duration(mach.VPStartCost))
+		st.PhaseComputeTime += vtime.Duration(mach.PhaseFixedCost) + span
+		rt.proc.AdvanceTo(d.phaseStart.
+			Add(vtime.Duration(mach.PhaseFixedCost)).
+			Add(span))
+	}
 
 	var firstErr error
 	var applyBytes int64
@@ -475,18 +480,21 @@ func (d *doRun) commitNode() error {
 			}
 		}
 	}
-	if gs.opt.StrictWrites {
+	if gs.opt.StrictWrites && rt.proc != nil {
 		// Strict-mode applies touch cross-node conflict trackers and the
 		// shared conflict log; the turn serializes them in sequential
 		// order so attribution order is mode-independent. Non-strict
 		// node-phase applies touch only node-owned state and stay
-		// concurrent under the parallel scheduler.
+		// concurrent under the parallel scheduler. (A distributed process
+		// owns its whole globalState, so no turn exists or is needed.)
 		rt.proc.Serial(flush)
 	} else {
 		flush()
 	}
-	rt.proc.ChargeMem(applyBytes)
-	st.PhaseApplyTime += mach.MemTime(applyBytes)
+	if rt.proc != nil {
+		rt.proc.ChargeMem(applyBytes)
+		st.PhaseApplyTime += mach.MemTime(applyBytes)
+	}
 	if firstErr != nil {
 		gs.noteStrict(firstErr)
 	}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+
+	"ppm/internal/mp"
+	"ppm/internal/wire"
+)
+
+// DistEngine is the transport the distributed runtime plugs into core: a
+// mesh of real connections between the run's node processes. The
+// internal/dist package implements it over TCP; core stays free of
+// sockets, and dist stays free of phase semantics.
+type DistEngine interface {
+	// Rank and Nodes identify this process within the mesh.
+	Rank() int
+	Nodes() int
+	// Endpoint returns the transport for node-level message passing
+	// (reductions, barriers, broadcasts).
+	Endpoint() mp.Endpoint
+	// SetReadServer installs the callback that serves peers' remote
+	// reads of this process's partitions; it must return a copy.
+	SetReadServer(fn func(array, lo, hi int) ([]byte, error))
+	// Fetch reads elements [lo, hi) of the identified array from owner.
+	Fetch(array, owner, lo, hi int) ([]byte, error)
+	// CommitExchange ships outgoing[dst] (a wire commit stream; empty
+	// and self entries are skipped) to every peer and blocks until every
+	// peer's complete stream for the same phase has arrived, returned
+	// indexed by source.
+	CommitExchange(phase int64, outgoing [][]byte) ([][]byte, error)
+	// Abort broadcasts a fatal error to all peers, best effort.
+	Abort(err error)
+}
+
+// AbortError wraps a fatal transport error. Engine implementations panic
+// with it out of blocking calls (a peer died, the mesh is down) so the
+// failure unwinds VP bodies and node-level program code alike; RunDist
+// recovers it into the run's error.
+type AbortError struct{ Err error }
+
+func (e AbortError) Error() string { return e.Err.Error() }
+func (e AbortError) Unwrap() error { return e.Err }
+
+// RunDist executes prog as this process's share of a PPM SPMD program
+// whose other nodes are separate OS processes reachable through eng. The
+// program semantics — and the application results, bit for bit — are
+// those of Run's sequential simulator; what changes is the substrate:
+// remote reads really fetch, commits really ship deltas, collectives
+// really exchange messages. The returned Report carries this node's
+// runtime counters (Report.Cluster is nil: virtual time is a property of
+// the simulator, not of a real run).
+func RunDist(opt Options, eng DistEngine, prog func(rt *Runtime)) (*Report, error) {
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.Nodes != eng.Nodes() {
+		return nil, fmt.Errorf("core: Options.Nodes = %d but the engine's mesh has %d nodes", o.Nodes, eng.Nodes())
+	}
+	if r := eng.Rank(); r < 0 || r >= o.Nodes {
+		return nil, fmt.Errorf("core: engine rank %d out of range [0, %d)", r, o.Nodes)
+	}
+	gs := &globalState{
+		opt:       o,
+		mach:      o.Machine,
+		nodes:     o.Nodes,
+		cores:     o.CoresPerNode,
+		dist:      eng,
+		allocSeq:  make([]int, o.Nodes),
+		doK:       make([]int, o.Nodes),
+		phaseSeqs: make([]int64, o.Nodes),
+		stats:     make([]NodeStats, o.Nodes),
+	}
+	rt := &Runtime{gs: gs, comm: mp.NewEndpoint(eng.Endpoint()), node: eng.Rank()}
+
+	// The memory mutex embodies the phase-semantics guarantee over the
+	// wire: peers may read our partitions exactly while a global phase is
+	// open (partitions then hold begin-of-phase values and nobody mutates
+	// them), so the write side is held at node level and during commit
+	// application, and released only inside open global phases. See
+	// DESIGN.md §4.9 for the full argument.
+	gs.memMu.Lock()
+	gs.memHeld = true
+	eng.SetReadServer(func(array, lo, hi int) ([]byte, error) {
+		gs.memMu.RLock()
+		defer gs.memMu.RUnlock()
+		if array < 0 || array >= len(gs.arrays) {
+			return nil, fmt.Errorf("core: node %d: remote read of unknown array id %d", rt.node, array)
+		}
+		return gs.arrays[array].encodeRange(rt.node, lo, hi)
+	})
+
+	runErr := runRecovered(rt.node, func() { prog(rt) })
+	if gs.memHeld {
+		gs.memMu.Unlock()
+		gs.memHeld = false
+	}
+	if runErr == nil {
+		// Exit barrier: no process tears its connections down while a
+		// peer still needs them (e.g. to serve a final result fetch).
+		runErr = runRecovered(rt.node, func() { rt.comm.Barrier() })
+	}
+
+	rep := &Report{PerNode: gs.stats, Conflicts: gs.conflicts.list()}
+	for _, s := range gs.stats {
+		rep.Totals.add(s)
+	}
+	if runErr != nil {
+		eng.Abort(runErr)
+		return rep, runErr
+	}
+	if gs.strictErr != nil {
+		return rep, gs.strictErr
+	}
+	return rep, nil
+}
+
+// runRecovered converts panics out of the program (VP coordination
+// errors, transport aborts, user bugs) into the run's error.
+func runRecovered(node int, f func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch e := r.(type) {
+		case AbortError:
+			err = e.Err
+		case error:
+			err = e
+		default:
+			err = fmt.Errorf("core: node %d: program panicked: %v", node, r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// openPhaseDist is the distributed global-phase entry: it invalidates
+// the remote-read caches, releases the memory mutex so peers can fetch
+// begin-of-phase values, and runs the doK allgather that replaces the
+// simulator's shared-state prefix sums for GlobalRank/GlobalK.
+func (d *doRun) openPhaseDist() {
+	rt := d.rt
+	gs := rt.gs
+	for _, arr := range gs.arrays {
+		arr.resetDistCache()
+	}
+	if gs.memHeld {
+		gs.memMu.Unlock()
+		gs.memHeld = false
+	}
+	ks := mp.Allgather(rt.comm, []int{gs.doK[d.node]})
+	copy(gs.doK, ks)
+	base := 0
+	for n := 0; n < d.node; n++ {
+		base += gs.doK[n]
+	}
+	total := base
+	for n := d.node; n < gs.nodes; n++ {
+		total += gs.doK[n]
+	}
+	d.rankBase, d.globalK, d.rankValid = base, total, true
+}
+
+// commitCursor walks one peer's commit stream block by block during the
+// array-major apply.
+type commitCursor struct {
+	rd    *wire.CommitReader
+	array int
+	nRuns int
+	valid bool
+}
+
+func (c *commitCursor) advance() error {
+	if !c.rd.More() {
+		c.valid = false
+		return nil
+	}
+	a, n, err := c.rd.Block()
+	if err != nil {
+		return err
+	}
+	c.array, c.nRuns, c.valid = a, n, true
+	return nil
+}
+
+// commitGlobalDist is the distributed global-phase commit. It reproduces
+// commitGlobal exactly — same buffer drain order, same traffic-counter
+// formulas, same array-major source-ascending apply order — but the
+// exchange ships real bytes and nothing touches virtual time.
+func (d *doRun) commitGlobalDist() error {
+	rt := d.rt
+	gs := rt.gs
+	mach := gs.mach
+	opt := &gs.opt
+	st := rt.stats()
+	st.GlobalPhases++
+	gs.phaseSeqs[d.node]++
+	seq := gs.phaseSeqs[d.node]
+	nodes := gs.nodes
+
+	// Drain VP write buffers in rank order (fixes the merge order, as in
+	// the simulator), then merge the per-VP read sets.
+	tally := &sendTally{elems: make([]int64, nodes), bytes: make([]int64, nodes)}
+	rrElems := make([]int64, nodes)
+	rrBytes := make([]int64, nodes)
+	var strictFirst error
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.reads, vp.writes = 0, 0
+		for _, b := range vp.bufs {
+			if err := b.flushGlobal(d, tally, seq); err != nil && strictFirst == nil {
+				strictFirst = err
+			}
+		}
+		vp.charge = 0
+	}
+	d.mergeReadSets(rrElems, rrBytes)
+
+	// Model the outgoing bundled traffic with the simulator's formulas:
+	// the counter side of the Report stays bit-identical; only the
+	// virtual-time fields remain zero.
+	var wireBytes, bundles int64
+	for n := 0; n < nodes; n++ {
+		if n == d.node {
+			continue
+		}
+		if rrElems[n] > 0 {
+			req := 8 * rrElems[n]
+			rep := rrBytes[n]
+			nb := d.bundleCount(rrElems[n], req+rep)
+			bundles += nb
+			wireBytes += req + rep + 2*nb*int64(mach.HeaderBytes)
+			st.RemoteReadElems += rrElems[n]
+		}
+		if tally.elems[n] > 0 {
+			nb := d.bundleCount(tally.elems[n], tally.bytes[n])
+			bundles += nb
+			wireBytes += tally.bytes[n] + nb*int64(mach.HeaderBytes)
+			st.RemoteWriteElems += tally.elems[n]
+		}
+	}
+	st.BundlesOut += bundles
+	st.BytesOut += wireBytes
+
+	// Encode the remote-destined staged runs per destination (array
+	// order, VP/program order within each array — the stage cells were
+	// filled in that order) and exchange. Self-destined runs stay staged
+	// and apply below through the same path the simulator uses.
+	outgoing := make([][]byte, nodes)
+	for dst := 0; dst < nodes; dst++ {
+		if dst == d.node {
+			continue
+		}
+		var buf []byte
+		for _, arr := range gs.arrays {
+			buf = arr.encodeStagedWire(d.node, dst, buf)
+		}
+		outgoing[dst] = buf
+	}
+	incoming, err := gs.dist.CommitExchange(seq, outgoing)
+	if err != nil {
+		return err
+	}
+
+	// Every peer has finished its phase body (its complete delta is
+	// here), so no remote read of our partitions is outstanding: take the
+	// memory mutex and mutate.
+	gs.memMu.Lock()
+	gs.memHeld = true
+	curs := make([]*commitCursor, nodes)
+	for src := 0; src < nodes; src++ {
+		if src == d.node || len(incoming[src]) == 0 {
+			continue
+		}
+		c := &commitCursor{rd: wire.NewCommitReader(incoming[src])}
+		if err := c.advance(); err != nil {
+			return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
+		}
+		curs[src] = c
+	}
+	inElems := make([]int64, nodes)
+	inBytes := make([]int64, nodes)
+	for id, arr := range gs.arrays {
+		for src := 0; src < nodes; src++ {
+			if src == d.node {
+				perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
+				if err != nil && strictFirst == nil {
+					strictFirst = err
+				}
+				for n := range perElems {
+					inElems[n] += int64(perElems[n])
+					inBytes[n] += perBytes[n]
+				}
+				continue
+			}
+			c := curs[src]
+			if c == nil || !c.valid || c.array != id {
+				continue
+			}
+			elems, sErr, err := arr.applyWireRuns(d.node, opt.StrictWrites, seq, c.rd, c.nRuns)
+			if sErr != nil && strictFirst == nil {
+				strictFirst = sErr
+			}
+			if err != nil {
+				return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
+			}
+			inElems[src] += int64(elems)
+			inBytes[src] += int64(elems) * int64(arr.elemBytes()+8)
+			if err := c.advance(); err != nil {
+				return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
+			}
+		}
+	}
+	for src, c := range curs {
+		if c != nil && c.valid {
+			return fmt.Errorf("core: node %d: delta from node %d addresses unknown array id %d", d.node, src, c.array)
+		}
+	}
+	var inBundles, inWire int64
+	for n := 0; n < nodes; n++ {
+		if n == d.node || inElems[n] == 0 {
+			continue
+		}
+		inBundles += d.bundleCount(inElems[n], inBytes[n])
+		inWire += inBytes[n]
+	}
+	st.BundlesIn += inBundles
+	st.BytesIn += inWire
+
+	// The apply mutated our partitions: every cached remote range held
+	// anywhere locally is stale. (The caches also reset at phase open,
+	// which additionally covers node-level Local() mutation.)
+	for _, arr := range gs.arrays {
+		arr.resetDistCache()
+	}
+
+	// Everyone applied before anyone's node-level code (or next phase)
+	// reads any partition.
+	rt.comm.Barrier()
+
+	if strictFirst != nil {
+		gs.noteStrict(strictFirst)
+	}
+	return nil
+}
+
+// --- Global[T]'s distributed-side methods -------------------------------
+
+// resetDistCache implements registeredArray: forget every remotely
+// fetched range.
+func (g *Global[T]) resetDistCache() {
+	if g.gs.dist == nil {
+		return
+	}
+	g.dmu.Lock()
+	g.dcov = g.dcov[:0]
+	g.dmu.Unlock()
+}
+
+// encodeRange implements registeredArray: the read-server side of a
+// remote fetch. The requested range must lie inside this node's
+// partition (the requester split by owner); the returned bytes are a
+// copy taken under the caller's read lock.
+func (g *Global[T]) encodeRange(node, lo, hi int) ([]byte, error) {
+	plo, phi := g.part.Range(node)
+	if lo < plo || hi > phi || lo > hi {
+		return nil, fmt.Errorf("core: remote read of %s[%d:%d) outside node %d's partition [%d:%d)",
+			g.name, lo, hi, node, plo, phi)
+	}
+	return mp.AppendElems(make([]byte, 0, (hi-lo)*g.es), g.base[lo:hi]), nil
+}
+
+// installRange implements registeredArray: land fetched bytes in the
+// local image of a remote partition.
+func (g *Global[T]) installRange(lo, hi int, data []byte) error {
+	if lo < 0 || hi > g.n || lo > hi || len(data) != (hi-lo)*g.es {
+		return fmt.Errorf("core: bad remote read reply for %s[%d:%d): %d bytes", g.name, lo, hi, len(data))
+	}
+	mp.DecodeElemsInto(g.base[lo:hi], data)
+	return nil
+}
+
+// encodeStagedWire implements registeredArray: serialize (and clear) the
+// runs this node's VPs staged for dst, preserving their order.
+func (g *Global[T]) encodeStagedWire(self, dst int, buf []byte) []byte {
+	recs := g.stage[dst][self]
+	if len(recs) == 0 {
+		return buf
+	}
+	buf = wire.AppendBlockHeader(buf, g.id, len(recs))
+	var one [1]T
+	for i := range recs {
+		r := &recs[i]
+		buf = wire.AppendRunHeader(buf, wire.RunHeader{Lo: r.lo, N: r.n, Writer: r.writer, Add: r.add})
+		if r.vals == nil {
+			one[0] = r.val
+			buf = mp.AppendElems(buf, one[:])
+		} else {
+			buf = mp.AppendElems(buf, r.vals)
+		}
+	}
+	g.stage[dst][self] = recs[:0]
+	return buf
+}
+
+// applyWireRuns implements registeredArray: apply one block of a peer's
+// commit stream through the same applyRun the simulator uses. strictErr
+// carries strict-mode conflicts (noted, not fatal); err is protocol
+// corruption (fatal).
+func (g *Global[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (elems int, strictErr, err error) {
+	var scratch []T
+	for i := 0; i < nRuns; i++ {
+		h, raw, err := rd.Run(g.es)
+		if err != nil {
+			return elems, strictErr, err
+		}
+		if h.Lo < 0 || h.N < 0 || h.Lo+h.N > g.n {
+			return elems, strictErr, fmt.Errorf("core: commit run for %s[%d:%d) out of range [0,%d)", g.name, h.Lo, h.Lo+h.N, g.n)
+		}
+		if cap(scratch) < h.N {
+			scratch = make([]T, h.N)
+		}
+		vals := scratch[:h.N]
+		mp.DecodeElemsInto(vals, raw)
+		sr := stageRec[T]{lo: h.Lo, n: h.N, vals: vals, add: h.Add, writer: h.Writer}
+		if e := g.applyRun(node, strict, phaseSeq, &sr); e != nil && strictErr == nil {
+			strictErr = e
+		}
+		elems += h.N
+	}
+	return elems, strictErr, nil
+}
+
+// distFetch ensures [lo, hi) of g is locally valid, fetching uncovered
+// remote subranges from their owners. The per-array cover doubles as the
+// fetch cache: within a phase a shared variable is immutable, so every
+// range is fetched at most once per node per phase, mirroring the
+// simulator's modeled read cache. Serving VPs lock the array's cover
+// mutex, so concurrent VPs fetch each gap once ("single flight").
+func (g *Global[T]) distFetch(self, lo, hi int) {
+	gs := g.gs
+	g.dmu.Lock()
+	defer g.dmu.Unlock()
+	for _, gap := range coverMissing(g.dcov, lo, hi) {
+		for s := gap.lo; s < gap.hi; {
+			owner := g.part.Owner(s)
+			_, oend := g.part.Range(owner)
+			e := gap.hi
+			if e > oend {
+				e = oend
+			}
+			if owner != self {
+				data, err := gs.dist.Fetch(g.id, owner, s, e)
+				if err == nil {
+					err = g.installRange(s, e, data)
+				}
+				if err != nil {
+					panic(AbortError{Err: err})
+				}
+			}
+			s = e
+		}
+	}
+	g.dcov = coverAdd(g.dcov, lo, hi)
+}
+
+// coverMissing returns the subranges of [lo, hi) not covered by cov
+// (sorted, disjoint).
+func coverMissing(cov []intRun, lo, hi int) []intRun {
+	var out []intRun
+	for _, r := range cov {
+		if r.hi <= lo {
+			continue
+		}
+		if r.lo >= hi {
+			break
+		}
+		if r.lo > lo {
+			out = append(out, intRun{lo: lo, hi: r.lo})
+		}
+		if r.hi > lo {
+			lo = r.hi
+		}
+		if lo >= hi {
+			return out
+		}
+	}
+	if lo < hi {
+		out = append(out, intRun{lo: lo, hi: hi})
+	}
+	return out
+}
+
+// coverAdd inserts [lo, hi) into cov, keeping it sorted and disjoint.
+// The result is freshly allocated: building into cov[:0] would overwrite
+// entries the loop has not read yet when an insert lands mid-slice.
+func coverAdd(cov []intRun, lo, hi int) []intRun {
+	if lo >= hi {
+		return cov
+	}
+	out := make([]intRun, 0, len(cov)+1)
+	inserted := false
+	for _, r := range cov {
+		switch {
+		case r.hi < lo:
+			out = append(out, r)
+		case r.lo > hi:
+			if !inserted {
+				out = append(out, intRun{lo: lo, hi: hi})
+				inserted = true
+			}
+			out = append(out, r)
+		default:
+			// Overlaps or touches: merge into the pending range.
+			if r.lo < lo {
+				lo = r.lo
+			}
+			if r.hi > hi {
+				hi = r.hi
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, intRun{lo: lo, hi: hi})
+	}
+	return out
+}
+
+// --- Node[T]'s distributed-side methods ---------------------------------
+//
+// Node arrays are strictly node-local: nothing about them crosses the
+// wire, so the distributed hooks are error stubs (reaching one is a
+// protocol bug, not a user error).
+
+func (a *Node[T]) resetDistCache() {}
+
+func (a *Node[T]) encodeRange(node, lo, hi int) ([]byte, error) {
+	return nil, fmt.Errorf("core: remote read of node-shared %q", a.name)
+}
+
+func (a *Node[T]) installRange(lo, hi int, data []byte) error {
+	return fmt.Errorf("core: remote install into node-shared %q", a.name)
+}
+
+func (a *Node[T]) encodeStagedWire(self, dst int, buf []byte) []byte { return buf }
+
+func (a *Node[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (int, error, error) {
+	return 0, nil, fmt.Errorf("core: commit delta addressed to node-shared %q", a.name)
+}

@@ -128,6 +128,10 @@ type NodeStats struct {
 	PhaseApplyTime   vtime.Duration // receive-side unpack and commit application
 }
 
+// Add accumulates o into s field by field (used by the distributed
+// launcher to rebuild run totals from per-process reports).
+func (s *NodeStats) Add(o NodeStats) { s.add(o) }
+
 func (s *NodeStats) add(o NodeStats) {
 	s.Dos += o.Dos
 	s.VPsStarted += o.VPsStarted
@@ -157,13 +161,23 @@ type Report struct {
 	Conflicts []WriteConflict
 }
 
-// Makespan returns the modeled wall-clock time of the run.
-func (r *Report) Makespan() vtime.Time { return r.Cluster.Makespan }
+// Makespan returns the modeled wall-clock time of the run. Distributed
+// runs (Cluster == nil) do not model time and report zero.
+func (r *Report) Makespan() vtime.Time {
+	if r.Cluster == nil {
+		return 0
+	}
+	return r.Cluster.Makespan
+}
 
 // String renders a short human-readable summary.
 func (r *Report) String() string {
+	head := any(r.Cluster)
+	if r.Cluster == nil {
+		head = "distributed"
+	}
 	return fmt.Sprintf("%v | dos=%d vps=%d phases=%d/%d reads=%d writes=%d remote(r/w)=%d/%d bundles(out/in)=%d/%d",
-		r.Cluster, r.Totals.Dos, r.Totals.VPsStarted,
+		head, r.Totals.Dos, r.Totals.VPsStarted,
 		r.Totals.GlobalPhases, r.Totals.NodePhases,
 		r.Totals.SharedReads, r.Totals.SharedWrites,
 		r.Totals.RemoteReadElems, r.Totals.RemoteWriteElems,

@@ -3,16 +3,23 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ppm/internal/cluster"
 	"ppm/internal/machine"
 	"ppm/internal/mp"
 	"ppm/internal/vtime"
+	"ppm/internal/wire"
 )
 
-// globalState is the host-shared state of one PPM run. It is mutated only
-// under the cluster's cooperative turn discipline (one node at a time),
-// so it needs no locks; VP goroutines never touch it directly.
+// globalState is the host-shared state of one PPM run. Under the
+// simulator it is mutated only under the cluster's cooperative turn
+// discipline (one node at a time), so it needs no locks and VP goroutines
+// never touch it directly. Under the distributed runtime (dist != nil)
+// each process holds its own globalState for its single node; the
+// per-node slices are indexed by rank but only this rank's entries are
+// authoritative, except doK, which is refreshed by allgather at each
+// global phase open.
 type globalState struct {
 	opt   Options
 	mach  *machine.Machine
@@ -27,6 +34,16 @@ type globalState struct {
 
 	strictErr error       // first strict-mode violation
 	conflicts conflictLog // every strict-mode conflict, with attribution
+
+	// Distributed mode only (see dist.go). memMu guards every shared
+	// array's backing store against the engine's read-server goroutine:
+	// write-held whenever this process may mutate partitions (node level,
+	// commit apply), released only while a global phase is open. memHeld
+	// tracks the write side, which is only ever taken by the run's main
+	// goroutine.
+	dist    DistEngine
+	memMu   sync.RWMutex
+	memHeld bool
 }
 
 // noteStrict records the first strict-mode violation of the run.
@@ -50,6 +67,14 @@ type registeredArray interface {
 	ownerSpan(i int) (owner, end int)
 	// label returns a diagnostic name.
 	label() string
+
+	// Distributed-mode hooks (see dist.go). Node arrays never cross the
+	// wire, so theirs are stubs.
+	resetDistCache()
+	encodeRange(node, lo, hi int) ([]byte, error)
+	installRange(lo, hi int, data []byte) error
+	encodeStagedWire(self, dst int, buf []byte) []byte
+	applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (elems int, strictErr, err error)
 }
 
 // Runtime is one node's handle to the PPM run: the analog of the paper's
@@ -64,6 +89,12 @@ type Runtime struct {
 
 	inDo bool
 }
+
+// Runner is the signature shared by Run and the distributed launcher's
+// per-process runner. Application packages written against a Runner
+// execute identically under the simulator and under real processes —
+// which is how distributed bit-identity is obtained by construction.
+type Runner func(opt Options, prog func(rt *Runtime)) (*Report, error)
 
 // Run executes prog as a PPM SPMD program on every node of a simulated
 // cluster and returns the run report.
@@ -122,22 +153,47 @@ func (rt *Runtime) CoresPerNode() int { return rt.gs.cores }
 // Machine returns the cost model in effect.
 func (rt *Runtime) Machine() *machine.Machine { return rt.gs.mach }
 
-// Clock returns this node's current virtual time.
-func (rt *Runtime) Clock() vtime.Time { return rt.proc.Clock() }
+// Clock returns this node's current virtual time. Distributed runs do
+// not model time, so there it is always zero.
+func (rt *Runtime) Clock() vtime.Time {
+	if rt.proc == nil {
+		return 0
+	}
+	return rt.proc.Clock()
+}
 
 // Charge advances this node's clock by d of modeled node-level
-// computation (work done outside virtual processors).
-func (rt *Runtime) Charge(d vtime.Duration) { rt.proc.Charge(d) }
+// computation (work done outside virtual processors). A no-op in
+// distributed runs, where real time passes instead.
+func (rt *Runtime) Charge(d vtime.Duration) {
+	if rt.proc != nil {
+		rt.proc.Charge(d)
+	}
+}
 
 // ChargeFlops charges n flops of node-level computation on one core.
-func (rt *Runtime) ChargeFlops(n int64) { rt.proc.ChargeFlops(n) }
+func (rt *Runtime) ChargeFlops(n int64) {
+	if rt.proc != nil {
+		rt.proc.ChargeFlops(n)
+	}
+}
 
 // ChargeMem charges streaming n bytes of node-level data movement.
-func (rt *Runtime) ChargeMem(n int64) { rt.proc.ChargeMem(n) }
+func (rt *Runtime) ChargeMem(n int64) {
+	if rt.proc != nil {
+		rt.proc.ChargeMem(n)
+	}
+}
 
 // Barrier synchronizes all nodes (node-level; rarely needed because
 // phases synchronize implicitly, but exposed for setup code).
-func (rt *Runtime) Barrier() { rt.proc.Barrier() }
+func (rt *Runtime) Barrier() {
+	if rt.proc == nil {
+		rt.comm.Barrier()
+		return
+	}
+	rt.proc.Barrier()
+}
 
 // stats returns this node's mutable statistics record.
 func (rt *Runtime) stats() *NodeStats { return &rt.gs.stats[rt.node] }

@@ -128,8 +128,17 @@ func allocArray[A registeredArray](rt *Runtime, name string, mk func(id int) A) 
 	// the parallel scheduler concurrent allocating nodes serialize in
 	// sequential order ("first caller constructs" stays deterministic);
 	// under the sequential scheduler Serial is free.
+	// Distributed mode: each process registers for itself (SPMD program
+	// order keeps ids aligned across processes), no turn to take.
 	var out A
-	rt.proc.Serial(func() {
+	register := func(f func()) {
+		if rt.proc == nil {
+			f()
+			return
+		}
+		rt.proc.Serial(f)
+	}
+	register(func() {
 		if gs.allocSeq == nil {
 			gs.allocSeq = make([]int, gs.nodes)
 		}
@@ -174,6 +183,11 @@ type Global[T Elem] struct {
 	ct *conflictTracker
 	// bufPool recycles per-VP write buffers across Do invocations.
 	bufPool sync.Pool
+	// Distributed mode: dcov (under dmu) is the set of index ranges of
+	// g.base that are locally valid this phase — the local partition plus
+	// every remotely fetched range. See distFetch in dist.go.
+	dmu  sync.Mutex
+	dcov []intRun
 }
 
 // AllocGlobal allocates a globally shared array of n elements, block-
@@ -236,6 +250,15 @@ func (g *Global[T]) At(rt *Runtime, i int) T {
 	if rt.inDo {
 		panic(fmt.Sprintf("core: Global(%q).At while Do is active", g.name))
 	}
+	if g.gs.dist != nil {
+		if owner := g.part.Owner(i); owner != rt.node {
+			// Result-extraction loops usually walk whole remote
+			// partitions; fetch the owner's full block once and serve the
+			// rest of the loop from the cache.
+			lo, hi := g.part.Range(owner)
+			g.distFetch(rt.node, lo, hi)
+		}
+	}
 	return g.base[i]
 }
 
@@ -253,6 +276,9 @@ func (g *Global[T]) Read(vp *VP, i int) T {
 				g.name, i, owner, vp.d.node))
 		}
 		vp.noteRemoteRead(g.id, i, owner, g.es)
+		if g.gs.dist != nil {
+			g.distFetch(vp.d.node, i, i+1)
+		}
 	}
 	return g.base[i]
 }
@@ -320,6 +346,9 @@ func (g *Global[T]) ReadBlock(vp *VP, lo, hi int, dst []T) {
 					g.name, s, owner, node))
 			}
 			vp.noteRemoteRun(g.id, s, e, owner, g.es)
+			if g.gs.dist != nil {
+				g.distFetch(node, s, e)
+			}
 		}
 		s = e
 	}

@@ -454,20 +454,26 @@ func (d *doRun) resumeParked(s vpStatus) int {
 // instead of on every call.
 func (d *doRun) openPhase(kind phaseKind) {
 	if kind == phaseGlobal {
-		d.rt.proc.Barrier()
-		gs := d.rt.gs
-		base := 0
-		for n := 0; n < d.node; n++ {
-			base += gs.doK[n]
+		if d.rt.gs.dist != nil {
+			d.openPhaseDist()
+		} else {
+			d.rt.proc.Barrier()
+			gs := d.rt.gs
+			base := 0
+			for n := 0; n < d.node; n++ {
+				base += gs.doK[n]
+			}
+			total := base
+			for n := d.node; n < gs.nodes; n++ {
+				total += gs.doK[n]
+			}
+			d.rankBase, d.globalK, d.rankValid = base, total, true
 		}
-		total := base
-		for n := d.node; n < gs.nodes; n++ {
-			total += gs.doK[n]
-		}
-		d.rankBase, d.globalK, d.rankValid = base, total, true
 	}
 	d.openKind = kind
-	d.phaseStart = d.rt.proc.Clock()
+	if d.rt.proc != nil {
+		d.phaseStart = d.rt.proc.Clock()
+	}
 	d.phases++
 }
 
@@ -480,7 +486,9 @@ func (d *doRun) finish() {
 	if d.phases == 0 {
 		extra = vtime.Duration(mach.VPStartCost)
 	}
-	d.rt.proc.Charge(d.makespan(extra))
+	if d.rt.proc != nil {
+		d.rt.proc.Charge(d.makespan(extra))
+	}
 	st := d.rt.stats()
 	for _, vp := range d.vps {
 		st.SharedReads += vp.reads

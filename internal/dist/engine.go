@@ -1,0 +1,831 @@
+// Package dist is the distributed execution subsystem: it runs a PPM
+// program as N real OS processes — one per modeled node — talking over
+// TCP. The Engine implements core.DistEngine (remote reads, phase-commit
+// delta exchange, abort propagation) and mp.Endpoint (node-level message
+// passing for the collectives), so the exact program and collective
+// algorithms that run under the simulator run unchanged over sockets.
+//
+// Wire-level bundling happens in the per-peer writer goroutine: every
+// frame queued while a send is in flight — fine-grained messages, read
+// requests and replies, commit-delta chunks — coalesces into a single
+// TCP write of up to BundleBytes. VPs keep computing while the writer
+// ships, which is the overlap the paper's bundling layer exists for.
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppm/internal/cluster"
+	"ppm/internal/core"
+	"ppm/internal/mp"
+	"ppm/internal/wire"
+)
+
+// Config describes one process's place in the mesh.
+type Config struct {
+	// Rank and Nodes identify this process; ranks are dense in [0, Nodes).
+	Rank  int
+	Nodes int
+	// RendezvousDir is a shared directory through which the processes
+	// exchange their listen addresses (each rank publishes
+	// node-<rank>.addr). The usual choice for localhost launches.
+	RendezvousDir string
+	// Peers gives every rank's listen address explicitly, bypassing the
+	// rendezvous. Peers[Rank] is this process's listen address.
+	Peers []string
+	// ListenAddr is the address to listen on when using the rendezvous
+	// (default "127.0.0.1:0").
+	ListenAddr string
+	// BundleBytes caps the bytes coalesced into one TCP write (default
+	// 8192, matching core's modeled bundle size).
+	BundleBytes int
+	// ConnectTimeout bounds rendezvous plus mesh establishment (default
+	// 30s).
+	ConnectTimeout time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 {
+		return c, fmt.Errorf("dist: Nodes = %d, need at least 1", c.Nodes)
+	}
+	if c.Rank < 0 || c.Rank >= c.Nodes {
+		return c, fmt.Errorf("dist: Rank = %d out of [0, %d)", c.Rank, c.Nodes)
+	}
+	if len(c.Peers) > 0 && len(c.Peers) != c.Nodes {
+		return c, fmt.Errorf("dist: %d peer addresses for %d nodes", len(c.Peers), c.Nodes)
+	}
+	if len(c.Peers) == 0 && c.RendezvousDir == "" && c.Nodes > 1 {
+		return c, fmt.Errorf("dist: need RendezvousDir or Peers to find the other %d nodes", c.Nodes-1)
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.BundleBytes <= 0 {
+		c.BundleBytes = 8192
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 30 * time.Second
+	}
+	return c, nil
+}
+
+// outFrame is one queued wire frame awaiting the writer's next batch.
+type outFrame struct {
+	kind    byte
+	payload []byte
+}
+
+type peer struct {
+	id   int
+	conn net.Conn
+	br   *bufio.Reader
+	out  chan outFrame
+	// sawBye is set by the peer's reader goroutine (its only user) when
+	// the peer announces orderly shutdown: a subsequent EOF is then
+	// expected, not a failure.
+	sawBye bool
+}
+
+// serveReq is a peer's remote read awaiting the server goroutine.
+type serveReq struct {
+	dst, array, lo, hi int
+	id                 uint64
+}
+
+// Engine is one process's connection mesh. It is created by Connect,
+// passed to core.RunDist, and closed after the run.
+type Engine struct {
+	rank   int
+	nodes  int
+	bundle int
+
+	ln    net.Listener
+	peers []*peer // peers[rank] == nil
+
+	mail   mailbox
+	commit commitPlane
+
+	reqSeq atomic.Uint64
+	pendMu sync.Mutex
+	pend   map[uint64]chan []byte
+
+	serveCh     chan serveReq
+	server      func(array, lo, hi int) ([]byte, error)
+	serverReady chan struct{}
+
+	byeCh chan int // peer ids that announced orderly shutdown
+
+	fatalOnce sync.Once
+	fatalMu   sync.Mutex
+	fatal     error
+	fatalCh   chan struct{}
+
+	closing atomic.Bool
+	done    chan struct{}
+	sendWg  sync.WaitGroup // writer goroutines
+	wg      sync.WaitGroup // reader + server goroutines
+}
+
+// Connect establishes the full mesh: listen, publish/learn addresses,
+// dial every lower rank and accept every higher one (the ordering makes
+// sequential establishment deadlock-free), handshake each link, and
+// start the per-peer reader and writer goroutines.
+func Connect(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		rank:        cfg.Rank,
+		nodes:       cfg.Nodes,
+		bundle:      cfg.BundleBytes,
+		peers:       make([]*peer, cfg.Nodes),
+		pend:        make(map[uint64]chan []byte),
+		serveCh:     make(chan serveReq, 1024),
+		serverReady: make(chan struct{}),
+		byeCh:       make(chan int, cfg.Nodes),
+		fatalCh:     make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	e.mail.init()
+	e.commit.init(cfg.Nodes)
+	if cfg.Nodes == 1 {
+		e.startServer()
+		return e, nil
+	}
+
+	deadline := time.Now().Add(cfg.ConnectTimeout)
+	listenAddr := cfg.ListenAddr
+	if len(cfg.Peers) > 0 {
+		listenAddr = cfg.Peers[cfg.Rank]
+	}
+	e.ln, err = net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d listen: %w", cfg.Rank, err)
+	}
+	addrs := cfg.Peers
+	if len(addrs) == 0 {
+		addrs, err = rendezvous(cfg.RendezvousDir, cfg.Rank, cfg.Nodes, e.ln.Addr().String(), deadline)
+		if err != nil {
+			e.ln.Close()
+			return nil, err
+		}
+	}
+
+	fail := func(err error) (*Engine, error) {
+		e.ln.Close()
+		for _, p := range e.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		return nil, err
+	}
+	// Dial every lower rank (they are already accepting: rank 0 dials
+	// nobody, and by induction rank j < rank finished its dials first).
+	for j := 0; j < cfg.Rank; j++ {
+		p, err := dialPeer(addrs[j], cfg.Rank, j, cfg.Nodes, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		e.peers[j] = p
+	}
+	// Accept every higher rank.
+	for n := cfg.Rank + 1; n < cfg.Nodes; n++ {
+		if d, ok := e.ln.(*net.TCPListener); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("dist: rank %d accept: %w", cfg.Rank, err))
+		}
+		p, err := acceptPeer(conn, cfg.Rank, cfg.Nodes, deadline)
+		if err != nil {
+			conn.Close()
+			return fail(err)
+		}
+		if e.peers[p.id] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("dist: rank %d: duplicate connection from rank %d", cfg.Rank, p.id))
+		}
+		e.peers[p.id] = p
+	}
+
+	for _, p := range e.peers {
+		if p == nil {
+			continue
+		}
+		p.conn.SetDeadline(time.Time{})
+		e.sendWg.Add(1)
+		go e.writeLoop(p)
+		e.wg.Add(1)
+		go e.readLoop(p)
+	}
+	e.startServer()
+	return e, nil
+}
+
+func (e *Engine) startServer() {
+	e.wg.Add(1)
+	go e.serveLoop()
+}
+
+// rendezvous publishes this rank's address in dir and polls until every
+// rank's file is present.
+func rendezvous(dir string, rank, nodes int, addr string, deadline time.Time) ([]string, error) {
+	tmp := filepath.Join(dir, fmt.Sprintf(".node-%d.addr.tmp", rank))
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return nil, fmt.Errorf("dist: rank %d rendezvous: %w", rank, err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("node-%d.addr", rank))
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("dist: rank %d rendezvous: %w", rank, err)
+	}
+	addrs := make([]string, nodes)
+	addrs[rank] = addr
+	wait := time.Millisecond
+	for {
+		missing := -1
+		for n := 0; n < nodes; n++ {
+			if addrs[n] != "" {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("node-%d.addr", n)))
+			if err != nil || len(b) == 0 {
+				missing = n
+				continue
+			}
+			addrs[n] = string(b)
+		}
+		if missing < 0 {
+			return addrs, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: rank %d rendezvous: timed out waiting for rank %d in %s", rank, missing, dir)
+		}
+		time.Sleep(wait)
+		if wait < 50*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, error) {
+	var conn net.Conn
+	var err error
+	wait := time.Millisecond
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: rank %d dial rank %d (%s): %w", self, target, addr, err)
+		}
+		time.Sleep(wait)
+		if wait < 50*time.Millisecond {
+			wait *= 2
+		}
+	}
+	conn.SetDeadline(deadline)
+	hello := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian()})
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.KindHello, hello)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d hello to rank %d: %w", self, target, err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	kind, payload, err := wire.ReadFrame(br)
+	if err != nil || kind != wire.KindHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d handshake with rank %d: kind=%d err=%v", self, target, kind, err)
+	}
+	h, err := wire.DecodeHello(payload, nodes)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d handshake with rank %d: %w", self, target, err)
+	}
+	if h.Rank != target {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d dialed rank %d but reached rank %d", self, target, h.Rank)
+	}
+	return newPeer(target, conn, br), nil
+}
+
+func acceptPeer(conn net.Conn, self, nodes int, deadline time.Time) (*peer, error) {
+	conn.SetDeadline(deadline)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	kind, payload, err := wire.ReadFrame(br)
+	if err != nil || kind != wire.KindHello {
+		return nil, fmt.Errorf("dist: rank %d accept handshake: kind=%d err=%v", self, kind, err)
+	}
+	h, err := wire.DecodeHello(payload, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d accept handshake: %w", self, err)
+	}
+	if h.Rank <= self || h.Rank >= nodes {
+		return nil, fmt.Errorf("dist: rank %d accepted unexpected rank %d", self, h.Rank)
+	}
+	ack := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian()})
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.KindHelloAck, ack)); err != nil {
+		return nil, fmt.Errorf("dist: rank %d hello-ack to rank %d: %w", self, h.Rank, err)
+	}
+	return newPeer(h.Rank, conn, br), nil
+}
+
+func newPeer(id int, conn net.Conn, br *bufio.Reader) *peer {
+	return &peer{id: id, conn: conn, br: br, out: make(chan outFrame, 1024)}
+}
+
+// --- engine-side fatal handling -----------------------------------------
+
+func (e *Engine) setFatal(err error) {
+	e.fatalOnce.Do(func() {
+		e.fatalMu.Lock()
+		e.fatal = err
+		e.fatalMu.Unlock()
+		close(e.fatalCh)
+		e.mail.kill()
+		e.commit.kill()
+	})
+}
+
+func (e *Engine) fatalErr() error {
+	e.fatalMu.Lock()
+	defer e.fatalMu.Unlock()
+	if e.fatal == nil {
+		return fmt.Errorf("dist: rank %d: engine shut down", e.rank)
+	}
+	return e.fatal
+}
+
+// --- per-peer goroutines ------------------------------------------------
+
+// writeLoop ships queued frames, coalescing everything already waiting
+// into one buffered write of up to BundleBytes: the wire-level bundling.
+func (e *Engine) writeLoop(p *peer) {
+	defer e.sendWg.Done()
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	var buf []byte
+	dead := false
+	flush := func() {
+		if dead || len(buf) == 0 {
+			buf = buf[:0]
+			return
+		}
+		_, err := bw.Write(buf)
+		if err == nil {
+			err = bw.Flush()
+		}
+		buf = buf[:0]
+		if err != nil {
+			dead = true
+			if !e.closing.Load() {
+				e.setFatal(fmt.Errorf("dist: rank %d: write to rank %d: %w", e.rank, p.id, err))
+			}
+		}
+	}
+	for f := range p.out {
+		buf = wire.AppendFrame(buf, f.kind, f.payload)
+		more := true
+		for more && len(buf) < e.bundle {
+			select {
+			case f2, ok := <-p.out:
+				if !ok {
+					more = false
+					break
+				}
+				buf = wire.AppendFrame(buf, f2.kind, f2.payload)
+			default:
+				more = false
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
+// readLoop demultiplexes one peer's frames to the mailbox, the read
+// server, the pending-fetch table, and the commit plane.
+func (e *Engine) readLoop(p *peer) {
+	defer e.wg.Done()
+	for {
+		kind, payload, err := wire.ReadFrame(p.br)
+		if err != nil {
+			// EOF after the peer's bye (or once we are closing ourselves)
+			// is the orderly end of the link, not a failure.
+			if !p.sawBye && !e.closing.Load() {
+				e.setFatal(fmt.Errorf("dist: rank %d: read from rank %d: %w", e.rank, p.id, err))
+			}
+			return
+		}
+		switch kind {
+		case wire.KindMsg:
+			tag, data, hasData, err := wire.DecodeMsg(payload)
+			if err != nil {
+				e.protocolFatal(p.id, err)
+				return
+			}
+			e.mail.put(mailMsg{src: p.id, tag: int(tag), data: data, hasData: hasData})
+		case wire.KindReadReq:
+			id, array, lo, hi, err := wire.DecodeReadReq(payload)
+			if err != nil {
+				e.protocolFatal(p.id, err)
+				return
+			}
+			select {
+			case e.serveCh <- serveReq{dst: p.id, array: array, lo: lo, hi: hi, id: id}:
+			case <-e.fatalCh:
+				return
+			case <-e.done:
+				return
+			}
+		case wire.KindReadResp:
+			id, data, err := wire.DecodeReadResp(payload)
+			if err != nil {
+				e.protocolFatal(p.id, err)
+				return
+			}
+			e.pendMu.Lock()
+			ch := e.pend[id]
+			delete(e.pend, id)
+			e.pendMu.Unlock()
+			if ch != nil {
+				ch <- data
+			}
+		case wire.KindCommitData:
+			phase, chunk, err := wire.DecodeCommitData(payload)
+			if err != nil {
+				e.protocolFatal(p.id, err)
+				return
+			}
+			e.commit.addData(p.id, phase, chunk)
+		case wire.KindCommitEnd:
+			phase, err := wire.DecodeCommitEnd(payload)
+			if err != nil {
+				e.protocolFatal(p.id, err)
+				return
+			}
+			e.commit.end(p.id, phase)
+		case wire.KindAbort:
+			e.setFatal(fmt.Errorf("dist: rank %d aborted: %s", p.id, wire.DecodeAbort(payload)))
+			return
+		case wire.KindBye:
+			p.sawBye = true
+			e.byeCh <- p.id // capacity nodes: never blocks
+		default:
+			e.protocolFatal(p.id, fmt.Errorf("unknown frame kind %d", kind))
+			return
+		}
+	}
+}
+
+func (e *Engine) protocolFatal(from int, err error) {
+	e.setFatal(fmt.Errorf("dist: rank %d: protocol error from rank %d: %w", e.rank, from, err))
+}
+
+// serveLoop answers peers' remote reads once core has installed the read
+// server. Serving runs outside the reader goroutines so a request that
+// blocks on the memory lock never stalls frame demultiplexing.
+func (e *Engine) serveLoop() {
+	defer e.wg.Done()
+	select {
+	case <-e.serverReady:
+	case <-e.fatalCh:
+		return
+	case <-e.done:
+		return
+	}
+	for {
+		select {
+		case req := <-e.serveCh:
+			data, err := e.server(req.array, req.lo, req.hi)
+			if err != nil {
+				e.Abort(fmt.Errorf("dist: rank %d: serving read for rank %d: %w", e.rank, req.dst, err))
+				return
+			}
+			if e.send(req.dst, wire.KindReadResp, wire.EncodeReadResp(req.id, data)) != nil {
+				return
+			}
+		case <-e.fatalCh:
+			return
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// send queues one frame for dst's writer.
+func (e *Engine) send(dst int, kind byte, payload []byte) error {
+	if e.closing.Load() {
+		return fmt.Errorf("dist: rank %d: send to rank %d after close", e.rank, dst)
+	}
+	select {
+	case e.peers[dst].out <- outFrame{kind: kind, payload: payload}:
+		return nil
+	case <-e.fatalCh:
+		return e.fatalErr()
+	}
+}
+
+// --- mp.Endpoint --------------------------------------------------------
+
+// Rank implements mp.Endpoint and core.DistEngine.
+func (e *Engine) Rank() int { return e.rank }
+
+// Procs implements mp.Endpoint.
+func (e *Engine) Procs() int { return e.nodes }
+
+// Nodes implements core.DistEngine.
+func (e *Engine) Nodes() int { return e.nodes }
+
+// Endpoint implements core.DistEngine.
+func (e *Engine) Endpoint() mp.Endpoint { return e }
+
+// Send implements mp.Endpoint: marshal the typed payload to native-order
+// bytes and queue it (self-sends skip the wire). The mp API is
+// panic-on-failure, so transport death surfaces as core.AbortError.
+func (e *Engine) Send(dst, tag int, payload any, bytes int) {
+	data, isNil := mp.MarshalPayload(payload)
+	if dst == e.rank {
+		e.mail.put(mailMsg{src: e.rank, tag: tag, data: data, hasData: !isNil})
+		return
+	}
+	if err := e.send(dst, wire.KindMsg, wire.EncodeMsg(int64(tag), data, !isNil)); err != nil {
+		panic(core.AbortError{Err: err})
+	}
+}
+
+// Recv implements mp.Endpoint: block until a matching message arrives.
+func (e *Engine) Recv(src, tag int) *cluster.Message {
+	m, ok := e.mail.recv(src, tag)
+	if !ok {
+		panic(core.AbortError{Err: e.fatalErr()})
+	}
+	msg := &cluster.Message{Src: m.src, Tag: m.tag, Bytes: len(m.data)}
+	if m.hasData {
+		msg.Payload = mp.RawPayload(m.data)
+	}
+	return msg
+}
+
+// ChargeFlops implements mp.Endpoint; real runs do not model time.
+func (e *Engine) ChargeFlops(n int64) {}
+
+// --- core.DistEngine ----------------------------------------------------
+
+// SetReadServer implements core.DistEngine.
+func (e *Engine) SetReadServer(fn func(array, lo, hi int) ([]byte, error)) {
+	e.server = fn
+	close(e.serverReady)
+}
+
+// Fetch implements core.DistEngine: one synchronous remote read.
+func (e *Engine) Fetch(array, owner, lo, hi int) ([]byte, error) {
+	id := e.reqSeq.Add(1)
+	ch := make(chan []byte, 1)
+	e.pendMu.Lock()
+	e.pend[id] = ch
+	e.pendMu.Unlock()
+	drop := func() {
+		e.pendMu.Lock()
+		delete(e.pend, id)
+		e.pendMu.Unlock()
+	}
+	if err := e.send(owner, wire.KindReadReq, wire.EncodeReadReq(id, array, lo, hi)); err != nil {
+		drop()
+		return nil, err
+	}
+	select {
+	case data := <-ch:
+		return data, nil
+	case <-e.fatalCh:
+		drop()
+		return nil, e.fatalErr()
+	}
+}
+
+// CommitExchange implements core.DistEngine: chunk each destination's
+// delta stream into bundle-sized frames, mark each stream's end, and
+// block until every peer's complete stream for this phase is in.
+func (e *Engine) CommitExchange(phase int64, outgoing [][]byte) ([][]byte, error) {
+	for dst := 0; dst < e.nodes; dst++ {
+		if dst == e.rank {
+			continue
+		}
+		stream := outgoing[dst]
+		for off := 0; off < len(stream); off += e.bundle {
+			end := off + e.bundle
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if err := e.send(dst, wire.KindCommitData, wire.EncodeCommitData(phase, stream[off:end])); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.send(dst, wire.KindCommitEnd, wire.EncodeCommitEnd(phase)); err != nil {
+			return nil, err
+		}
+	}
+	return e.commit.wait(phase, e.rank)
+}
+
+// Abort implements core.DistEngine: best-effort notification of every
+// peer, then local shutdown of all blocking operations.
+func (e *Engine) Abort(err error) {
+	if err == nil {
+		return
+	}
+	payload := wire.EncodeAbort(err.Error())
+	for _, p := range e.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case p.out <- outFrame{kind: wire.KindAbort, payload: payload}:
+		default:
+		}
+	}
+	e.setFatal(err)
+}
+
+// Close tears the mesh down: announce shutdown to every peer, flush,
+// wait for every peer's own announcement, then close the links and join
+// all goroutines. Call it after core.RunDist returns.
+//
+// The bye exchange is what makes close races benign: no connection drops
+// until both ends (and, transitively, every rank) have said goodbye, so
+// a fast rank's EOF can never cut off frames a slow rank still has in
+// flight to a third one.
+func (e *Engine) Close() error {
+	if !e.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	nPeers := 0
+	for _, p := range e.peers {
+		if p == nil {
+			continue
+		}
+		nPeers++
+		p.out <- outFrame{kind: wire.KindBye} // writers drain until close, so this cannot block
+		close(p.out)
+	}
+	e.sendWg.Wait() // writers drain their queues and flush
+	timeout := time.After(10 * time.Second)
+byes:
+	for got := 0; got < nPeers; got++ {
+		select {
+		case <-e.byeCh:
+		case <-e.fatalCh:
+			break byes // mesh already failed; nothing more to wait for
+		case <-timeout:
+			break byes
+		}
+	}
+	close(e.done)
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	for _, p := range e.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	e.setFatal(fmt.Errorf("dist: rank %d: engine closed", e.rank))
+	e.wg.Wait()
+	return nil
+}
+
+// --- mailbox ------------------------------------------------------------
+
+type mailMsg struct {
+	src, tag int
+	data     []byte
+	hasData  bool
+}
+
+// mailbox holds undelivered node-level messages in arrival order; recv
+// matches exactly like the simulator's (first arrival satisfying the
+// src/tag pattern, wildcards allowed), so per-(src, tag) streams are
+// non-overtaking over TCP just as they are in the simulator.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []mailMsg
+	dead bool
+}
+
+func (mb *mailbox) init() { mb.cond = sync.NewCond(&mb.mu) }
+
+func (mb *mailbox) put(m mailMsg) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) recv(src, tag int) (mailMsg, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.q {
+			m := mb.q[i]
+			if (src == cluster.AnySource || src == m.src) && (tag == cluster.AnyTag || tag == m.tag) {
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m, true
+			}
+		}
+		if mb.dead {
+			return mailMsg{}, false
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) kill() {
+	mb.mu.Lock()
+	mb.dead = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// --- commit plane -------------------------------------------------------
+
+// commitPlane assembles peers' phase-commit delta streams. Phases are
+// keyed by sequence number so a fast peer's next-phase chunks can arrive
+// before this node finishes waiting on the current phase.
+type commitPlane struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	nodes  int
+	phases map[int64]*commitBuf
+	dead   bool
+}
+
+type commitBuf struct {
+	data  [][]byte
+	done  []bool
+	nDone int
+}
+
+func (cp *commitPlane) init(nodes int) {
+	cp.cond = sync.NewCond(&cp.mu)
+	cp.nodes = nodes
+	cp.phases = make(map[int64]*commitBuf)
+}
+
+func (cp *commitPlane) buf(phase int64) *commitBuf {
+	b := cp.phases[phase]
+	if b == nil {
+		b = &commitBuf{data: make([][]byte, cp.nodes), done: make([]bool, cp.nodes)}
+		cp.phases[phase] = b
+	}
+	return b
+}
+
+func (cp *commitPlane) addData(src int, phase int64, chunk []byte) {
+	cp.mu.Lock()
+	b := cp.buf(phase)
+	b.data[src] = append(b.data[src], chunk...)
+	cp.mu.Unlock()
+}
+
+func (cp *commitPlane) end(src int, phase int64) {
+	cp.mu.Lock()
+	b := cp.buf(phase)
+	if !b.done[src] {
+		b.done[src] = true
+		b.nDone++
+	}
+	cp.mu.Unlock()
+	cp.cond.Broadcast()
+}
+
+func (cp *commitPlane) wait(phase int64, self int) ([][]byte, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	for {
+		b := cp.buf(phase)
+		if b.nDone == cp.nodes-1 {
+			delete(cp.phases, phase)
+			return b.data, nil
+		}
+		if cp.dead {
+			return nil, fmt.Errorf("dist: rank %d: peers lost during commit of phase %d", self, phase)
+		}
+		cp.cond.Wait()
+	}
+}
+
+func (cp *commitPlane) kill() {
+	cp.mu.Lock()
+	cp.dead = true
+	cp.mu.Unlock()
+	cp.cond.Broadcast()
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LaunchOpts configures a localhost multi-process launch.
+type LaunchOpts struct {
+	// Nodes is how many node processes to fork.
+	Nodes int
+	// NodeBin is the ppm-node binary to exec.
+	NodeBin string
+	// NodeArgs are appended to every node's command line (app selection,
+	// parameters, ablation flags). The launcher itself supplies -rank,
+	// -nodes, and -rendezvous.
+	NodeArgs []string
+	// Timeout kills the whole fleet if the run exceeds it (default 120s).
+	Timeout time.Duration
+	// Stderr receives every node's stderr (default os.Stderr).
+	Stderr io.Writer
+}
+
+// LaunchLocal forks Nodes ppm-node processes wired together through a
+// temporary rendezvous directory on loopback TCP, waits for them, and
+// decodes each one's NodeResult from its stdout. The slice is indexed by
+// rank and always has Nodes entries; a non-nil error summarizes every
+// process that failed to run or report.
+func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
+	if o.Nodes <= 0 {
+		return nil, fmt.Errorf("dist: LaunchLocal with %d nodes", o.Nodes)
+	}
+	if o.NodeBin == "" {
+		return nil, fmt.Errorf("dist: LaunchLocal needs the ppm-node binary path")
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	stderr := o.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	dir, err := os.MkdirTemp("", "ppm-dist-")
+	if err != nil {
+		return nil, fmt.Errorf("dist: rendezvous dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	cmds := make([]*exec.Cmd, o.Nodes)
+	outs := make([]bytes.Buffer, o.Nodes)
+	waitErrs := make([]error, o.Nodes)
+	for r := 0; r < o.Nodes; r++ {
+		args := []string{
+			"-rank", strconv.Itoa(r),
+			"-nodes", strconv.Itoa(o.Nodes),
+			"-rendezvous", dir,
+		}
+		args = append(args, o.NodeArgs...)
+		cmd := exec.Command(o.NodeBin, args...)
+		cmd.Stdout = &outs[r]
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:r] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("dist: start node %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+
+	// One watchdog for the fleet: a hung mesh (half-connected, deadlocked
+	// peer) must not hang the launcher forever.
+	var timedOut bool
+	var mu sync.Mutex
+	timer := time.AfterFunc(o.Timeout, func() {
+		mu.Lock()
+		timedOut = true
+		mu.Unlock()
+		for _, c := range cmds {
+			c.Process.Kill()
+		}
+	})
+	for r, c := range cmds {
+		waitErrs[r] = c.Wait()
+	}
+	timer.Stop()
+
+	results := make([]NodeResult, o.Nodes)
+	var errs []string
+	for r := 0; r < o.Nodes; r++ {
+		results[r].Rank = r
+		if err := json.Unmarshal(bytes.TrimSpace(outs[r].Bytes()), &results[r]); err != nil {
+			detail := strings.TrimSpace(outs[r].String())
+			if len(detail) > 200 {
+				detail = detail[:200] + "..."
+			}
+			errs = append(errs, fmt.Sprintf("rank %d: no result (%v; exit: %v; stdout: %q)", r, err, waitErrs[r], detail))
+			continue
+		}
+		if results[r].Rank != r {
+			errs = append(errs, fmt.Sprintf("rank %d: reported rank %d", r, results[r].Rank))
+		}
+		if results[r].Err != "" {
+			errs = append(errs, fmt.Sprintf("rank %d: %s", r, results[r].Err))
+		}
+	}
+	mu.Lock()
+	if timedOut {
+		errs = append([]string{fmt.Sprintf("run exceeded %v and was killed", o.Timeout)}, errs...)
+	}
+	mu.Unlock()
+	if len(errs) > 0 {
+		return results, fmt.Errorf("dist: launch failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return results, nil
+}

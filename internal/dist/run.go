@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/search"
+	"ppm/internal/core"
+	"ppm/internal/partition"
+)
+
+// AppSpec names one of the repository's figure apps and its parameters.
+// Only the parameter set matching App is consulted.
+type AppSpec struct {
+	App    string
+	CG     cg.Params
+	Colloc colloc.Params
+	Nbody  nbody.Params
+	Jacobi jacobi.Params
+	Search search.Params
+}
+
+// RowFrag is one matrix row owned by a node (colloc deals rows
+// cyclically, so a fragment is a list of (index, row) pairs).
+type RowFrag struct {
+	I   int
+	Row []colloc.Entry
+}
+
+// NbodyFrag is one node's block of the final particle state. M rides
+// along on rank 0 only (every rank holds the full, identical masses).
+type NbodyFrag struct {
+	Lo, Hi                 int
+	PX, PY, PZ, VX, VY, VZ []float64
+	M                      []float64 `json:",omitempty"`
+}
+
+// NodeResult is what one node process reports back to the launcher: its
+// runtime counters plus its fragment of the application result. It
+// crosses the process boundary as JSON; float64 values survive that
+// round trip bit-exactly (Go prints the shortest uniquely-decoding
+// representation), which the equivalence tests rely on.
+type NodeResult struct {
+	Rank  int
+	Err   string `json:",omitempty"`
+	Stats core.NodeStats
+
+	CG         *cg.Result `json:",omitempty"` // rank 0 only
+	Jacobi     []float64  `json:",omitempty"` // rank 0 only
+	CollocN    int        `json:",omitempty"`
+	CollocRows []RowFrag  `json:",omitempty"`
+	Nbody      *NbodyFrag `json:",omitempty"`
+	Search     []int64    `json:",omitempty"`
+}
+
+// RunApp executes this process's share of the named app over the engine
+// and packages the node-local result. It never returns an error: failures
+// are carried in NodeResult.Err so the launcher can attribute them.
+func RunApp(eng core.DistEngine, opt core.Options, spec AppSpec) *NodeResult {
+	res := &NodeResult{Rank: eng.Rank()}
+	runner := core.Runner(func(o core.Options, prog func(rt *core.Runtime)) (*core.Report, error) {
+		return core.RunDist(o, eng, prog)
+	})
+	var rep *core.Report
+	var err error
+	switch spec.App {
+	case "cg":
+		var out *cg.Result
+		out, rep, err = cg.RunPPMOn(runner, opt, spec.CG)
+		if err == nil && eng.Rank() == 0 {
+			res.CG = out
+		}
+	case "jacobi":
+		var out []float64
+		out, rep, err = jacobi.RunPPMOn(runner, opt, spec.Jacobi)
+		if err == nil && eng.Rank() == 0 {
+			res.Jacobi = out
+		}
+	case "colloc":
+		var out *colloc.Matrix
+		out, rep, err = colloc.RunPPMOn(runner, opt, spec.Colloc)
+		if err == nil {
+			res.CollocN = out.N
+			for i := eng.Rank(); i < out.N; i += eng.Nodes() {
+				res.CollocRows = append(res.CollocRows, RowFrag{I: i, Row: out.Rows[i]})
+			}
+		}
+	case "nbody":
+		var out *nbody.State
+		out, rep, err = nbody.RunPPMOn(runner, opt, spec.Nbody)
+		if err == nil {
+			part := partition.NewBlock(spec.Nbody.N, eng.Nodes())
+			lo, hi := part.Range(eng.Rank())
+			f := &NbodyFrag{
+				Lo: lo, Hi: hi,
+				PX: out.PX[lo:hi], PY: out.PY[lo:hi], PZ: out.PZ[lo:hi],
+				VX: out.VX[lo:hi], VY: out.VY[lo:hi], VZ: out.VZ[lo:hi],
+			}
+			if eng.Rank() == 0 {
+				f.M = out.M
+			}
+			res.Nbody = f
+		}
+	case "search":
+		var out [][]int64
+		out, rep, err = search.RunPPMOn(runner, opt, spec.Search)
+		if err == nil {
+			res.Search = out[eng.Rank()]
+		}
+	default:
+		err = fmt.Errorf("dist: unknown app %q (want cg, colloc, nbody, jacobi, or search)", spec.App)
+	}
+	if rep != nil && eng.Rank() < len(rep.PerNode) {
+		res.Stats = rep.PerNode[eng.Rank()]
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// Merged is the reassembled cross-node result of a distributed run,
+// shaped exactly like the corresponding RunPPM output.
+type Merged struct {
+	CG     *cg.Result
+	Jacobi []float64
+	Colloc *colloc.Matrix
+	Nbody  *nbody.State
+	Search [][]int64
+
+	PerNode []core.NodeStats
+	Totals  core.NodeStats
+}
+
+// Merge reassembles the per-node fragments into the full application
+// result and aggregate statistics. Any node that reported an error makes
+// Merge fail with every failing rank's message.
+func Merge(spec AppSpec, results []NodeResult) (*Merged, error) {
+	var errs []string
+	for i, r := range results {
+		if r.Rank != i {
+			return nil, fmt.Errorf("dist: result %d is from rank %d — launcher order broken", i, r.Rank)
+		}
+		if r.Err != "" {
+			errs = append(errs, fmt.Sprintf("rank %d: %s", r.Rank, r.Err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("dist: %d of %d nodes failed:\n  %s", len(errs), len(results), strings.Join(errs, "\n  "))
+	}
+	m := &Merged{PerNode: make([]core.NodeStats, len(results))}
+	for i, r := range results {
+		m.PerNode[i] = r.Stats
+		m.Totals.Add(r.Stats)
+	}
+	switch spec.App {
+	case "cg":
+		m.CG = results[0].CG
+		if m.CG == nil {
+			return nil, fmt.Errorf("dist: rank 0 reported no cg result")
+		}
+	case "jacobi":
+		m.Jacobi = results[0].Jacobi
+		if m.Jacobi == nil {
+			return nil, fmt.Errorf("dist: rank 0 reported no jacobi result")
+		}
+	case "colloc":
+		n := results[0].CollocN
+		out := &colloc.Matrix{N: n, Rows: make([][]colloc.Entry, n)}
+		for _, r := range results {
+			for _, f := range r.CollocRows {
+				if f.I < 0 || f.I >= n {
+					return nil, fmt.Errorf("dist: rank %d reported row %d of %d", r.Rank, f.I, n)
+				}
+				out.Rows[f.I] = f.Row
+			}
+		}
+		m.Colloc = out
+	case "nbody":
+		n := spec.Nbody.N
+		out := &nbody.State{
+			PX: make([]float64, n), PY: make([]float64, n), PZ: make([]float64, n),
+			VX: make([]float64, n), VY: make([]float64, n), VZ: make([]float64, n),
+		}
+		for _, r := range results {
+			f := r.Nbody
+			if f == nil || f.Hi-f.Lo != len(f.PX) {
+				return nil, fmt.Errorf("dist: rank %d reported a malformed nbody fragment", r.Rank)
+			}
+			copy(out.PX[f.Lo:f.Hi], f.PX)
+			copy(out.PY[f.Lo:f.Hi], f.PY)
+			copy(out.PZ[f.Lo:f.Hi], f.PZ)
+			copy(out.VX[f.Lo:f.Hi], f.VX)
+			copy(out.VY[f.Lo:f.Hi], f.VY)
+			copy(out.VZ[f.Lo:f.Hi], f.VZ)
+			if f.M != nil {
+				out.M = f.M
+			}
+		}
+		m.Nbody = out
+	case "search":
+		m.Search = make([][]int64, len(results))
+		for i, r := range results {
+			m.Search[i] = r.Search
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown app %q", spec.App)
+	}
+	return m, nil
+}

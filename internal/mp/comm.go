@@ -44,25 +44,31 @@ func SizeOf[T Elem]() int {
 	return int(unsafe.Sizeof(z))
 }
 
-// Comm is a communicator over all ranks of the underlying cluster run.
-// Each rank constructs its own Comm around its Proc.
+// Comm is a communicator over all ranks of the underlying run. Each
+// rank constructs its own Comm around its transport endpoint — the
+// simulator's Proc, or a real one in the distributed runtime.
 type Comm struct {
-	p *cluster.Proc
+	ep Endpoint
+	p  *cluster.Proc // non-nil only for simulator-backed comms
 	// gen separates the reserved-tag space of successive collectives so
 	// that no message from collective k can match collective k+1.
 	gen int
 }
 
-// New returns a communicator for the calling rank.
-func New(p *cluster.Proc) *Comm { return &Comm{p: p} }
+// New returns a communicator for the calling simulator rank.
+func New(p *cluster.Proc) *Comm { return &Comm{ep: p, p: p} }
+
+// NewEndpoint returns a communicator over an arbitrary transport.
+func NewEndpoint(ep Endpoint) *Comm { return &Comm{ep: ep} }
 
 // Rank returns the calling process's rank.
-func (c *Comm) Rank() int { return c.p.Rank() }
+func (c *Comm) Rank() int { return c.ep.Rank() }
 
 // Size returns the number of ranks.
-func (c *Comm) Size() int { return c.p.Procs() }
+func (c *Comm) Size() int { return c.ep.Procs() }
 
-// Proc exposes the underlying simulator process (for charging compute).
+// Proc exposes the underlying simulator process (for charging compute);
+// nil for comms built over a non-simulator endpoint.
 func (c *Comm) Proc() *cluster.Proc { return c.p }
 
 func (c *Comm) checkUserTag(tag int) {
@@ -100,22 +106,20 @@ const (
 // mutate the slice.
 func Send[T Elem](c *Comm, dst, tag int, data []T) {
 	c.checkUserTag(tag)
-	c.p.Send(dst, tag, data, len(data)*SizeOf[T]())
+	c.ep.Send(dst, tag, data, len(data)*SizeOf[T]())
 }
 
-// Recv receives a typed slice from src with a user tag.
+// Recv receives a typed slice from src with a user tag. Both src and tag
+// accept their wildcard (AnySource, AnyTag). A wildcard-tag receive
+// matches the oldest queued message of any tag — including a collective's
+// internal reserved-tag traffic from a peer that has raced ahead — so
+// drain wildcard receives before entering the next collective.
 func Recv[T Elem](c *Comm, src, tag int) []T {
-	c.checkUserTag(tag)
-	m := c.p.Recv(src, tag)
-	if m.Payload == nil {
-		return nil
+	if tag != AnyTag {
+		c.checkUserTag(tag)
 	}
-	data, ok := m.Payload.([]T)
-	if !ok {
-		panic(fmt.Sprintf("mp: rank %d Recv(src=%d, tag=%d): payload is %T, not %T",
-			c.Rank(), src, tag, m.Payload, data))
-	}
-	return data
+	m := c.ep.Recv(src, tag)
+	return payloadAs[T](fmt.Sprintf("rank %d Recv(src=%d, tag=%d)", c.Rank(), src, tag), m)
 }
 
 // Sendrecv exchanges typed slices with a partner in a deadlock-free way
@@ -127,15 +131,12 @@ func Sendrecv[T Elem](c *Comm, dst, sendTag int, data []T, src, recvTag int) []T
 
 // sendColl / recvColl move data under reserved tags (internal).
 func sendColl[T Elem](c *Comm, dst, tag int, data []T) {
-	c.p.Send(dst, tag, data, len(data)*SizeOf[T]())
+	c.ep.Send(dst, tag, data, len(data)*SizeOf[T]())
 }
 
 func recvColl[T Elem](c *Comm, src, tag int) []T {
-	m := c.p.Recv(src, tag)
-	if m.Payload == nil {
-		return nil
-	}
-	return m.Payload.([]T)
+	m := c.ep.Recv(src, tag)
+	return payloadAs[T]("collective recv", m)
 }
 
 // Barrier blocks until all ranks reach it, using a dissemination pattern
@@ -145,8 +146,8 @@ func (c *Comm) Barrier() {
 	p, rank := c.Size(), c.Rank()
 	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
 		tag := collTag(collBarrier, gen, round)
-		c.p.Send((rank+k)%p, tag, nil, 0)
-		c.p.Recv((rank-k+p)%p, tag)
+		c.ep.Send((rank+k)%p, tag, nil, 0)
+		c.ep.Recv((rank-k+p)%p, tag)
 	}
 }
 
@@ -253,7 +254,7 @@ func combine[T Elem](a, b []T, op func(x, y T) T) {
 }
 
 func (c *Comm) chargeReduceFlops(n int) {
-	c.p.ChargeFlops(int64(n))
+	c.ep.ChargeFlops(int64(n))
 }
 
 // Gatherv collects each rank's variable-length contribution on root, in

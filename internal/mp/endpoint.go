@@ -1,0 +1,126 @@
+package mp
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"ppm/internal/cluster"
+)
+
+// Endpoint is the transport a Comm runs on. The simulator's cluster.Proc
+// is the canonical implementation; the distributed runtime provides a
+// TCP-backed one, so the same collective algorithms (and therefore the
+// same combination orders and bit-exact results) execute over real
+// sockets.
+type Endpoint interface {
+	Rank() int
+	Procs() int
+	// Send delivers payload to dst under tag; sends are eager and never
+	// block. bytes is the modeled (and, over TCP, actual) payload size.
+	Send(dst, tag int, payload any, bytes int)
+	// Recv blocks until a message matching (src, tag) — wildcards
+	// allowed — is available, and returns it in global arrival order.
+	Recv(src, tag int) *cluster.Message
+	// ChargeFlops accounts reduction arithmetic (a no-op off-simulator).
+	ChargeFlops(n int64)
+}
+
+// RawPayload marks a payload as undecoded wire bytes (native element
+// order). Transports that move real bytes deliver it; the typed Recv
+// path decodes it into the expected element type.
+type RawPayload []byte
+
+// payloadAs decodes a received payload as []T: either the in-simulator
+// reference-passed slice, or raw transport bytes copied into a fresh,
+// properly aligned slice.
+func payloadAs[T Elem](who string, m *cluster.Message) []T {
+	switch p := m.Payload.(type) {
+	case nil:
+		return nil
+	case []T:
+		return p
+	case RawPayload:
+		es := SizeOf[T]()
+		if len(p)%es != 0 {
+			panic(fmt.Sprintf("mp: %s: raw payload of %d bytes is not a whole number of %d-byte elements", who, len(p), es))
+		}
+		out := make([]T, len(p)/es)
+		if len(out) > 0 {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), len(p)), p)
+		}
+		return out
+	default:
+		var want []T
+		panic(fmt.Sprintf("mp: %s: payload is %T, not %T", who, m.Payload, want))
+	}
+}
+
+// AppendElems appends the native-order byte image of s to buf. The
+// element bytes are written with a byte copy, so buf need not be aligned.
+func AppendElems[T Elem](buf []byte, s []T) []byte {
+	if len(s) == 0 {
+		return buf
+	}
+	es := SizeOf[T]()
+	return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*es)...)
+}
+
+// DecodeElemsInto copies raw native-order bytes over dst, which must be
+// exactly len(dst)*sizeof(T) bytes worth. raw may be unaligned.
+func DecodeElemsInto[T Elem](dst []T, raw []byte) {
+	es := SizeOf[T]()
+	if len(raw) != len(dst)*es {
+		panic(fmt.Sprintf("mp: DecodeElemsInto: %d raw bytes for %d elements of %d bytes", len(raw), len(dst), es))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(raw)), raw)
+}
+
+// MarshalPayload renders an mp payload as native-order bytes for a real
+// transport. It handles every slice type the Elem constraint admits
+// (including named types, via the reflection-free unsafe view: all Elem
+// instantiations are fixed-size numerics). isNil preserves the nil/empty
+// distinction that token messages rely on.
+func MarshalPayload(payload any) (data []byte, isNil bool) {
+	switch p := payload.(type) {
+	case nil:
+		return nil, true
+	case RawPayload:
+		return p, false
+	case []float64:
+		return AppendElems(nil, p), false
+	case []float32:
+		return AppendElems(nil, p), false
+	case []int64:
+		return AppendElems(nil, p), false
+	case []int32:
+		return AppendElems(nil, p), false
+	case []int:
+		return AppendElems(nil, p), false
+	case []uint64:
+		return AppendElems(nil, p), false
+	case []uint8:
+		return AppendElems(nil, p), false
+	default:
+		// Named Elem types (~float64 etc.) land here; their memory layout
+		// is the underlying numeric's.
+		rv := reflect.ValueOf(payload)
+		if rv.Kind() != reflect.Slice {
+			panic(fmt.Sprintf("mp: cannot marshal payload of type %T for a byte transport", payload))
+		}
+		switch rv.Type().Elem().Kind() {
+		case reflect.Float64, reflect.Float32, reflect.Int64, reflect.Int32,
+			reflect.Int, reflect.Uint64, reflect.Uint8:
+		default:
+			panic(fmt.Sprintf("mp: cannot marshal payload of type %T for a byte transport", payload))
+		}
+		n := rv.Len() * int(rv.Type().Elem().Size())
+		if n == 0 {
+			return []byte{}, false
+		}
+		return append([]byte(nil), unsafe.Slice((*byte)(rv.UnsafePointer()), n)...), false
+	}
+}

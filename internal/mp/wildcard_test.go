@@ -1,0 +1,118 @@
+package mp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"ppm/internal/cluster"
+	"ppm/internal/machine"
+)
+
+// Wildcard receives and the reserved-tag boundary are load-bearing for
+// the collectives (Bcast receives from AnySource under a reserved tag)
+// and for the distributed runtime's endpoint mailbox, so they get
+// dedicated coverage here.
+
+func TestRecvAnySource(t *testing.T) {
+	runAll(t, 4, func(c *Comm) {
+		if c.Rank() != 0 {
+			Send(c, 0, 7, []int{c.Rank() * 100})
+			return
+		}
+		var got []int
+		for i := 0; i < 3; i++ {
+			got = append(got, Recv[int](c, AnySource, 7)...)
+		}
+		sort.Ints(got)
+		if !reflect.DeepEqual(got, []int{100, 200, 300}) {
+			panic(fmt.Sprint("AnySource payloads ", got))
+		}
+	})
+}
+
+func TestRecvAnyTagDeliversInSendOrder(t *testing.T) {
+	runAll(t, 2, func(c *Comm) {
+		if c.Rank() == 1 {
+			for _, tag := range []int{3, 5, 9} {
+				Send(c, 0, tag, []int{tag})
+			}
+			return
+		}
+		// One sender: eager sends arrive in program order, and a
+		// wildcard-tag receive matches the oldest queued message.
+		for _, want := range []int{3, 5, 9} {
+			if got := Recv[int](c, 1, AnyTag); got[0] != want {
+				panic(fmt.Sprintf("AnyTag got %d, want %d", got[0], want))
+			}
+		}
+	})
+}
+
+func TestRecvDoubleWildcard(t *testing.T) {
+	runAll(t, 3, func(c *Comm) {
+		if c.Rank() != 0 {
+			Send(c, 0, 10+c.Rank(), []int{c.Rank()})
+			return
+		}
+		got := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			got[Recv[int](c, AnySource, AnyTag)[0]] = true
+		}
+		if !got[1] || !got[2] {
+			panic(fmt.Sprint("double wildcard missed a sender: ", got))
+		}
+	})
+}
+
+// TestReservedTagBoundary pins the exact edge: the last user tag works
+// end to end, the first reserved tag panics on both Send and Recv.
+func TestReservedTagBoundary(t *testing.T) {
+	runAll(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, tagReserved-1, []int{42})
+		} else {
+			if got := Recv[int](c, 0, tagReserved-1); got[0] != 42 {
+				panic(fmt.Sprint("boundary-tag payload ", got))
+			}
+		}
+	})
+	for _, op := range []struct {
+		name string
+		body func(c *Comm)
+	}{
+		{"send", func(c *Comm) { Send(c, 0, tagReserved, []int{1}) }},
+		{"recv", func(c *Comm) { Recv[int](c, 0, tagReserved) }},
+		{"negative", func(c *Comm) { Send(c, 0, -2, []int{1}) }},
+	} {
+		_, err := cluster.Run(cluster.Config{Procs: 1, ProcsPerNode: 1, Machine: machine.Generic()},
+			func(p *cluster.Proc) { op.body(New(p)) })
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s with out-of-range tag: expected panic, got %v", op.name, err)
+		}
+	}
+}
+
+// TestUserTrafficInvisibleToCollectives checks the boundary's purpose: a
+// queued user message must not be matched by a collective's internal
+// wildcard-source receive under a reserved tag.
+func TestUserTrafficInvisibleToCollectives(t *testing.T) {
+	runAll(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 5, []int{99}) // parked in rank 1's mailbox
+		}
+		// Bcast's non-root receive is Recv(AnySource, reservedTag): it
+		// must skip the pending tag-5 user message on rank 1.
+		got := Bcast(c, 0, []int{7})
+		if got[0] != 7 {
+			panic(fmt.Sprint("bcast returned ", got))
+		}
+		if c.Rank() == 1 {
+			if got := Recv[int](c, 0, 5); got[0] != 99 {
+				panic(fmt.Sprint("user message clobbered: ", got))
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package wire defines the binary protocol of the distributed PPM
+// runtime: length-prefixed frames carrying the handshake, node-level
+// messages (point-to-point sends, reduction and barrier tokens travel as
+// ordinary tagged messages), bundled remote reads, phase-commit deltas,
+// and abort notices.
+//
+// Framing is deliberately minimal: a 4-byte little-endian total length,
+// one kind byte, and a kind-specific payload. Frame headers and message
+// headers are little-endian (or uvarint) so they are unambiguous on the
+// wire; element payloads travel in native byte order, which the
+// handshake verifies is the same on both ends (the launcher only spawns
+// localhost processes, but the check keeps the failure mode honest).
+//
+// Commit deltas use a run-length grammar mirroring the runtime's staged
+// write records, so the distributed commit applies exactly the runs the
+// in-process commit would:
+//
+//	stream := block*
+//	block  := uvarint(arrayID) uvarint(nRuns) run^nRuns
+//	run    := u8(flags) uvarint(lo) uvarint(n) uvarint(writer) n*elemBytes
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// Protocol identity, checked during the handshake.
+const (
+	Magic   = 0x5050_4d31 // "PPM1"
+	Version = 1
+)
+
+// MaxFrame bounds one frame (length prefix excluded); a peer announcing
+// more is protocol corruption, not a large payload.
+const MaxFrame = 1 << 30
+
+// Frame kinds.
+const (
+	KindHello      = byte(iota + 1) // dialer's handshake
+	KindHelloAck                    // acceptor's handshake reply
+	KindMsg                         // tagged node-level message (mp traffic)
+	KindReadReq                     // bundled remote read request
+	KindReadResp                    // remote read reply
+	KindCommitData                  // one chunk of a phase-commit delta
+	KindCommitEnd                   // end of a peer's delta for one phase
+	KindAbort                       // fatal error broadcast
+	KindBye                         // orderly shutdown announcement (empty payload)
+)
+
+// NativeLittleEndian reports the host's element byte order, exchanged in
+// the handshake.
+func NativeLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// AppendFrame appends a complete frame (length prefix, kind, payload) to
+// buf and returns the extended slice.
+func AppendFrame(buf []byte, kind byte, payload []byte) []byte {
+	total := 1 + len(payload)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(total))
+	buf = append(buf, kind)
+	return append(buf, payload...)
+}
+
+// ReadFrame reads one frame from br, returning its kind and payload. The
+// payload is freshly allocated (the caller may retain it).
+func ReadFrame(br *bufio.Reader) (kind byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	total := binary.LittleEndian.Uint32(hdr[:])
+	if total < 1 || total > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range [1, %d]", total, MaxFrame)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// Hello is the handshake payload exchanged on every connection before
+// any traffic; both ends verify magic, version, byte order, and the
+// cluster shape.
+type Hello struct {
+	Rank         int
+	Nodes        int
+	LittleEndian bool
+}
+
+// EncodeHello builds a Hello (or HelloAck) payload.
+func EncodeHello(h Hello) []byte {
+	buf := make([]byte, 0, 15)
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	e := byte(0)
+	if h.LittleEndian {
+		e = 1
+	}
+	buf = append(buf, e)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Rank))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Nodes))
+	return buf
+}
+
+// DecodeHello parses and validates a Hello payload against this side's
+// view of the cluster.
+func DecodeHello(p []byte, wantNodes int) (Hello, error) {
+	if len(p) != 15 {
+		return Hello{}, fmt.Errorf("wire: hello payload is %d bytes, want 15", len(p))
+	}
+	if m := binary.LittleEndian.Uint32(p[0:]); m != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic %#x (not a PPM node?)", m)
+	}
+	if v := binary.LittleEndian.Uint16(p[4:]); v != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version mismatch: peer %d, local %d", v, Version)
+	}
+	h := Hello{
+		LittleEndian: p[6] == 1,
+		Rank:         int(int32(binary.LittleEndian.Uint32(p[7:]))),
+		Nodes:        int(int32(binary.LittleEndian.Uint32(p[11:]))),
+	}
+	if h.LittleEndian != NativeLittleEndian() {
+		return Hello{}, fmt.Errorf("wire: byte-order mismatch with peer rank %d", h.Rank)
+	}
+	if h.Nodes != wantNodes {
+		return Hello{}, fmt.Errorf("wire: peer rank %d believes the cluster has %d nodes, local says %d", h.Rank, h.Nodes, wantNodes)
+	}
+	if h.Rank < 0 || h.Rank >= wantNodes {
+		return Hello{}, fmt.Errorf("wire: peer rank %d out of range [0, %d)", h.Rank, wantNodes)
+	}
+	return h, nil
+}
+
+// EncodeMsg builds a Msg payload: a tagged message with an optional data
+// body. hasData distinguishes an empty payload from a nil one (barrier
+// and other token messages are nil).
+func EncodeMsg(tag int64, data []byte, hasData bool) []byte {
+	buf := make([]byte, 0, 9+len(data))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tag))
+	b := byte(0)
+	if hasData {
+		b = 1
+	}
+	buf = append(buf, b)
+	return append(buf, data...)
+}
+
+// DecodeMsg parses a Msg payload. data aliases p.
+func DecodeMsg(p []byte) (tag int64, data []byte, hasData bool, err error) {
+	if len(p) < 9 {
+		return 0, nil, false, fmt.Errorf("wire: msg payload is %d bytes, want >= 9", len(p))
+	}
+	tag = int64(binary.LittleEndian.Uint64(p))
+	hasData = p[8] == 1
+	if !hasData && len(p) != 9 {
+		return 0, nil, false, fmt.Errorf("wire: nil-payload msg carries %d data bytes", len(p)-9)
+	}
+	return tag, p[9:], hasData, nil
+}
+
+// EncodeReadReq builds a ReadReq payload: fetch elements [lo, hi) of the
+// identified shared array from their owner.
+func EncodeReadReq(id uint64, array, lo, hi int) []byte {
+	buf := make([]byte, 0, 28)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(array))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lo))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(hi))
+	return buf
+}
+
+// DecodeReadReq parses a ReadReq payload.
+func DecodeReadReq(p []byte) (id uint64, array, lo, hi int, err error) {
+	if len(p) != 28 {
+		return 0, 0, 0, 0, fmt.Errorf("wire: read request is %d bytes, want 28", len(p))
+	}
+	id = binary.LittleEndian.Uint64(p)
+	array = int(int32(binary.LittleEndian.Uint32(p[8:])))
+	lo = int(int64(binary.LittleEndian.Uint64(p[12:])))
+	hi = int(int64(binary.LittleEndian.Uint64(p[20:])))
+	return id, array, lo, hi, nil
+}
+
+// EncodeReadResp builds a ReadResp payload carrying the requested bytes.
+func EncodeReadResp(id uint64, data []byte) []byte {
+	buf := make([]byte, 0, 8+len(data))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, data...)
+}
+
+// DecodeReadResp parses a ReadResp payload. data aliases p.
+func DecodeReadResp(p []byte) (id uint64, data []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("wire: read response is %d bytes, want >= 8", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// EncodeCommitData builds a CommitData payload: one chunk of the commit
+// stream for the given phase sequence number.
+func EncodeCommitData(phase int64, chunk []byte) []byte {
+	buf := make([]byte, 0, 8+len(chunk))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(phase))
+	return append(buf, chunk...)
+}
+
+// DecodeCommitData parses a CommitData payload. chunk aliases p.
+func DecodeCommitData(p []byte) (phase int64, chunk []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("wire: commit chunk is %d bytes, want >= 8", len(p))
+	}
+	return int64(binary.LittleEndian.Uint64(p)), p[8:], nil
+}
+
+// EncodeCommitEnd builds a CommitEnd payload.
+func EncodeCommitEnd(phase int64) []byte {
+	return binary.LittleEndian.AppendUint64(make([]byte, 0, 8), uint64(phase))
+}
+
+// DecodeCommitEnd parses a CommitEnd payload.
+func DecodeCommitEnd(p []byte) (phase int64, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("wire: commit end is %d bytes, want 8", len(p))
+	}
+	return int64(binary.LittleEndian.Uint64(p)), nil
+}
+
+// EncodeAbort builds an Abort payload from the fatal error's message.
+func EncodeAbort(msg string) []byte { return []byte(msg) }
+
+// DecodeAbort parses an Abort payload.
+func DecodeAbort(p []byte) string { return string(p) }
+
+// RunHeader describes one run of a commit block: n consecutive elements
+// starting at lo, written (or added, per Add) by the identified writer.
+type RunHeader struct {
+	Lo, N  int
+	Writer int64
+	Add    bool
+}
+
+const runFlagAdd = 1
+
+// AppendBlockHeader starts a commit block for one array.
+func AppendBlockHeader(buf []byte, array, nRuns int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(array))
+	return binary.AppendUvarint(buf, uint64(nRuns))
+}
+
+// AppendRunHeader appends one run header; the caller appends the run's
+// n*elemBytes of native-order element bytes immediately after.
+func AppendRunHeader(buf []byte, h RunHeader) []byte {
+	flags := byte(0)
+	if h.Add {
+		flags = runFlagAdd
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(h.Lo))
+	buf = binary.AppendUvarint(buf, uint64(h.N))
+	return binary.AppendUvarint(buf, uint64(h.Writer))
+}
+
+// CommitReader iterates a commit stream (the concatenation of a peer's
+// CommitData chunks for one phase).
+type CommitReader struct {
+	data []byte
+	off  int
+}
+
+// NewCommitReader wraps a complete commit stream.
+func NewCommitReader(data []byte) *CommitReader { return &CommitReader{data: data} }
+
+// More reports whether another block follows.
+func (r *CommitReader) More() bool { return r.off < len(r.data) }
+
+func (r *CommitReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: corrupt commit stream at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Block reads the next block header.
+func (r *CommitReader) Block() (array, nRuns int, err error) {
+	a, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(a), int(n), nil
+}
+
+// Run reads the next run of the current block; raw holds the run's
+// n*elemBytes element bytes and aliases the stream.
+func (r *CommitReader) Run(elemBytes int) (h RunHeader, raw []byte, err error) {
+	if r.off >= len(r.data) {
+		return h, nil, fmt.Errorf("wire: commit stream ends inside a block")
+	}
+	h.Add = r.data[r.off]&runFlagAdd != 0
+	r.off++
+	lo, err := r.uvarint()
+	if err != nil {
+		return h, nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return h, nil, err
+	}
+	w, err := r.uvarint()
+	if err != nil {
+		return h, nil, err
+	}
+	h.Lo, h.N, h.Writer = int(lo), int(n), int64(w)
+	nb := h.N * elemBytes
+	if h.N < 0 || nb < 0 || r.off+nb > len(r.data) {
+		return h, nil, fmt.Errorf("wire: commit run of %d elements overruns the stream", h.N)
+	}
+	raw = r.data[r.off : r.off+nb]
+	r.off += nb
+	return h, raw, nil
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func roundtripFrame(t *testing.T, kind byte, payload []byte) []byte {
+	t.Helper()
+	framed := AppendFrame(nil, kind, payload)
+	gotKind, gotPayload, err := ReadFrame(bufio.NewReader(bytes.NewReader(framed)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if gotKind != kind {
+		t.Fatalf("kind = %d, want %d", gotKind, kind)
+	}
+	return gotPayload
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 4096)} {
+		got := roundtripFrame(t, KindMsg, payload)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestFrameStreamsBackToBack(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, KindMsg, []byte("one"))
+	buf = AppendFrame(buf, KindCommitEnd, EncodeCommitEnd(7))
+	br := bufio.NewReader(bytes.NewReader(buf))
+	k1, p1, err := ReadFrame(br)
+	if err != nil || k1 != KindMsg || string(p1) != "one" {
+		t.Fatalf("first frame = (%d, %q, %v)", k1, p1, err)
+	}
+	k2, p2, err := ReadFrame(br)
+	if err != nil || k2 != KindCommitEnd {
+		t.Fatalf("second frame = (%d, %v)", k2, err)
+	}
+	if phase, err := DecodeCommitEnd(p2); err != nil || phase != 7 {
+		t.Fatalf("commit end = (%d, %v)", phase, err)
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncatedAndOversized(t *testing.T) {
+	full := AppendFrame(nil, KindMsg, []byte("payload"))
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:len(full)-3]))); err == nil {
+		t.Fatal("truncated frame: want error")
+	}
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge[:]))); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("oversized frame err = %v", err)
+	}
+	var zero [4]byte
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(zero[:]))); err == nil {
+		t.Fatal("zero-length frame: want error")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Rank: 3, Nodes: 8, LittleEndian: NativeLittleEndian()}
+	got, err := DecodeHello(EncodeHello(h), 8)
+	if err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+	if got != h {
+		t.Fatalf("hello = %+v, want %+v", got, h)
+	}
+	if _, err := DecodeHello(EncodeHello(h), 4); err == nil {
+		t.Fatal("node-count mismatch: want error")
+	}
+	bad := EncodeHello(h)
+	bad[0]++
+	if _, err := DecodeHello(bad, 8); err == nil {
+		t.Fatal("bad magic: want error")
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	tag, data, hasData, err := DecodeMsg(EncodeMsg(42, []byte{9, 8, 7}, true))
+	if err != nil || tag != 42 || !hasData || !bytes.Equal(data, []byte{9, 8, 7}) {
+		t.Fatalf("msg = (%d, %v, %v, %v)", tag, data, hasData, err)
+	}
+	// Nil payload (a barrier token) is distinguishable from empty data.
+	tag, data, hasData, err = DecodeMsg(EncodeMsg(1<<24, nil, false))
+	if err != nil || tag != 1<<24 || hasData || len(data) != 0 {
+		t.Fatalf("nil msg = (%d, %v, %v, %v)", tag, data, hasData, err)
+	}
+	if _, _, _, err := DecodeMsg([]byte{1, 2}); err == nil {
+		t.Fatal("short msg: want error")
+	}
+}
+
+func TestReadReqRespRoundTrip(t *testing.T) {
+	id, array, lo, hi, err := DecodeReadReq(EncodeReadReq(99, 2, 10, 250))
+	if err != nil || id != 99 || array != 2 || lo != 10 || hi != 250 {
+		t.Fatalf("read req = (%d, %d, %d, %d, %v)", id, array, lo, hi, err)
+	}
+	gotID, data, err := DecodeReadResp(EncodeReadResp(99, []byte{5, 6}))
+	if err != nil || gotID != 99 || !bytes.Equal(data, []byte{5, 6}) {
+		t.Fatalf("read resp = (%d, %v, %v)", gotID, data, err)
+	}
+}
+
+func TestCommitStreamRoundTrip(t *testing.T) {
+	vals := []float64{1.5, math.Pi, -0.25}
+	raw := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	var buf []byte
+	buf = AppendBlockHeader(buf, 4, 2)
+	buf = AppendRunHeader(buf, RunHeader{Lo: 100, N: 3, Writer: (2 << 32) | 7})
+	buf = append(buf, raw...)
+	buf = AppendRunHeader(buf, RunHeader{Lo: 0, N: 1, Writer: 1, Add: true})
+	buf = append(buf, raw[:8]...)
+	buf = AppendBlockHeader(buf, 9, 0)
+
+	r := NewCommitReader(buf)
+	if !r.More() {
+		t.Fatal("More() = false on non-empty stream")
+	}
+	array, nRuns, err := r.Block()
+	if err != nil || array != 4 || nRuns != 2 {
+		t.Fatalf("block 1 = (%d, %d, %v)", array, nRuns, err)
+	}
+	h, b, err := r.Run(8)
+	if err != nil || h.Lo != 100 || h.N != 3 || h.Writer != (2<<32)|7 || h.Add || !bytes.Equal(b, raw) {
+		t.Fatalf("run 1 = (%+v, %v)", h, err)
+	}
+	h, b, err = r.Run(8)
+	if err != nil || h.Lo != 0 || h.N != 1 || !h.Add || !bytes.Equal(b, raw[:8]) {
+		t.Fatalf("run 2 = (%+v, %v)", h, err)
+	}
+	array, nRuns, err = r.Block()
+	if err != nil || array != 9 || nRuns != 0 {
+		t.Fatalf("block 2 = (%d, %d, %v)", array, nRuns, err)
+	}
+	if r.More() {
+		t.Fatal("More() = true at end of stream")
+	}
+}
+
+func TestCommitStreamCorruption(t *testing.T) {
+	var buf []byte
+	buf = AppendBlockHeader(buf, 1, 1)
+	buf = AppendRunHeader(buf, RunHeader{Lo: 0, N: 10, Writer: 0})
+	// Run claims 10 elements but carries only 4 bytes.
+	buf = append(buf, 1, 2, 3, 4)
+	r := NewCommitReader(buf)
+	if _, _, err := r.Block(); err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	if _, _, err := r.Run(8); err == nil {
+		t.Fatal("overrunning run: want error")
+	}
+	if _, _, err := NewCommitReader([]byte{0x80}).Block(); err == nil {
+		t.Fatal("corrupt uvarint: want error")
+	}
+}
