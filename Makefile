@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel dist-smoke figures
+.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel dist-smoke chaos figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends) and race-test.
@@ -54,6 +54,13 @@ bench-parallel:
 dist-smoke:
 	$(GO) build -o bin/ ./cmd/ppm-run ./cmd/ppm-node
 	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6
+
+## chaos: the seeded fault matrix under the race detector — injected
+## drop/delay/dup/trunc/partition/kill faults against real ppm-node
+## fleets, plus the kill-recovery and fast-partition-abort scenarios.
+## Deterministic (seeded rng streams), so a failure replays exactly.
+chaos:
+	PPM_CHAOS=1 $(GO) test -race -run 'TestChaosMatrix|TestSubprocessKillRecovery|TestSubprocessPartitionAborts|TestHeartbeat|TestFetchTimeout|TestCommitWaitTimeout' -v ./internal/dist/
 
 ## figures: print the paper's figure sweeps.
 figures:

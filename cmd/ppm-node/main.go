@@ -15,9 +15,16 @@
 // Usage:
 //
 //	ppm-node -rank R -nodes N -rendezvous DIR [-listen 127.0.0.1:0]
+//	         [-run-id ID] [-hb-interval 500ms] [-hb-timeout 5s]
+//	         [-op-timeout 60s] [-checkpoint-dir DIR [-checkpoint-every K] [-restore]]
 //	         -app cg|colloc|nbody|jacobi|search [-cores 4]
 //	         [-no-bundling] [-no-overlap] [-no-readcache] [-static]
 //	         [app-specific flags, see -h]
+//
+// A silent or crashed peer is detected by the engine's heartbeat/deadline
+// machinery and aborts the run with an error naming the rank, rather than
+// hanging. The PPM_FAULT environment variable injects deterministic
+// faults for chaos testing (see internal/faultinject).
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"ppm/internal/apps/search"
 	"ppm/internal/core"
 	"ppm/internal/dist"
+	"ppm/internal/faultinject"
 	"ppm/internal/machine"
 )
 
@@ -44,6 +52,14 @@ func main() {
 	listen := flag.String("listen", "", "TCP listen address (default 127.0.0.1:0)")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "deadline for the full mesh to come up")
 	bundleBytes := flag.Int("bundle-bytes", 0, "wire-level bundle coalescing threshold in bytes (default 8192)")
+	runID := flag.String("run-id", "", "launch identity tag; rendezvous files from other launches are ignored")
+	hbInterval := flag.Duration("hb-interval", 0, "failure-detector probe interval on idle links (default 500ms, negative disables)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "declare a silent peer dead after this long (default 5s, negative disables)")
+	opTimeout := flag.Duration("op-timeout", 0, "deadline for one remote read or commit wait (default 60s, negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "shutdown bye-exchange drain bound (default 10s)")
+	ckptDir := flag.String("checkpoint-dir", "", "write phase-boundary checkpoints into this directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "minimum committed global phases between checkpoints (default 1)")
+	restore := flag.Bool("restore", false, "resume from the newest checkpoint all ranks hold in -checkpoint-dir")
 
 	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search")
 	cores := flag.Int("cores", 4, "cores per node (VP scheduling width)")
@@ -106,14 +122,30 @@ func main() {
 		NoReadCache:    *noReadCache,
 		StaticSchedule: *static,
 	}
+	if *ckptDir != "" {
+		opt.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, EveryPhases: *ckptEvery, Restore: *restore}
+	}
+
+	// Fault injection (chaos testing): PPM_FAULT carries the spec,
+	// PPM_FAULT_ATTEMPT the supervisor's relaunch count.
+	plan, err := faultinject.FromEnv(*rank)
+	if err != nil {
+		fail(err)
+	}
 
 	eng, err := dist.Connect(dist.Config{
-		Rank:           *rank,
-		Nodes:          *nodes,
-		RendezvousDir:  *rendezvous,
-		ListenAddr:     *listen,
-		BundleBytes:    *bundleBytes,
-		ConnectTimeout: *connectTimeout,
+		Rank:              *rank,
+		Nodes:             *nodes,
+		RendezvousDir:     *rendezvous,
+		ListenAddr:        *listen,
+		BundleBytes:       *bundleBytes,
+		ConnectTimeout:    *connectTimeout,
+		RunID:             *runID,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+		OpTimeout:         *opTimeout,
+		DrainTimeout:      *drainTimeout,
+		Faults:            plan,
 	})
 	if err != nil {
 		fail(err)

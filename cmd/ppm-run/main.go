@@ -14,8 +14,15 @@
 //	ppm-run -app cg|colloc|nbody|jacobi|search [-model ppm|mpi] [-nodes 8] [-cores 4]
 //	        [-no-bundling] [-no-overlap] [-no-readcache] [-static] [-smartmap]
 //	        [-parallel] [-distributed [-node-bin path/to/ppm-node]]
+//	        [-max-restarts N] [-checkpoint-dir DIR [-checkpoint-every K]]
+//	        [-hb-interval D] [-hb-timeout D] [-op-timeout D]
 //	        [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	        [app-specific flags, see -h]
+//
+// With -max-restarts the distributed launcher supervises the fleet: when
+// a rank dies the survivors self-abort (failure detector), everything is
+// relaunched, and — with -checkpoint-dir — the new fleet resumes from
+// the last checkpoint every rank completed, bit-identically.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"time"
 
 	"ppm/internal/apps/cg"
 	"ppm/internal/apps/colloc"
@@ -92,6 +100,12 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the simulator on the parallel host scheduler (bit-identical results)")
 	distributed := flag.Bool("distributed", false, "run as real node processes over loopback TCP instead of the simulator (PPM)")
 	nodeBin := flag.String("node-bin", "", "ppm-node binary for -distributed (default: next to this binary, else $PATH)")
+	maxRestarts := flag.Int("max-restarts", 0, "distributed: relaunch the fleet up to this many times after a rank failure")
+	ckptDir := flag.String("checkpoint-dir", "", "distributed: write phase-boundary checkpoints here; restarts resume from them")
+	ckptEvery := flag.Int("checkpoint-every", 0, "distributed: minimum committed global phases between checkpoints (default 1)")
+	hbInterval := flag.Duration("hb-interval", 0, "distributed: failure-detector probe interval (node default 500ms, negative disables)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "distributed: declare a silent peer dead after this long (node default 5s)")
+	opTimeout := flag.Duration("op-timeout", 0, "distributed: deadline for one remote read or commit wait (node default 60s)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -134,7 +148,17 @@ func main() {
 				args = append(args, f.name)
 			}
 		}
-		runDistributed(*app, *nodes, *nodeBin, args, distParams{
+		for _, d := range []struct {
+			v    time.Duration
+			name string
+		}{{*hbInterval, "-hb-interval"}, {*hbTimeout, "-hb-timeout"}, {*opTimeout, "-op-timeout"}} {
+			if d.v != 0 {
+				args = append(args, d.name, d.v.String())
+			}
+		}
+		runDistributed(*app, *nodes, *nodeBin, args, launchCfg{
+			maxRestarts: *maxRestarts, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+		}, distParams{
 			cgGrid: *cgGrid, cgIters: *cgIters,
 			collocLevels: *collocLevels, collocM0: *collocM0,
 			bhN: *bhN, bhSteps: *bhSteps,
@@ -307,15 +331,30 @@ func findNodeBin(explicit string) (string, error) {
 	return "", fmt.Errorf("ppm-node binary not found (build it with `go build ./cmd/ppm-node` and pass -node-bin, or put it next to ppm-run)")
 }
 
+// launchCfg carries the supervision flags into the distributed path.
+type launchCfg struct {
+	maxRestarts int
+	ckptDir     string
+	ckptEvery   int
+}
+
 // runDistributed forks one ppm-node per node over loopback TCP, merges
 // the per-rank results, and prints the same summary the simulator path
-// would.
-func runDistributed(app string, nodes int, nodeBin string, nodeArgs []string, d distParams) {
+// would. With -max-restarts the launcher supervises: a failed fleet is
+// relaunched (resuming from -checkpoint-dir when set) until an attempt
+// succeeds or the budget is spent.
+func runDistributed(app string, nodes int, nodeBin string, nodeArgs []string, lc launchCfg, d distParams) {
 	spec, err := d.spec(app)
 	exitOn(err)
 	bin, err := findNodeBin(nodeBin)
 	exitOn(err)
-	results, err := dist.LaunchLocal(dist.LaunchOpts{Nodes: nodes, NodeBin: bin, NodeArgs: nodeArgs})
+	results, err := dist.LaunchLocal(dist.LaunchOpts{
+		Nodes: nodes, NodeBin: bin, NodeArgs: nodeArgs,
+		MaxRestarts: lc.maxRestarts, CheckpointDir: lc.ckptDir, CheckpointEvery: lc.ckptEvery,
+		OnRestart: func(attempt int, cause error) {
+			fmt.Fprintf(os.Stderr, "ppm-run: supervisor: relaunching fleet (attempt %d) after: %v\n", attempt, cause)
+		},
+	})
 	exitOn(err)
 	m, err := dist.Merge(spec, results)
 	exitOn(err)

@@ -25,7 +25,16 @@ func RunPPMOn(run core.Runner, opt core.Options, p Params) ([]float64, *core.Rep
 		lo, hi := u.OwnerRange(rt)
 		nLocal := hi - lo
 		k := rt.CoresPerNode() * 4
-		for s := 0; s < p.Sweeps; s++ {
+		// Checkpoint-aware outer loop: the tag is the number of completed
+		// sweeps, so a restored run fast-forwards past them (one sweep is
+		// one global phase; the array state carries everything else).
+		// Under the simulator, or without checkpointing configured, both
+		// calls are no-ops and the loop runs from 0 as always.
+		start := 0
+		if tag, ok := rt.RestoreCheckpoint(); ok {
+			start = int(tag)
+		}
+		for s := start; s < p.Sweeps; s++ {
 			rt.Do(k, func(vp *core.VP) {
 				vp.GlobalPhase(func() {
 					vlo, vhi := core.ChunkRange(nLocal, k, vp.NodeRank())
@@ -37,6 +46,7 @@ func RunPPMOn(run core.Runner, opt core.Options, p Params) ([]float64, *core.Rep
 					vp.ChargeFlops(int64(relaxFlops * (vhi - vlo)))
 				})
 			})
+			rt.MaybeCheckpoint(int64(s + 1))
 		}
 		rt.Barrier()
 		if rt.NodeID() == 0 {

@@ -434,6 +434,27 @@ func (g *Global[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wir
 	return elems, strictErr, nil
 }
 
+// encodeCheckpoint implements registeredArray: this node's partition as
+// a single commit-grammar run (an empty partition is a zero-run block,
+// kept so restore walks every array uniformly).
+func (g *Global[T]) encodeCheckpoint(node int, buf []byte) []byte {
+	lo, hi := g.part.Range(node)
+	if hi <= lo {
+		return wire.AppendBlockHeader(buf, g.id, 0)
+	}
+	buf = wire.AppendBlockHeader(buf, g.id, 1)
+	buf = wire.AppendRunHeader(buf, wire.RunHeader{Lo: lo, N: hi - lo, Writer: int64(node)})
+	return mp.AppendElems(buf, g.base[lo:hi])
+}
+
+// restoreCheckpoint implements registeredArray: reinstall a checkpoint
+// block through the same run-apply path commits use (non-strict: a
+// checkpoint is committed state, not a phase's writes).
+func (g *Global[T]) restoreCheckpoint(node int, rd *wire.CommitReader, nRuns int) error {
+	_, _, err := g.applyWireRuns(node, false, 0, rd, nRuns)
+	return err
+}
+
 // distFetch ensures [lo, hi) of g is locally valid, fetching uncovered
 // remote subranges from their owners. The per-array cover doubles as the
 // fetch cache: within a phase a shared variable is immutable, so every
@@ -549,4 +570,39 @@ func (a *Node[T]) encodeStagedWire(self, dst int, buf []byte) []byte { return bu
 
 func (a *Node[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (int, error, error) {
 	return 0, nil, fmt.Errorf("core: commit delta addressed to node-shared %q", a.name)
+}
+
+// encodeCheckpoint: node arrays never cross the wire mid-run, but their
+// local instance is part of this rank's committed state, so checkpoints
+// carry it — the full [0, n) image.
+func (a *Node[T]) encodeCheckpoint(node int, buf []byte) []byte {
+	if a.n == 0 {
+		return wire.AppendBlockHeader(buf, a.id, 0)
+	}
+	buf = wire.AppendBlockHeader(buf, a.id, 1)
+	buf = wire.AppendRunHeader(buf, wire.RunHeader{Lo: 0, N: a.n, Writer: int64(node)})
+	return mp.AppendElems(buf, a.base[node])
+}
+
+func (a *Node[T]) restoreCheckpoint(node int, rd *wire.CommitReader, nRuns int) error {
+	var scratch []T
+	for i := 0; i < nRuns; i++ {
+		h, raw, err := rd.Run(a.es)
+		if err != nil {
+			return err
+		}
+		if h.Lo < 0 || h.N < 0 || h.Lo+h.N > a.n {
+			return fmt.Errorf("core: checkpoint run for %s[%d:%d) out of range [0,%d)", a.name, h.Lo, h.Lo+h.N, a.n)
+		}
+		if cap(scratch) < h.N {
+			scratch = make([]T, h.N)
+		}
+		vals := scratch[:h.N]
+		mp.DecodeElemsInto(vals, raw)
+		sr := stageRec[T]{lo: h.Lo, n: h.N, vals: vals, add: h.Add, writer: h.Writer}
+		if err := a.applyRun(node, false, 0, &sr); err != nil {
+			return err
+		}
+	}
+	return nil
 }

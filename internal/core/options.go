@@ -77,6 +77,30 @@ type Options struct {
 	// Observer, if non-nil, receives structured cluster events (sends,
 	// receives, barriers, exits) for the trace/timeline tooling.
 	Observer func(cluster.Event)
+
+	// Checkpoint enables phase-boundary checkpoint/restart in distributed
+	// runs (RunDist); the simulator ignores it, so checkpoint-aware
+	// programs run unchanged under both backends.
+	Checkpoint *CheckpointConfig
+}
+
+// CheckpointConfig configures phase-boundary checkpoint/restart. Each
+// rank serializes its committed shared-array state plus phase counter
+// and NodeStats to a per-rank file in Dir at the program's
+// Runtime.MaybeCheckpoint markers; a relaunched fleet started with
+// Restore agrees on the newest checkpoint every rank holds and resumes
+// from it (see DESIGN.md §4.10).
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory, shared by all ranks of a
+	// localhost fleet (per-rank files never collide across ranks).
+	Dir string
+	// EveryPhases is the minimum number of committed global phases
+	// between checkpoint writes (default 1: every marker that follows at
+	// least one new phase writes).
+	EveryPhases int
+	// Restore makes Runtime.RestoreCheckpoint load the newest checkpoint
+	// present on every rank; without it the marker is a no-op.
+	Restore bool
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -101,6 +125,16 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.BundleBytes < 0 {
 		return out, fmt.Errorf("core: BundleBytes must be positive, got %d", out.BundleBytes)
+	}
+	if out.Checkpoint != nil {
+		c := *out.Checkpoint
+		if c.Dir == "" {
+			return out, fmt.Errorf("core: Checkpoint.Dir must be set")
+		}
+		if c.EveryPhases <= 0 {
+			c.EveryPhases = 1
+		}
+		out.Checkpoint = &c
 	}
 	return out, nil
 }

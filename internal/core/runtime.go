@@ -44,6 +44,9 @@ type globalState struct {
 	dist    DistEngine
 	memMu   sync.RWMutex
 	memHeld bool
+	// lastCkptPhase is the phaseSeq of this rank's newest checkpoint
+	// (written or restored), driving Checkpoint.EveryPhases spacing.
+	lastCkptPhase int64
 }
 
 // noteStrict records the first strict-mode violation of the run.
@@ -75,6 +78,11 @@ type registeredArray interface {
 	installRange(lo, hi int, data []byte) error
 	encodeStagedWire(self, dst int, buf []byte) []byte
 	applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (elems int, strictErr, err error)
+
+	// Checkpoint hooks (see checkpoint.go): this node's authoritative
+	// image as one wire-grammar commit block, and its reinstallation.
+	encodeCheckpoint(node int, buf []byte) []byte
+	restoreCheckpoint(node int, rd *wire.CommitReader, nRuns int) error
 }
 
 // Runtime is one node's handle to the PPM run: the analog of the paper's

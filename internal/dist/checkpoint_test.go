@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/core"
+)
+
+// The checkpoint tests run jacobi — the checkpoint-aware app: its tag is
+// the completed-sweep count, so a restored run fast-forwards its loop —
+// over the in-process mesh and hold recovered results to the same
+// standard as everything else in this package: bit-identical to the
+// fault-free simulator run, counters included.
+
+func ckptOpt(nodes int, dir string, every int, restore bool) core.Options {
+	opt := distOpt(nodes)
+	opt.Checkpoint = &core.CheckpointConfig{Dir: dir, EveryPhases: every, Restore: restore}
+	return opt
+}
+
+func TestCheckpointWriteAndRestoreFullRun(t *testing.T) {
+	dir := t.TempDir()
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 4}
+	want, wrep, err := jacobi.RunPPM(distOpt(2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{App: "jacobi", Jacobi: prm}
+
+	m := runAppMesh(t, 2, ckptOpt(2, dir, 1, false), spec)
+	sameF64(t, "u (checkpointing run)", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+
+	// EveryPhases=1 over 4 sweeps writes tags 1..4; pruning keeps the two
+	// newest per rank.
+	for rank := 0; rank < 2; rank++ {
+		for _, tag := range []int64{3, 4} {
+			if _, err := os.Stat(filepath.Join(dir, ckptName(rank, tag))); err != nil {
+				t.Errorf("rank %d tag %d checkpoint missing: %v", rank, tag, err)
+			}
+		}
+		if n := len(globCkpts(t, dir, rank)); n != 2 {
+			t.Errorf("rank %d has %d checkpoint files, want 2 (pruned)", rank, n)
+		}
+	}
+
+	// Restore at tag 4 == Sweeps: the loop body never runs again, yet the
+	// output and every counter must match the fault-free run exactly.
+	m2 := runAppMesh(t, 2, ckptOpt(2, dir, 1, true), spec)
+	sameF64(t, "u (restored run)", m2.Jacobi, want)
+	samePerNode(t, m2.PerNode, wrep.PerNode)
+}
+
+func TestCheckpointResumeMidway(t *testing.T) {
+	dir := t.TempDir()
+	// Phase 1: a 4-sweep run leaves checkpoints at tags 2 and 4.
+	short := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 4}
+	runAppMesh(t, 2, ckptOpt(2, dir, 2, false), AppSpec{App: "jacobi", Jacobi: short})
+
+	// Phase 2: restore into a 6-sweep run — resume at sweep 4, run two
+	// more. Must equal a fresh 6-sweep run bit-for-bit, counters too:
+	// the checkpointed NodeStats make the composed run's counters the
+	// fault-free run's counters.
+	long := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 6}
+	want, wrep, err := jacobi.RunPPM(distOpt(2), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAppMesh(t, 2, ckptOpt(2, dir, 2, true), AppSpec{App: "jacobi", Jacobi: long})
+	sameF64(t, "u (resumed run)", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+}
+
+func TestRestoreWithoutCheckpointsRunsFromScratch(t *testing.T) {
+	// Restore requested but the directory is empty (a rank died before
+	// its first checkpoint, or a first launch with -restore): the
+	// degenerate recovery is a from-scratch rerun, not a failure.
+	dir := t.TempDir()
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 3}
+	want, wrep, err := jacobi.RunPPM(distOpt(2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAppMesh(t, 2, ckptOpt(2, dir, 1, true), AppSpec{App: "jacobi", Jacobi: prm})
+	sameF64(t, "u", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+}
+
+func TestRestoreFallsBackPastCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 4}
+	want, wrep, err := jacobi.RunPPM(distOpt(2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{App: "jacobi", Jacobi: prm}
+	runAppMesh(t, 2, ckptOpt(2, dir, 1, false), spec)
+
+	// Corrupt rank 0's newest checkpoint (tag 4) in the middle — the CRC
+	// rejects it, so the fleet must agree on tag 3 (still whole on both
+	// ranks) and replay sweep 4.
+	path := filepath.Join(dir, ckptName(0, 4))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := runAppMesh(t, 2, ckptOpt(2, dir, 1, true), spec)
+	sameF64(t, "u (fallback restore)", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+}
+
+func TestCheckpointNoopUnderSimulatorAndWhenUnconfigured(t *testing.T) {
+	// The same checkpoint-aware program must run unchanged under the
+	// simulator (gs.dist == nil) even with Checkpoint configured, and in
+	// distributed mode with no Checkpoint at all.
+	dir := t.TempDir()
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 3}
+	opt := distOpt(2)
+	opt.Checkpoint = &core.CheckpointConfig{Dir: dir, EveryPhases: 1, Restore: true}
+	want, _, err := jacobi.RunPPM(distOpt(2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := jacobi.RunPPM(opt, prm) // simulator path
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameF64(t, "u (simulator with checkpoint config)", got, want)
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Errorf("simulator run wrote %d checkpoint files; want none", len(ents))
+	}
+}
+
+func ckptName(rank int, tag int64) string {
+	return fmt.Sprintf("ckpt-r%d-t%d.ppmckpt", rank, tag)
+}
+
+func globCkpts(t *testing.T, dir string, rank int) []string {
+	t.Helper()
+	g, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("ckpt-r%d-t*.ppmckpt", rank)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

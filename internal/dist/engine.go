@@ -14,17 +14,21 @@ package dist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ppm/internal/cluster"
 	"ppm/internal/core"
+	"ppm/internal/faultinject"
 	"ppm/internal/mp"
+	"ppm/internal/rng"
 	"ppm/internal/wire"
 )
 
@@ -49,6 +53,28 @@ type Config struct {
 	// ConnectTimeout bounds rendezvous plus mesh establishment (default
 	// 30s).
 	ConnectTimeout time.Duration
+	// RunID tags this launch. The rendezvous publishes it in the address
+	// files and readers ignore files from a different launch, so a retried
+	// run can reuse the rendezvous dir without dialing dead addresses.
+	// Empty accepts any file (hand-started fleets).
+	RunID string
+	// HeartbeatInterval is how often an otherwise-idle link carries a
+	// Ping probe (default 500ms; negative disables the detector).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay completely silent
+	// before it is declared dead (default 5s; negative disables).
+	HeartbeatTimeout time.Duration
+	// OpTimeout bounds one remote operation: a remote read's reply, or
+	// the wait for the slowest peer's commit stream (default 60s;
+	// negative disables).
+	OpTimeout time.Duration
+	// DrainTimeout bounds the orderly bye exchange in Close — how long a
+	// surviving rank waits for peers to say goodbye before cutting the
+	// links (default 10s, the value previously hardcoded).
+	DrainTimeout time.Duration
+	// Faults, when non-nil, injects the plan's faults under this rank's
+	// wire seams. Test/chaos use only.
+	Faults *faultinject.Plan
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -73,6 +99,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ConnectTimeout <= 0 {
 		c.ConnectTimeout = 30 * time.Second
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
 	return c, nil
 }
 
@@ -82,15 +120,39 @@ type outFrame struct {
 	payload []byte
 }
 
+// kindStop is an in-process sentinel (never a wire kind, which start at
+// 1) telling a writer goroutine to flush and exit. The out channel is
+// never closed, so stray late enqueues from racing goroutines are
+// harmless instead of panics.
+const kindStop = byte(0)
+
 type peer struct {
 	id   int
 	conn net.Conn
 	br   *bufio.Reader
 	out  chan outFrame
-	// sawBye is set by the peer's reader goroutine (its only user) when
-	// the peer announces orderly shutdown: a subsequent EOF is then
-	// expected, not a failure.
-	sawBye bool
+	// sawBye is set by the peer's reader goroutine when the peer
+	// announces orderly shutdown: a subsequent EOF (and silence) is then
+	// expected, not a failure. Read by the heartbeat checker too.
+	sawBye atomic.Bool
+	// lastRecv/lastSent (unix nanos) drive the failure detector: probe
+	// when the link has been idle outbound, declare the peer dead when
+	// nothing — traffic or pong — has arrived for HeartbeatTimeout.
+	lastRecv atomic.Int64
+	lastSent atomic.Int64
+}
+
+// tryEnqueue queues a frame without blocking (pongs, abort notices,
+// heartbeat probes): if the writer is saturated the frame is dropped,
+// which is fine for traffic that is retried or best-effort.
+func (p *peer) tryEnqueue(f outFrame) bool {
+	select {
+	case p.out <- f:
+		p.lastSent.Store(time.Now().UnixNano())
+		return true
+	default:
+		return false
+	}
 }
 
 // serveReq is a peer's remote read awaiting the server goroutine.
@@ -105,6 +167,20 @@ type Engine struct {
 	rank   int
 	nodes  int
 	bundle int
+
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	opTimeout    time.Duration
+	drainTimeout time.Duration
+	faults       *faultinject.Plan
+
+	// curOp names the operation currently blocked on the mesh (one of
+	// possibly several — VPs fetch concurrently), purely to make detector
+	// errors precise. Best-effort by design.
+	curOp atomic.Value // string
+
+	hbStop chan struct{}
+	hbWg   sync.WaitGroup
 
 	ln    net.Listener
 	peers []*peer // peers[rank] == nil
@@ -143,16 +219,21 @@ func Connect(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		rank:        cfg.Rank,
-		nodes:       cfg.Nodes,
-		bundle:      cfg.BundleBytes,
-		peers:       make([]*peer, cfg.Nodes),
-		pend:        make(map[uint64]chan []byte),
-		serveCh:     make(chan serveReq, 1024),
-		serverReady: make(chan struct{}),
-		byeCh:       make(chan int, cfg.Nodes),
-		fatalCh:     make(chan struct{}),
-		done:        make(chan struct{}),
+		rank:         cfg.Rank,
+		nodes:        cfg.Nodes,
+		bundle:       cfg.BundleBytes,
+		hbInterval:   cfg.HeartbeatInterval,
+		hbTimeout:    cfg.HeartbeatTimeout,
+		opTimeout:    cfg.OpTimeout,
+		drainTimeout: cfg.DrainTimeout,
+		faults:       cfg.Faults,
+		peers:        make([]*peer, cfg.Nodes),
+		pend:         make(map[uint64]chan []byte),
+		serveCh:      make(chan serveReq, 1024),
+		serverReady:  make(chan struct{}),
+		byeCh:        make(chan int, cfg.Nodes),
+		fatalCh:      make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	e.mail.init()
 	e.commit.init(cfg.Nodes)
@@ -172,7 +253,7 @@ func Connect(cfg Config) (*Engine, error) {
 	}
 	addrs := cfg.Peers
 	if len(addrs) == 0 {
-		addrs, err = rendezvous(cfg.RendezvousDir, cfg.Rank, cfg.Nodes, e.ln.Addr().String(), deadline)
+		addrs, err = rendezvous(cfg.RendezvousDir, cfg.RunID, cfg.Rank, cfg.Nodes, e.ln.Addr().String(), deadline)
 		if err != nil {
 			e.ln.Close()
 			return nil, err
@@ -218,15 +299,23 @@ func Connect(cfg Config) (*Engine, error) {
 		e.peers[p.id] = p
 	}
 
+	now := time.Now().UnixNano()
 	for _, p := range e.peers {
 		if p == nil {
 			continue
 		}
 		p.conn.SetDeadline(time.Time{})
+		p.lastRecv.Store(now)
+		p.lastSent.Store(now)
 		e.sendWg.Add(1)
 		go e.writeLoop(p)
 		e.wg.Add(1)
 		go e.readLoop(p)
+	}
+	if e.hbInterval > 0 && e.hbTimeout > 0 {
+		e.hbStop = make(chan struct{})
+		e.hbWg.Add(1)
+		go e.heartbeatLoop()
 	}
 	e.startServer()
 	return e, nil
@@ -238,10 +327,14 @@ func (e *Engine) startServer() {
 }
 
 // rendezvous publishes this rank's address in dir and polls until every
-// rank's file is present.
-func rendezvous(dir string, rank, nodes int, addr string, deadline time.Time) ([]string, error) {
+// rank's file is present. Address files carry the launch's run-id on
+// their first line; files tagged with a different run-id are leftovers
+// from a previous launch and are ignored, so a retried launch can reuse
+// the directory without dialing dead addresses. An empty run-id accepts
+// anything (hand-started fleets).
+func rendezvous(dir, runID string, rank, nodes int, addr string, deadline time.Time) ([]string, error) {
 	tmp := filepath.Join(dir, fmt.Sprintf(".node-%d.addr.tmp", rank))
-	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+	if err := os.WriteFile(tmp, []byte(runID+"\n"+addr), 0o644); err != nil {
 		return nil, fmt.Errorf("dist: rank %d rendezvous: %w", rank, err)
 	}
 	final := filepath.Join(dir, fmt.Sprintf("node-%d.addr", rank))
@@ -250,19 +343,19 @@ func rendezvous(dir string, rank, nodes int, addr string, deadline time.Time) ([
 	}
 	addrs := make([]string, nodes)
 	addrs[rank] = addr
-	wait := time.Millisecond
+	bo := newBackoff(uint64(rank)*131 + 17)
 	for {
 		missing := -1
 		for n := 0; n < nodes; n++ {
 			if addrs[n] != "" {
 				continue
 			}
-			b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("node-%d.addr", n)))
-			if err != nil || len(b) == 0 {
+			a, ok := readAddrFile(filepath.Join(dir, fmt.Sprintf("node-%d.addr", n)), runID)
+			if !ok {
 				missing = n
 				continue
 			}
-			addrs[n] = string(b)
+			addrs[n] = a
 		}
 		if missing < 0 {
 			return addrs, nil
@@ -270,17 +363,63 @@ func rendezvous(dir string, rank, nodes int, addr string, deadline time.Time) ([
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: rank %d rendezvous: timed out waiting for rank %d in %s", rank, missing, dir)
 		}
-		time.Sleep(wait)
-		if wait < 50*time.Millisecond {
-			wait *= 2
+		time.Sleep(bo.next())
+	}
+}
+
+// readAddrFile loads one rendezvous file, rejecting files published by a
+// different launch (stale run-id) and the pre-run-id legacy format when
+// a run-id is expected.
+func readAddrFile(path, runID string) (string, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil || len(b) == 0 {
+		return "", false
+	}
+	id, addr, ok := strings.Cut(string(b), "\n")
+	if !ok {
+		// Legacy single-line file (address only, no run-id tag).
+		if runID != "" {
+			return "", false
+		}
+		return string(b), true
+	}
+	if runID != "" && id != runID {
+		return "", false
+	}
+	if addr == "" {
+		return "", false
+	}
+	return addr, true
+}
+
+// backoff is the exponential-backoff-with-jitter schedule shared by the
+// rendezvous poll and the dial retry loop: 1ms doubling to a ~1s cap,
+// each wait jittered ±50% from a per-caller deterministic stream so an
+// N-node storm neither spins the CPU nor thunders in lockstep.
+type backoff struct {
+	wait time.Duration
+	r    *rng.RNG
+}
+
+func newBackoff(salt uint64) *backoff {
+	return &backoff{wait: time.Millisecond, r: rng.New(0x9e3779b97f4a7c15).Split(salt + 1)}
+}
+
+func (b *backoff) next() time.Duration {
+	d := b.wait/2 + time.Duration(b.r.Float64()*float64(b.wait))
+	if b.wait < time.Second {
+		b.wait *= 2
+		if b.wait > time.Second {
+			b.wait = time.Second
 		}
 	}
+	return d
 }
 
 func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, error) {
 	var conn net.Conn
 	var err error
-	wait := time.Millisecond
+	bo := newBackoff(uint64(self)<<16 | uint64(target))
 	for {
 		conn, err = net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
@@ -289,10 +428,7 @@ func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, 
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: rank %d dial rank %d (%s): %w", self, target, addr, err)
 		}
-		time.Sleep(wait)
-		if wait < 50*time.Millisecond {
-			wait *= 2
-		}
+		time.Sleep(bo.next())
 	}
 	conn.SetDeadline(deadline)
 	hello := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian()})
@@ -365,10 +501,70 @@ func (e *Engine) fatalErr() error {
 	return e.fatal
 }
 
+// --- failure detector ---------------------------------------------------
+
+// setOp records (and its returned func clears) the mesh operation this
+// rank is currently blocked on, so detector errors can name it.
+func (e *Engine) setOp(op string) func() {
+	e.curOp.Store(op)
+	return func() { e.curOp.Store("") }
+}
+
+func (e *Engine) currentOp() string {
+	if s, _ := e.curOp.Load().(string); s != "" {
+		return s
+	}
+	return "local compute (no wire op in flight)"
+}
+
+// heartbeatLoop is the failure detector: it probes links that have been
+// idle outbound for HeartbeatInterval and declares a peer dead when
+// nothing at all has arrived from it for HeartbeatTimeout. Any inbound
+// frame counts as life, so probes only flow on otherwise-quiet links
+// (long pure-compute phases). A dead peer's connection is closed to
+// unblock its reader and writer goroutines.
+func (e *Engine) heartbeatLoop() {
+	defer e.hbWg.Done()
+	tick := e.hbInterval / 2
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-e.fatalCh:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		for _, p := range e.peers {
+			if p == nil || p.sawBye.Load() {
+				continue
+			}
+			silent := time.Duration(now - p.lastRecv.Load())
+			if silent > e.hbTimeout {
+				e.setFatal(fmt.Errorf("dist: rank %d: rank %d unresponsive for %v (heartbeat timeout %v) during %s",
+					e.rank, p.id, silent.Round(time.Millisecond), e.hbTimeout, e.currentOp()))
+				p.conn.Close()
+				continue
+			}
+			if time.Duration(now-p.lastSent.Load()) >= e.hbInterval {
+				p.tryEnqueue(outFrame{kind: wire.KindPing})
+			}
+		}
+	}
+}
+
 // --- per-peer goroutines ------------------------------------------------
 
 // writeLoop ships queued frames, coalescing everything already waiting
 // into one buffered write of up to BundleBytes: the wire-level bundling.
+// It exits on the kindStop sentinel (the out channel is never closed).
+// The fault-injection seam sits here, under the bundling layer, so an
+// injected drop/dup/truncation affects exactly one wire frame.
 func (e *Engine) writeLoop(p *peer) {
 	defer e.sendWg.Done()
 	bw := bufio.NewWriterSize(p.conn, 64<<10)
@@ -391,24 +587,54 @@ func (e *Engine) writeLoop(p *peer) {
 			}
 		}
 	}
-	for f := range p.out {
+	appendFrame := func(f outFrame) {
+		if e.faults != nil {
+			if e.faults.Blackholed(p.id) {
+				return
+			}
+			fault := e.faults.Frame(p.id, f.kind)
+			if fault.Delay > 0 {
+				flush()
+				time.Sleep(fault.Delay)
+			}
+			if fault.Drop {
+				return
+			}
+			if fault.Trunc && len(f.payload) > 0 {
+				// Re-framed truncation: the shortened payload gets a
+				// correct length prefix, so the receiver sees a cleanly
+				// corrupted frame (decode error) rather than a desynced
+				// byte stream that hangs in ReadFrame forever.
+				f.payload = f.payload[:len(f.payload)/2]
+			}
+			if fault.Dup {
+				buf = wire.AppendFrame(buf, f.kind, f.payload)
+			}
+		}
 		buf = wire.AppendFrame(buf, f.kind, f.payload)
+	}
+	for {
+		f := <-p.out
+		if f.kind == kindStop {
+			flush()
+			return
+		}
+		appendFrame(f)
 		more := true
 		for more && len(buf) < e.bundle {
 			select {
-			case f2, ok := <-p.out:
-				if !ok {
-					more = false
-					break
+			case f2 := <-p.out:
+				if f2.kind == kindStop {
+					flush()
+					return
 				}
-				buf = wire.AppendFrame(buf, f2.kind, f2.payload)
+				appendFrame(f2)
 			default:
 				more = false
 			}
 		}
 		flush()
 	}
-	flush()
 }
 
 // readLoop demultiplexes one peer's frames to the mailbox, the read
@@ -420,11 +646,12 @@ func (e *Engine) readLoop(p *peer) {
 		if err != nil {
 			// EOF after the peer's bye (or once we are closing ourselves)
 			// is the orderly end of the link, not a failure.
-			if !p.sawBye && !e.closing.Load() {
-				e.setFatal(fmt.Errorf("dist: rank %d: read from rank %d: %w", e.rank, p.id, err))
+			if !p.sawBye.Load() && !e.closing.Load() {
+				e.setFatal(fmt.Errorf("dist: rank %d: read from rank %d (during %s): %w", e.rank, p.id, e.currentOp(), err))
 			}
 			return
 		}
+		p.lastRecv.Store(time.Now().UnixNano())
 		switch kind {
 		case wire.KindMsg:
 			tag, data, hasData, err := wire.DecodeMsg(payload)
@@ -476,8 +703,12 @@ func (e *Engine) readLoop(p *peer) {
 		case wire.KindAbort:
 			e.setFatal(fmt.Errorf("dist: rank %d aborted: %s", p.id, wire.DecodeAbort(payload)))
 			return
+		case wire.KindPing:
+			p.tryEnqueue(outFrame{kind: wire.KindPong})
+		case wire.KindPong:
+			// lastRecv above is the whole point.
 		case wire.KindBye:
-			p.sawBye = true
+			p.sawBye.Store(true)
 			e.byeCh <- p.id // capacity nodes: never blocks
 		default:
 			e.protocolFatal(p.id, fmt.Errorf("unknown frame kind %d", kind))
@@ -526,8 +757,10 @@ func (e *Engine) send(dst int, kind byte, payload []byte) error {
 	if e.closing.Load() {
 		return fmt.Errorf("dist: rank %d: send to rank %d after close", e.rank, dst)
 	}
+	p := e.peers[dst]
 	select {
-	case e.peers[dst].out <- outFrame{kind: kind, payload: payload}:
+	case p.out <- outFrame{kind: kind, payload: payload}:
+		p.lastSent.Store(time.Now().UnixNano())
 		return nil
 	case <-e.fatalCh:
 		return e.fatalErr()
@@ -562,9 +795,16 @@ func (e *Engine) Send(dst, tag int, payload any, bytes int) {
 	}
 }
 
-// Recv implements mp.Endpoint: block until a matching message arrives.
+// Recv implements mp.Endpoint: block until a matching message arrives,
+// bounded by OpTimeout like every other remote wait — a peer that lost
+// the message (or its mind) must not park this rank until the watchdog.
 func (e *Engine) Recv(src, tag int) *cluster.Message {
-	m, ok := e.mail.recv(src, tag)
+	defer e.setOp(fmt.Sprintf("node-level recv (src=%d, tag=%d)", src, tag))()
+	m, ok, timedOut := e.mail.recv(src, tag, e.opTimeout)
+	if timedOut {
+		panic(core.AbortError{Err: fmt.Errorf("dist: rank %d: recv (src=%d, tag=%d) timed out after %v",
+			e.rank, src, tag, e.opTimeout)})
+	}
 	if !ok {
 		panic(core.AbortError{Err: e.fatalErr()})
 	}
@@ -586,8 +826,11 @@ func (e *Engine) SetReadServer(fn func(array, lo, hi int) ([]byte, error)) {
 	close(e.serverReady)
 }
 
-// Fetch implements core.DistEngine: one synchronous remote read.
+// Fetch implements core.DistEngine: one synchronous remote read,
+// bounded by OpTimeout so a wedged owner cannot park the fleet until
+// the launcher's watchdog.
 func (e *Engine) Fetch(array, owner, lo, hi int) ([]byte, error) {
+	defer e.setOp(fmt.Sprintf("remote read of array %d [%d:%d) from rank %d", array, lo, hi, owner))()
 	id := e.reqSeq.Add(1)
 	ch := make(chan []byte, 1)
 	e.pendMu.Lock()
@@ -602,19 +845,50 @@ func (e *Engine) Fetch(array, owner, lo, hi int) ([]byte, error) {
 		drop()
 		return nil, err
 	}
+	var timeoutCh <-chan time.Time
+	if e.opTimeout > 0 {
+		tm := time.NewTimer(e.opTimeout)
+		defer tm.Stop()
+		timeoutCh = tm.C
+	}
 	select {
 	case data := <-ch:
 		return data, nil
 	case <-e.fatalCh:
 		drop()
 		return nil, e.fatalErr()
+	case <-timeoutCh:
+		drop()
+		return nil, fmt.Errorf("dist: rank %d: remote read of array %d [%d:%d) from rank %d timed out after %v",
+			e.rank, array, lo, hi, owner, e.opTimeout)
 	}
 }
 
 // CommitExchange implements core.DistEngine: chunk each destination's
 // delta stream into bundle-sized frames, mark each stream's end, and
-// block until every peer's complete stream for this phase is in.
+// block until every peer's complete stream for this phase is in (bounded
+// by OpTimeout, naming the missing ranks on expiry).
+//
+// The phase boundary is also where phase-targeted faults trigger: the
+// injection plan learns the current phase here, and kill/sever items
+// fire on entry — a rank dying exactly at the Nth boundary is the
+// checkpoint/restart test's scenario.
 func (e *Engine) CommitExchange(phase int64, outgoing [][]byte) ([][]byte, error) {
+	if e.faults != nil {
+		e.faults.SetPhase(phase)
+		if e.faults.KillNow(phase) {
+			fmt.Fprintf(os.Stderr, "ppm-node[%d]: fault injection: killing rank at commit of phase %d\n", e.rank, phase)
+			os.Exit(faultinject.KillExitCode)
+		}
+		for _, victim := range e.faults.SeverNow(phase) {
+			for _, p := range e.peers {
+				if p != nil && (victim == -1 || p.id == victim) {
+					p.conn.Close()
+				}
+			}
+		}
+	}
+	defer e.setOp(fmt.Sprintf("commit exchange for phase %d", phase))()
 	for dst := 0; dst < e.nodes; dst++ {
 		if dst == e.rank {
 			continue
@@ -633,7 +907,11 @@ func (e *Engine) CommitExchange(phase int64, outgoing [][]byte) ([][]byte, error
 			return nil, err
 		}
 	}
-	return e.commit.wait(phase, e.rank)
+	in, err := e.commit.wait(phase, e.rank, e.opTimeout)
+	if errors.Is(err, errCommitPlaneDead) {
+		return nil, e.fatalErr()
+	}
+	return in, err
 }
 
 // Abort implements core.DistEngine: best-effort notification of every
@@ -647,10 +925,7 @@ func (e *Engine) Abort(err error) {
 		if p == nil {
 			continue
 		}
-		select {
-		case p.out <- outFrame{kind: wire.KindAbort, payload: payload}:
-		default:
-		}
+		p.tryEnqueue(outFrame{kind: wire.KindAbort, payload: payload})
 	}
 	e.setFatal(err)
 }
@@ -667,17 +942,21 @@ func (e *Engine) Close() error {
 	if !e.closing.CompareAndSwap(false, true) {
 		return nil
 	}
+	if e.hbStop != nil {
+		close(e.hbStop) // no probes (or false deaths) during the bye exchange
+		e.hbWg.Wait()
+	}
 	nPeers := 0
 	for _, p := range e.peers {
 		if p == nil {
 			continue
 		}
 		nPeers++
-		p.out <- outFrame{kind: wire.KindBye} // writers drain until close, so this cannot block
-		close(p.out)
+		p.out <- outFrame{kind: wire.KindBye} // writers drain until the stop sentinel, so this cannot block
+		p.out <- outFrame{kind: kindStop}
 	}
 	e.sendWg.Wait() // writers drain their queues and flush
-	timeout := time.After(10 * time.Second)
+	timeout := time.After(e.drainTimeout)
 byes:
 	for got := 0; got < nPeers; got++ {
 		select {
@@ -730,7 +1009,21 @@ func (mb *mailbox) put(m mailMsg) {
 	mb.cond.Broadcast()
 }
 
-func (mb *mailbox) recv(src, tag int) (mailMsg, bool) {
+// recv blocks until a matching message arrives, the mailbox dies, or the
+// timeout expires (0 disables it, matching the other op deadlines). The
+// timed-out flag is per call: an expiry wakes only its own waiter, not
+// every Recv in flight.
+func (mb *mailbox) recv(src, tag int, timeout time.Duration) (mailMsg, bool, bool) {
+	timedOut := false
+	if timeout > 0 {
+		tm := time.AfterFunc(timeout, func() {
+			mb.mu.Lock()
+			timedOut = true
+			mb.mu.Unlock()
+			mb.cond.Broadcast()
+		})
+		defer tm.Stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -738,11 +1031,14 @@ func (mb *mailbox) recv(src, tag int) (mailMsg, bool) {
 			m := mb.q[i]
 			if (src == cluster.AnySource || src == m.src) && (tag == cluster.AnyTag || tag == m.tag) {
 				mb.q = append(mb.q[:i], mb.q[i+1:]...)
-				return m, true
+				return m, true, false
 			}
 		}
 		if mb.dead {
-			return mailMsg{}, false
+			return mailMsg{}, false, false
+		}
+		if timedOut {
+			return mailMsg{}, false, true
 		}
 		mb.cond.Wait()
 	}
@@ -756,6 +1052,11 @@ func (mb *mailbox) kill() {
 }
 
 // --- commit plane -------------------------------------------------------
+
+// errCommitPlaneDead wakes a commit wait whose mesh died; CommitExchange
+// replaces it with the engine's actual fatal error so the report names
+// the dead rank and operation, not just "a peer was lost".
+var errCommitPlaneDead = errors.New("dist: commit plane killed")
 
 // commitPlane assembles peers' phase-commit delta streams. Phases are
 // keyed by sequence number so a fast peer's next-phase chunks can arrive
@@ -807,7 +1108,17 @@ func (cp *commitPlane) end(src int, phase int64) {
 	cp.cond.Broadcast()
 }
 
-func (cp *commitPlane) wait(phase int64, self int) ([][]byte, error) {
+func (cp *commitPlane) wait(phase int64, self int, timeout time.Duration) ([][]byte, error) {
+	timedOut := false
+	if timeout > 0 {
+		tm := time.AfterFunc(timeout, func() {
+			cp.mu.Lock()
+			timedOut = true
+			cp.mu.Unlock()
+			cp.cond.Broadcast()
+		})
+		defer tm.Stop()
+	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	for {
@@ -817,7 +1128,20 @@ func (cp *commitPlane) wait(phase int64, self int) ([][]byte, error) {
 			return b.data, nil
 		}
 		if cp.dead {
-			return nil, fmt.Errorf("dist: rank %d: peers lost during commit of phase %d", self, phase)
+			// The engine's fatal error (a heartbeat verdict, an EOF, a
+			// peer abort) is the real diagnosis; the caller substitutes
+			// it for this sentinel.
+			return nil, errCommitPlaneDead
+		}
+		if timedOut {
+			var missing []int
+			for n := 0; n < cp.nodes; n++ {
+				if n != self && !b.done[n] {
+					missing = append(missing, n)
+				}
+			}
+			return nil, fmt.Errorf("dist: rank %d: commit of phase %d timed out after %v waiting for rank(s) %v",
+				self, phase, timeout, missing)
 		}
 		cp.cond.Wait()
 	}

@@ -1,0 +1,356 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/core"
+	"ppm/internal/faultinject"
+)
+
+// runMeshCfg is runMesh with per-rank Config customization and errors
+// returned instead of failed: the fault tests *expect* ranks to die, and
+// want to inspect exactly how.
+func runMeshCfg(t *testing.T, nodes int, cfg func(rank int, c *Config), body func(rank int, eng *Engine) error) []error {
+	t.Helper()
+	dir := t.TempDir()
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := Config{Rank: rank, Nodes: nodes, RendezvousDir: dir}
+			if cfg != nil {
+				cfg(rank, &c)
+			}
+			eng, err := Connect(c)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer eng.Close()
+			errs[rank] = body(rank, eng)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// recoverAbort runs fn and converts the runtime's AbortError panic into
+// the error the fault tests assert on.
+func recoverAbort(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(core.AbortError); ok {
+				err = ae.Err
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func mustPlan(t *testing.T, spec string, rank int) *faultinject.Plan {
+	t.Helper()
+	pl, err := faultinject.Parse(spec, rank, 0)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return pl
+}
+
+// TestHeartbeatDetectsSilentPeer injects a silent bidirectional partition
+// (links stay open, frames vanish) and checks both ranks detect it within
+// the heartbeat timeout — the failure TCP itself never reports — with an
+// error naming the unresponsive rank.
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	start := time.Now()
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.HeartbeatInterval = 50 * time.Millisecond
+			c.HeartbeatTimeout = 400 * time.Millisecond
+			c.OpTimeout = 30 * time.Second // only the detector may fire
+			c.DrainTimeout = 100 * time.Millisecond
+			c.Faults = mustPlan(t, "partition=0|1", rank)
+		},
+		func(rank int, eng *Engine) error {
+			// Block on a message the partition guarantees never arrives.
+			return recoverAbort(func() { eng.Recv(1-rank, 7) })
+		})
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("detection took %v — watchdog territory, detector did not fire", elapsed)
+	}
+	for rank, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: no error despite full partition", rank)
+		}
+		if !strings.Contains(err.Error(), "unresponsive") {
+			t.Errorf("rank %d error %q does not say the peer was unresponsive", rank, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("rank %d", 1-rank)) {
+			t.Errorf("rank %d error %q does not name rank %d", rank, err, 1-rank)
+		}
+		if !strings.Contains(err.Error(), "recv") {
+			t.Errorf("rank %d error %q does not name the blocked operation", rank, err)
+		}
+	}
+}
+
+// TestFetchTimeout wedges the remote read server (rank 1 never installs
+// one) and checks the per-operation deadline fires with an error naming
+// the read and the owner — while heartbeats keep flowing, so only the op
+// timeout can be the one that triggers.
+func TestFetchTimeout(t *testing.T) {
+	release := make(chan struct{})
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.HeartbeatInterval = 50 * time.Millisecond
+			c.HeartbeatTimeout = 30 * time.Second
+			c.OpTimeout = 300 * time.Millisecond
+			c.DrainTimeout = 100 * time.Millisecond
+		},
+		func(rank int, eng *Engine) error {
+			if rank == 1 {
+				// Never call SetReadServer: requests queue forever.
+				<-release
+				return nil
+			}
+			defer close(release)
+			_, err := eng.Fetch(3, 1, 0, 8)
+			return err
+		})
+	if errs[1] != nil {
+		t.Fatalf("rank 1: %v", errs[1])
+	}
+	err := errs[0]
+	if err == nil {
+		t.Fatal("rank 0: Fetch returned without error despite a wedged owner")
+	}
+	for _, want := range []string{"timed out", "array 3", "rank 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("fetch timeout error %q lacks %q", err, want)
+		}
+	}
+}
+
+// TestCommitWaitTimeout holds back one rank's commit stream and checks
+// the waiting rank's deadline names the phase and the missing rank.
+func TestCommitWaitTimeout(t *testing.T) {
+	release := make(chan struct{})
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.HeartbeatInterval = 50 * time.Millisecond
+			c.HeartbeatTimeout = 30 * time.Second
+			c.OpTimeout = 300 * time.Millisecond
+			c.DrainTimeout = 100 * time.Millisecond
+		},
+		func(rank int, eng *Engine) error {
+			if rank == 1 {
+				<-release // never commits phase 1
+				return nil
+			}
+			defer close(release)
+			_, err := eng.CommitExchange(1, make([][]byte, 2))
+			return err
+		})
+	if errs[1] != nil {
+		t.Fatalf("rank 1: %v", errs[1])
+	}
+	err := errs[0]
+	if err == nil {
+		t.Fatal("rank 0: commit wait returned without error")
+	}
+	for _, want := range []string{"commit of phase 1", "timed out", "[1]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("commit timeout error %q lacks %q", err, want)
+		}
+	}
+}
+
+// TestSeverFaultAborts hard-closes every connection incident to rank 0 at
+// phase 1's commit and checks both sides fail fast with a transport-level
+// error rather than hanging.
+func TestSeverFaultAborts(t *testing.T) {
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.HeartbeatInterval = 50 * time.Millisecond
+			c.HeartbeatTimeout = 2 * time.Second
+			c.OpTimeout = 5 * time.Second
+			c.DrainTimeout = 100 * time.Millisecond
+			c.Faults = mustPlan(t, "sever=0@phase:1", rank)
+		},
+		func(rank int, eng *Engine) error {
+			_, err := eng.CommitExchange(1, make([][]byte, 2))
+			return err
+		})
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no rank failed despite a severed mesh")
+	}
+}
+
+// TestRendezvousIgnoresStaleFiles seeds the rendezvous directory with
+// leftovers from a "previous launch" — a stale-run-id file and a legacy
+// untagged file, both pointing at a dead address — and checks a fresh
+// fleet connects anyway instead of dialing ghosts.
+func TestRendezvousIgnoresStaleFiles(t *testing.T) {
+	dir := t.TempDir()
+	deadAddr := "127.0.0.1:1" // reserved port: dialing it would fail fast and retry until timeout
+	for r := 0; r < 2; r++ {
+		stale := fmt.Sprintf("ppm-stale-run\n%s", deadAddr)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("node-%d.addr", r)), []byte(stale), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A legacy single-line file for a rank id outside the fleet must also
+	// be inert.
+	if err := os.WriteFile(filepath.Join(dir, "node-9.addr"), []byte(deadAddr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			eng, err := Connect(Config{
+				Rank: rank, Nodes: 2, RendezvousDir: dir,
+				RunID:          "ppm-fresh-run",
+				ConnectTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer eng.Close()
+			// Prove the mesh is real: one round-trip.
+			if rank == 0 {
+				eng.Send(1, 5, []float64{1}, 8)
+			} else {
+				m := eng.Recv(0, 5)
+				if m.Src != 0 {
+					errs[rank] = fmt.Errorf("message from %d", m.Src)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestRendezvousLegacyFilesAcceptedWithoutRunID checks the empty-RunID
+// mode (hand-started fleets) still reads untagged address files.
+func TestRendezvousLegacyFilesAcceptedWithoutRunID(t *testing.T) {
+	if got, ok := readAddrFile(writeTemp(t, "127.0.0.1:4242"), ""); !ok || got != "127.0.0.1:4242" {
+		t.Errorf("legacy file with empty run-id = (%q, %v), want accepted", got, ok)
+	}
+	if _, ok := readAddrFile(writeTemp(t, "127.0.0.1:4242"), "run-x"); ok {
+		t.Error("legacy file accepted despite expected run-id")
+	}
+	if got, ok := readAddrFile(writeTemp(t, "run-x\n127.0.0.1:4242"), "run-x"); !ok || got != "127.0.0.1:4242" {
+		t.Errorf("tagged file = (%q, %v), want accepted", got, ok)
+	}
+	if _, ok := readAddrFile(writeTemp(t, "run-y\n127.0.0.1:4242"), "run-x"); ok {
+		t.Error("wrong-run-id file accepted")
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "node-0.addr")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFrameFaultsPreserveResults runs a real app under heavy duplicate +
+// delay injection. Dup and delay are *benign* faults for a correct
+// protocol — commit streams are idempotently framed per phase and reads
+// are request/response — so the run must still complete bit-identically.
+func TestFrameFaultsPreserveResults(t *testing.T) {
+	opt := distOpt(2)
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 5}
+	want, wrep, err := jacobi.RunPPM(opt, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make([]NodeResult, 2)
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.Faults = mustPlan(t, "seed=11; dup=0.2; delay=0.05:2ms", rank)
+		},
+		func(rank int, eng *Engine) error {
+			results[rank] = *RunApp(eng, opt, AppSpec{App: "jacobi", Jacobi: prm})
+			if results[rank].Err != "" {
+				return fmt.Errorf("%s", results[rank].Err)
+			}
+			return nil
+		})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	m, merr := Merge(AppSpec{App: "jacobi", Jacobi: prm}, results)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	sameF64(t, "u", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+}
+
+// TestTruncationFaultFailsCleanly corrupts frames on the wire (re-framed
+// truncation) and checks the fleet aborts with a decode error instead of
+// hanging or panicking. drop=1 of everything would also do, but
+// truncation additionally exercises the payload parsers on short input.
+func TestTruncationFaultFailsCleanly(t *testing.T) {
+	opt := distOpt(2)
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 5}
+	errs := runMeshCfg(t, 2,
+		func(rank int, c *Config) {
+			c.HeartbeatInterval = 50 * time.Millisecond
+			c.HeartbeatTimeout = 2 * time.Second
+			c.OpTimeout = 5 * time.Second
+			c.DrainTimeout = 100 * time.Millisecond
+			if rank == 0 {
+				c.Faults = mustPlan(t, "trunc=1", 0)
+			}
+		},
+		func(rank int, eng *Engine) error {
+			res := RunApp(eng, opt, AppSpec{App: "jacobi", Jacobi: prm})
+			if res.Err != "" {
+				return fmt.Errorf("%s", res.Err)
+			}
+			return nil
+		})
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("universal frame truncation went unnoticed")
+	}
+}

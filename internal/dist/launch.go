@@ -9,7 +9,6 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 )
 
@@ -21,19 +20,54 @@ type LaunchOpts struct {
 	NodeBin string
 	// NodeArgs are appended to every node's command line (app selection,
 	// parameters, ablation flags). The launcher itself supplies -rank,
-	// -nodes, and -rendezvous.
+	// -nodes, -rendezvous, -run-id, and the checkpoint flags.
 	NodeArgs []string
-	// Timeout kills the whole fleet if the run exceeds it (default 120s).
+	// Timeout kills the whole fleet if one attempt exceeds it (default
+	// 120s). With the engine's failure detector on, a sick fleet aborts
+	// itself long before this backstop.
 	Timeout time.Duration
 	// Stderr receives every node's stderr (default os.Stderr).
 	Stderr io.Writer
+
+	// Env entries are appended to each node's inherited environment
+	// (fault specs, mostly); the launcher itself adds PPM_FAULT_ATTEMPT
+	// so one-shot injected faults fire only on the first attempt.
+	Env []string
+
+	// MaxRestarts upgrades the watchdog to a supervisor: when any rank
+	// fails, the supervisor kills the survivors and relaunches the whole
+	// fleet — with -restore when CheckpointDir is set, so the new fleet
+	// resumes from the last checkpoint every rank completed — up to
+	// MaxRestarts times. Restarting all ranks (not just the dead one) is
+	// what keeps recovery consistent: survivors cannot roll back to the
+	// rejoiner's phase, so everyone restarts from one checkpointed cut.
+	MaxRestarts int
+	// CheckpointDir, when set, is passed to every node as
+	// -checkpoint-dir (with -checkpoint-every CheckpointEvery); it must
+	// outlive the attempt, unlike the per-launch rendezvous dir.
+	CheckpointDir string
+	// CheckpointEvery is the minimum number of committed global phases
+	// between checkpoint writes (node default if 0).
+	CheckpointEvery int
+	// DetectGrace is how long, after the first rank failure of an
+	// attempt, the supervisor lets the surviving ranks self-abort (the
+	// engine's failure detector normally gets them out in seconds with a
+	// precise error) before killing them (default 20s).
+	DetectGrace time.Duration
+	// OnRestart, if non-nil, is called before each relaunch with the new
+	// attempt number (1-based) and the failure that caused it.
+	OnRestart func(attempt int, cause error)
 }
 
 // LaunchLocal forks Nodes ppm-node processes wired together through a
 // temporary rendezvous directory on loopback TCP, waits for them, and
 // decodes each one's NodeResult from its stdout. The slice is indexed by
 // rank and always has Nodes entries; a non-nil error summarizes every
-// process that failed to run or report.
+// process that failed to run or report. With MaxRestarts > 0 it
+// supervises: a failed attempt is relaunched (all ranks, fresh run-id,
+// -restore when checkpointing) until an attempt succeeds or the restart
+// budget is spent, in which case the last attempt's results and error
+// are returned.
 func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 	if o.Nodes <= 0 {
 		return nil, fmt.Errorf("dist: LaunchLocal with %d nodes", o.Nodes)
@@ -44,9 +78,11 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 	if o.Timeout <= 0 {
 		o.Timeout = 120 * time.Second
 	}
-	stderr := o.Stderr
-	if stderr == nil {
-		stderr = os.Stderr
+	if o.DetectGrace <= 0 {
+		o.DetectGrace = 20 * time.Second
+	}
+	if o.Stderr == nil {
+		o.Stderr = os.Stderr
 	}
 	dir, err := os.MkdirTemp("", "ppm-dist-")
 	if err != nil {
@@ -54,6 +90,28 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 	}
 	defer os.RemoveAll(dir)
 
+	var results []NodeResult
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if o.OnRestart != nil {
+				o.OnRestart(attempt, lastErr)
+			}
+			// Brief backoff so a crash loop does not hammer the host.
+			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
+		}
+		results, lastErr = launchOnce(&o, dir, attempt)
+		if lastErr == nil || attempt >= o.MaxRestarts {
+			return results, lastErr
+		}
+	}
+}
+
+// launchOnce runs one fleet attempt. The rendezvous dir is reused across
+// attempts: the per-attempt run-id in the address files keeps a restarted
+// fleet from dialing a dead predecessor's addresses.
+func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
+	runID := fmt.Sprintf("ppm-%d-a%d", os.Getpid(), attempt)
 	cmds := make([]*exec.Cmd, o.Nodes)
 	outs := make([]bytes.Buffer, o.Nodes)
 	waitErrs := make([]error, o.Nodes)
@@ -62,11 +120,23 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 			"-rank", strconv.Itoa(r),
 			"-nodes", strconv.Itoa(o.Nodes),
 			"-rendezvous", dir,
+			"-run-id", runID,
+		}
+		if o.CheckpointDir != "" {
+			args = append(args, "-checkpoint-dir", o.CheckpointDir)
+			if o.CheckpointEvery > 0 {
+				args = append(args, "-checkpoint-every", strconv.Itoa(o.CheckpointEvery))
+			}
+			if attempt > 0 {
+				args = append(args, "-restore")
+			}
 		}
 		args = append(args, o.NodeArgs...)
 		cmd := exec.Command(o.NodeBin, args...)
 		cmd.Stdout = &outs[r]
-		cmd.Stderr = stderr
+		cmd.Stderr = o.Stderr
+		cmd.Env = append(os.Environ(), o.Env...)
+		cmd.Env = append(cmd.Env, fmt.Sprintf("PPM_FAULT_ATTEMPT=%d", attempt))
 		if err := cmd.Start(); err != nil {
 			for _, c := range cmds[:r] {
 				c.Process.Kill()
@@ -77,22 +147,44 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 		cmds[r] = cmd
 	}
 
-	// One watchdog for the fleet: a hung mesh (half-connected, deadlocked
-	// peer) must not hang the launcher forever.
-	var timedOut bool
-	var mu sync.Mutex
-	timer := time.AfterFunc(o.Timeout, func() {
-		mu.Lock()
-		timedOut = true
-		mu.Unlock()
+	// Supervise the attempt: the watchdog backstops a fully hung fleet,
+	// and the grace timer bounds how long survivors may outlive the first
+	// failed rank (they normally self-abort via the failure detector with
+	// a much better error than a kill).
+	type exitEv struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exitEv, o.Nodes)
+	for r, c := range cmds {
+		go func(r int, c *exec.Cmd) { exits <- exitEv{rank: r, err: c.Wait()} }(r, c)
+	}
+	killAll := func() {
 		for _, c := range cmds {
 			c.Process.Kill()
 		}
-	})
-	for r, c := range cmds {
-		waitErrs[r] = c.Wait()
 	}
-	timer.Stop()
+	var timedOut, graceKilled bool
+	watchdog := time.NewTimer(o.Timeout)
+	defer watchdog.Stop()
+	var grace <-chan time.Time
+	for got := 0; got < o.Nodes; {
+		select {
+		case ev := <-exits:
+			waitErrs[ev.rank] = ev.err
+			got++
+			if ev.err != nil && grace == nil && got < o.Nodes {
+				grace = time.After(o.DetectGrace)
+			}
+		case <-watchdog.C:
+			timedOut = true
+			killAll()
+		case <-grace:
+			graceKilled = true
+			killAll()
+			grace = nil
+		}
+	}
 
 	results := make([]NodeResult, o.Nodes)
 	var errs []string
@@ -113,11 +205,12 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 			errs = append(errs, fmt.Sprintf("rank %d: %s", r, results[r].Err))
 		}
 	}
-	mu.Lock()
 	if timedOut {
 		errs = append([]string{fmt.Sprintf("run exceeded %v and was killed", o.Timeout)}, errs...)
 	}
-	mu.Unlock()
+	if graceKilled {
+		errs = append(errs, fmt.Sprintf("supervisor killed surviving ranks %v after the first rank failed", o.DetectGrace))
+	}
 	if len(errs) > 0 {
 		return results, fmt.Errorf("dist: launch failed:\n  %s", strings.Join(errs, "\n  "))
 	}

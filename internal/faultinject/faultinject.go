@@ -1,0 +1,333 @@
+// Package faultinject is the deterministic fault-injection harness of
+// the distributed runtime. A Plan, parsed from the PPM_FAULT environment
+// variable (or built programmatically), tells the wire/dist seams which
+// faults to inject: probabilistic frame faults (drop, delay, duplicate,
+// truncate) on the per-peer writer, silent mesh partitions, hard
+// connection severs, and killing a rank at the Nth global-phase boundary.
+//
+// Every probabilistic decision draws from internal/rng streams derived
+// from the spec's seed and the (rank, peer) pair, so a chaos run replays
+// exactly: the same spec against the same program produces the same
+// faults on the same frames.
+//
+// Spec grammar (items separated by ';', whitespace ignored):
+//
+//	seed=N                    rng seed for probabilistic faults (default 1)
+//	drop=P[@phase:K]          drop each outgoing frame with probability P
+//	delay=P:DUR[@phase:K]     stall the writer for DUR with probability P
+//	dup=P[@phase:K]           send each frame twice with probability P
+//	trunc=P[@phase:K]         truncate the frame payload with probability P
+//	sever=R[@phase:K]         close every connection incident to rank R
+//	partition=A|B[@phase:K]   silently blackhole all links between rank
+//	                          sets A and B (comma-separated rank lists)
+//	kill=R[@phase:K]          rank R exits (code KillExitCode) on entering
+//	                          the commit of global phase K
+//
+// @phase:K arms the item from global phase K on (probabilistic items) or
+// exactly at phase K (sever, kill); the default is 0, i.e. immediately.
+// One-shot items (sever, partition, kill) arm only on launch attempt 0
+// (PPM_FAULT_ATTEMPT, set by the supervisor), so a relaunched fleet can
+// actually recover from the fault that killed the first one.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppm/internal/rng"
+)
+
+// KillExitCode is the exit status of a rank killed by a kill= item,
+// distinguishable from ordinary run failures (1) and flag errors (2).
+const KillExitCode = 37
+
+// FrameFault is the verdict for one outgoing frame.
+type FrameFault struct {
+	Drop  bool
+	Dup   bool
+	Trunc bool
+	Delay time.Duration
+}
+
+type frameRuleKind int
+
+const (
+	ruleDrop frameRuleKind = iota
+	ruleDelay
+	ruleDup
+	ruleTrunc
+)
+
+type frameRule struct {
+	kind      frameRuleKind
+	p         float64
+	d         time.Duration
+	fromPhase int64
+}
+
+// Plan is one process's parsed fault schedule. The zero Plan injects
+// nothing; a nil *Plan is the usual "no faults" configuration.
+type Plan struct {
+	rank    int
+	attempt int
+	seed    uint64
+
+	rules     []frameRule
+	severs    map[int64][]int // phase -> peers to sever (-1 = all)
+	partPhase int64           // -1: no partition
+	blackhole map[int]bool    // peers silently cut from partPhase on
+	killPhase int64           // -1: no kill
+
+	phase atomic.Int64 // current global phase, set by the engine
+
+	mu   sync.Mutex
+	rngs map[int]*rng.RNG // per-peer decision streams
+}
+
+// FromEnv builds the Plan for this rank from PPM_FAULT and
+// PPM_FAULT_ATTEMPT. It returns (nil, nil) when PPM_FAULT is unset.
+func FromEnv(rank int) (*Plan, error) {
+	spec := os.Getenv("PPM_FAULT")
+	if spec == "" {
+		return nil, nil
+	}
+	attempt := 0
+	if a := os.Getenv("PPM_FAULT_ATTEMPT"); a != "" {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad PPM_FAULT_ATTEMPT %q: %v", a, err)
+		}
+		attempt = n
+	}
+	return Parse(spec, rank, attempt)
+}
+
+// Parse builds the Plan one rank derives from spec on the given launch
+// attempt.
+func Parse(spec string, rank, attempt int) (*Plan, error) {
+	pl := &Plan{
+		rank:      rank,
+		attempt:   attempt,
+		seed:      1,
+		severs:    make(map[int64][]int),
+		partPhase: -1,
+		killPhase: -1,
+		rngs:      make(map[int]*rng.RNG),
+	}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: item %q is not key=value", item)
+		}
+		val, phase, err := cutPhase(val)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: item %q: %v", item, err)
+		}
+		switch key {
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", val)
+			}
+			pl.seed = s
+		case "drop", "dup", "trunc":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: item %q: %v", item, err)
+			}
+			kind := map[string]frameRuleKind{"drop": ruleDrop, "dup": ruleDup, "trunc": ruleTrunc}[key]
+			pl.rules = append(pl.rules, frameRule{kind: kind, p: p, fromPhase: phase})
+		case "delay":
+			ps, ds, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: delay wants P:DUR, got %q", val)
+			}
+			p, err := parseProb(ps)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: item %q: %v", item, err)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: bad delay duration %q", ds)
+			}
+			pl.rules = append(pl.rules, frameRule{kind: ruleDelay, p: p, d: d, fromPhase: phase})
+		case "sever":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("faultinject: bad sever rank %q", val)
+			}
+			if attempt == 0 {
+				if rank == r {
+					pl.severs[phase] = append(pl.severs[phase], -1) // all peers
+				} else {
+					pl.severs[phase] = append(pl.severs[phase], r)
+				}
+			}
+		case "partition":
+			a, b, ok := strings.Cut(val, "|")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: partition wants A|B rank sets, got %q", val)
+			}
+			as, err := parseRanks(a)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: item %q: %v", item, err)
+			}
+			bs, err := parseRanks(b)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: item %q: %v", item, err)
+			}
+			if attempt == 0 {
+				var far []int
+				switch {
+				case as[rank]:
+					far = keys(bs)
+				case bs[rank]:
+					far = keys(as)
+				}
+				if len(far) > 0 {
+					pl.partPhase = phase
+					if pl.blackhole == nil {
+						pl.blackhole = make(map[int]bool)
+					}
+					for _, r := range far {
+						pl.blackhole[r] = true
+					}
+				}
+			}
+		case "kill":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("faultinject: bad kill rank %q", val)
+			}
+			if attempt == 0 && rank == r {
+				pl.killPhase = phase
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: unknown item %q", key)
+		}
+	}
+	return pl, nil
+}
+
+func cutPhase(val string) (string, int64, error) {
+	base, suffix, ok := strings.Cut(val, "@")
+	if !ok {
+		return val, 0, nil
+	}
+	ks, ok := strings.CutPrefix(suffix, "phase:")
+	if !ok {
+		return "", 0, fmt.Errorf("bad suffix %q (want @phase:K)", suffix)
+	}
+	k, err := strconv.ParseInt(ks, 10, 64)
+	if err != nil || k < 0 {
+		return "", 0, fmt.Errorf("bad phase %q", ks)
+	}
+	return base, k, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q (want [0, 1])", s)
+	}
+	return p, nil
+}
+
+func parseRanks(s string) (map[int]bool, error) {
+	out := make(map[int]bool)
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.Atoi(f)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad rank %q", f)
+		}
+		out[r] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty rank set %q", s)
+	}
+	return out, nil
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SetPhase records the global phase whose commit the engine is entering;
+// phase-armed items key off it.
+func (pl *Plan) SetPhase(phase int64) { pl.phase.Store(phase) }
+
+// KillNow reports whether this rank must die at the given phase boundary.
+func (pl *Plan) KillNow(phase int64) bool {
+	return pl.killPhase >= 0 && phase == pl.killPhase
+}
+
+// SeverNow returns the peers whose connections this rank must close at
+// the given phase boundary; a single -1 entry means every peer.
+func (pl *Plan) SeverNow(phase int64) []int { return pl.severs[phase] }
+
+// Blackholed reports whether all traffic to dst is silently discarded
+// (the partition fault: the link looks alive but carries nothing, which
+// is exactly what the heartbeat detector exists to catch).
+func (pl *Plan) Blackholed(dst int) bool {
+	return pl.partPhase >= 0 && pl.blackhole[dst] && pl.phase.Load() >= pl.partPhase
+}
+
+// Frame decides the fate of one outgoing frame to dst. Decisions consume
+// the (rank, dst) rng stream in frame order, so a replay with the same
+// spec makes the same calls on the same frames.
+func (pl *Plan) Frame(dst int, kind byte) FrameFault {
+	if len(pl.rules) == 0 {
+		return FrameFault{}
+	}
+	r := pl.rngFor(dst)
+	phase := pl.phase.Load()
+	var f FrameFault
+	for i := range pl.rules {
+		rule := &pl.rules[i]
+		if phase < rule.fromPhase {
+			continue
+		}
+		if r.Float64() >= rule.p {
+			continue
+		}
+		switch rule.kind {
+		case ruleDrop:
+			f.Drop = true
+		case ruleDelay:
+			f.Delay += rule.d
+		case ruleDup:
+			f.Dup = true
+		case ruleTrunc:
+			f.Trunc = true
+		}
+	}
+	return f
+}
+
+func (pl *Plan) rngFor(dst int) *rng.RNG {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	r := pl.rngs[dst]
+	if r == nil {
+		r = rng.New(pl.seed).Split(uint64(pl.rank)<<20 | uint64(dst+1))
+		pl.rngs[dst] = r
+	}
+	return r
+}

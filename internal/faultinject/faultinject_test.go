@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	spec := "seed=7; drop=0.1; delay=0.2:5ms@phase:3; dup=0.05; trunc=0.01@phase:2; sever=1@phase:4; partition=0|1,2@phase:5; kill=2@phase:6"
+	pl, err := Parse(spec, 0, 0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if pl.seed != 7 {
+		t.Errorf("seed = %d, want 7", pl.seed)
+	}
+	if len(pl.rules) != 4 {
+		t.Fatalf("got %d frame rules, want 4", len(pl.rules))
+	}
+	if pl.rules[1].kind != ruleDelay || pl.rules[1].d != 5*time.Millisecond || pl.rules[1].fromPhase != 3 {
+		t.Errorf("delay rule = %+v", pl.rules[1])
+	}
+	if got := pl.SeverNow(4); len(got) != 1 || got[0] != 1 {
+		t.Errorf("SeverNow(4) = %v, want [1]", got)
+	}
+	// Rank 0 is on side A of the partition; ranks 1 and 2 are far.
+	pl.SetPhase(5)
+	if !pl.Blackholed(1) || !pl.Blackholed(2) {
+		t.Error("ranks 1,2 should be blackholed for rank 0 at phase 5")
+	}
+	// Rank 0 is not the kill victim.
+	if pl.KillNow(6) {
+		t.Error("rank 0 must not be killed by kill=2")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"drop",                // no =
+		"drop=1.5",            // probability out of range
+		"drop=x",              // not a number
+		"delay=0.5",           // missing duration
+		"delay=0.5:-3ms",      // negative duration
+		"drop=0.5@phase:-1",   // negative phase
+		"drop=0.5@after:3",    // bad suffix
+		"sever=x",             // bad rank
+		"partition=0,1",       // missing |
+		"partition=|1",        // empty side
+		"kill=-2",             // negative rank
+		"seed=abc",            // bad seed
+		"explode=1",           // unknown key
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 0, 0); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		} else if !strings.Contains(err.Error(), "faultinject:") {
+			t.Errorf("Parse(%q) error %q lacks package prefix", spec, err)
+		}
+	}
+}
+
+func TestKillTargetsOnlyNamedRank(t *testing.T) {
+	for rank := 0; rank < 3; rank++ {
+		pl, err := Parse("kill=1@phase:5", rank, 0)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		want := rank == 1
+		if got := pl.KillNow(5); got != want {
+			t.Errorf("rank %d KillNow(5) = %v, want %v", rank, got, want)
+		}
+		if pl.KillNow(4) || pl.KillNow(6) {
+			t.Errorf("rank %d kill fired at wrong phase", rank)
+		}
+	}
+}
+
+func TestOneShotsDisarmedOnRelaunch(t *testing.T) {
+	// attempt > 0 means the supervisor relaunched the fleet; the fault
+	// that killed attempt 0 must not fire again or recovery can't work.
+	pl, err := Parse("kill=1@phase:5; sever=0@phase:2; partition=0|1@phase:3", 1, 1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if pl.KillNow(5) {
+		t.Error("kill re-armed on attempt 1")
+	}
+	if got := pl.SeverNow(2); len(got) != 0 {
+		t.Errorf("sever re-armed on attempt 1: %v", got)
+	}
+	pl.SetPhase(10)
+	if pl.Blackholed(0) {
+		t.Error("partition re-armed on attempt 1")
+	}
+}
+
+func TestSeverOnVictimRankMeansAllPeers(t *testing.T) {
+	pl, err := Parse("sever=2@phase:1", 2, 0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := pl.SeverNow(1); len(got) != 1 || got[0] != -1 {
+		t.Errorf("victim's SeverNow = %v, want [-1] (all peers)", got)
+	}
+}
+
+func TestPartitionSidesAndBystanders(t *testing.T) {
+	// Rank 2 is in neither set: it must keep talking to everyone.
+	pl, err := Parse("partition=0|1", 2, 0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pl.SetPhase(0)
+	if pl.Blackholed(0) || pl.Blackholed(1) {
+		t.Error("bystander rank 2 should not blackhole anyone")
+	}
+	// Before the arming phase, even partition members talk freely.
+	pl0, _ := Parse("partition=0|1@phase:4", 0, 0)
+	pl0.SetPhase(3)
+	if pl0.Blackholed(1) {
+		t.Error("partition fired before its arming phase")
+	}
+	pl0.SetPhase(4)
+	if !pl0.Blackholed(1) {
+		t.Error("partition did not fire at its arming phase")
+	}
+	if pl0.Blackholed(0) {
+		t.Error("rank 0 blackholed itself")
+	}
+}
+
+func TestFrameDecisionsDeterministic(t *testing.T) {
+	draw := func() []FrameFault {
+		pl, err := Parse("seed=42; drop=0.3; dup=0.2; delay=0.1:1ms", 1, 0)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		var out []FrameFault
+		for i := 0; i < 200; i++ {
+			out = append(out, pl.Frame(0, 2))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: %+v != %+v — replay diverged", i, a[i], b[i])
+		}
+		if a[i].Drop {
+			drops++
+		}
+	}
+	// 200 draws at p=0.3: distribution sanity, not exactness.
+	if drops < 20 || drops > 120 {
+		t.Errorf("got %d drops of 200 at p=0.3 — rng stream looks broken", drops)
+	}
+}
+
+func TestFrameStreamsIndependentPerPeer(t *testing.T) {
+	pl, _ := Parse("seed=9; drop=0.5", 0, 0)
+	pl2, _ := Parse("seed=9; drop=0.5", 0, 0)
+	// Interleaving draws to different peers must not perturb either
+	// peer's own stream.
+	var to1 []FrameFault
+	for i := 0; i < 50; i++ {
+		to1 = append(to1, pl.Frame(1, 2))
+		pl.Frame(2, 2)
+	}
+	for i := 0; i < 50; i++ {
+		if got := pl2.Frame(1, 2); got != to1[i] {
+			t.Fatalf("draw %d to peer 1 diverged when peer 2 traffic interleaved", i)
+		}
+	}
+}
+
+func TestFrameRespectsArmingPhase(t *testing.T) {
+	pl, _ := Parse("drop=1@phase:5", 0, 0)
+	pl.SetPhase(4)
+	if f := pl.Frame(1, 2); f.Drop {
+		t.Error("drop fired before arming phase")
+	}
+	pl.SetPhase(5)
+	if f := pl.Frame(1, 2); !f.Drop {
+		t.Error("drop=1 did not fire at arming phase")
+	}
+}
+
+func TestFromEnvUnset(t *testing.T) {
+	t.Setenv("PPM_FAULT", "")
+	pl, err := FromEnv(3)
+	if pl != nil || err != nil {
+		t.Fatalf("FromEnv with no spec = (%v, %v), want (nil, nil)", pl, err)
+	}
+}
+
+func TestFromEnvAttempt(t *testing.T) {
+	t.Setenv("PPM_FAULT", "kill=0@phase:1")
+	t.Setenv("PPM_FAULT_ATTEMPT", "2")
+	pl, err := FromEnv(0)
+	if err != nil {
+		t.Fatalf("FromEnv: %v", err)
+	}
+	if pl.KillNow(1) {
+		t.Error("kill armed despite PPM_FAULT_ATTEMPT=2")
+	}
+	t.Setenv("PPM_FAULT_ATTEMPT", "bogus")
+	if _, err := FromEnv(0); err == nil {
+		t.Error("bad PPM_FAULT_ATTEMPT accepted")
+	}
+}

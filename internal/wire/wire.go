@@ -49,6 +49,8 @@ const (
 	KindCommitEnd                   // end of a peer's delta for one phase
 	KindAbort                       // fatal error broadcast
 	KindBye                         // orderly shutdown announcement (empty payload)
+	KindPing                        // failure-detector probe (empty payload)
+	KindPong                        // failure-detector reply (empty payload)
 )
 
 // NativeLittleEndian reports the host's element byte order, exchanged in
