@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel dist-smoke chaos figures
+.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel bench-wire dist-smoke chaos figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends) and race-test.
@@ -49,11 +49,21 @@ bench-hotpath:
 bench-parallel:
 	BENCH_PARALLEL=1 $(GO) test -run TestParallelBenchArtifact -v .
 
-## dist-smoke: a real multi-process run — 2 ppm-node processes over
-## loopback TCP solving a small cg point, launched by ppm-run.
+## bench-wire: regenerate BENCH_wire.json (bytes on wire, frames,
+## flushes, and wall-clock of the distributed wire path: fixed bundling
+## vs adaptive vs the delta commit codec; see internal/dist/wire_bench_test.go).
+bench-wire:
+	BENCH_WIRE=1 $(GO) test -run TestWireBenchArtifact -v ./internal/dist/
+
+## dist-smoke: real multi-process runs — 2 ppm-node processes over
+## loopback TCP solving a small cg point, launched by ppm-run; once
+## with the default wire path, once with the delta commit codec, and
+## once with adaptive bundling plus a flush stagger.
 dist-smoke:
 	$(GO) build -o bin/ ./cmd/ppm-run ./cmd/ppm-node
 	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6
+	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6 -wire-codec delta
+	./bin/ppm-run -distributed -app jacobi -nodes 2 -cores 2 -jacobi-grid 10x6x4 -jacobi-sweeps 6 -bundle-adaptive -flush-stagger 100us
 
 ## chaos: the seeded fault matrix under the race detector — injected
 ## drop/delay/dup/trunc/partition/kill faults against real ppm-node

@@ -103,6 +103,9 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 0, "distributed: relaunch the fleet up to this many times after a rank failure")
 	ckptDir := flag.String("checkpoint-dir", "", "distributed: write phase-boundary checkpoints here; restarts resume from them")
 	ckptEvery := flag.Int("checkpoint-every", 0, "distributed: minimum committed global phases between checkpoints (default 1)")
+	bundleAdaptive := flag.Bool("bundle-adaptive", false, "distributed: adaptive wire bundling (immediate critical-path flushes, growing commit bundles)")
+	wireCodec := flag.String("wire-codec", "", "distributed: commit-stream encoding to offer peers (raw or delta; node default raw)")
+	flushStagger := flag.Duration("flush-stagger", 0, "distributed: minimum spacing between one process's per-peer flushes (0 disables)")
 	hbInterval := flag.Duration("hb-interval", 0, "distributed: failure-detector probe interval (node default 500ms, negative disables)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "distributed: declare a silent peer dead after this long (node default 5s)")
 	opTimeout := flag.Duration("op-timeout", 0, "distributed: deadline for one remote read or commit wait (node default 60s)")
@@ -143,15 +146,20 @@ func main() {
 		for _, f := range []struct {
 			on   bool
 			name string
-		}{{*noBundling, "-no-bundling"}, {*noOverlap, "-no-overlap"}, {*noReadCache, "-no-readcache"}, {*static, "-static"}} {
+		}{{*noBundling, "-no-bundling"}, {*noOverlap, "-no-overlap"}, {*noReadCache, "-no-readcache"}, {*static, "-static"},
+			{*bundleAdaptive, "-bundle-adaptive"}} {
 			if f.on {
 				args = append(args, f.name)
 			}
 		}
+		if *wireCodec != "" {
+			args = append(args, "-wire-codec", *wireCodec)
+		}
 		for _, d := range []struct {
 			v    time.Duration
 			name string
-		}{{*hbInterval, "-hb-interval"}, {*hbTimeout, "-hb-timeout"}, {*opTimeout, "-op-timeout"}} {
+		}{{*hbInterval, "-hb-interval"}, {*hbTimeout, "-hb-timeout"}, {*opTimeout, "-op-timeout"},
+			{*flushStagger, "-flush-stagger"}} {
 			if d.v != 0 {
 				args = append(args, d.name, d.v.String())
 			}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"ppm/internal/rng"
+)
+
+// The interval-cover set (coverAdd / coverSub / coverMissing) is the
+// heart of the distributed read cache and of the fleet-wide fetch
+// single-flight, so it is checked two ways: a seeded random operation
+// sequence against a naive bitmap oracle, and the adjacency edge cases
+// spelled out by hand.
+
+const coverUniverse = 64
+
+// coverBits materializes a cover as a bitmap for oracle comparison.
+func coverBits(t *testing.T, cov []intRun) [coverUniverse]bool {
+	t.Helper()
+	var b [coverUniverse]bool
+	prevHi := -1
+	for i, r := range cov {
+		if r.lo >= r.hi {
+			t.Fatalf("run %d is empty: [%d,%d)", i, r.lo, r.hi)
+		}
+		// Sorted, disjoint, and never merely touching: coverAdd merges
+		// adjacent runs, so a canonical cover has gaps between runs.
+		if r.lo <= prevHi {
+			t.Fatalf("run %d [%d,%d) is not strictly after [..,%d)", i, r.lo, r.hi, prevHi)
+		}
+		prevHi = r.hi
+		for j := r.lo; j < r.hi && j < coverUniverse; j++ {
+			b[j] = true
+		}
+	}
+	return b
+}
+
+func TestCoverPropertyVsBitmapOracle(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		var cov []intRun
+		var oracle [coverUniverse]bool
+		for step := 0; step < 200; step++ {
+			lo := r.Intn(coverUniverse)
+			hi := lo + r.Intn(coverUniverse-lo+1)
+			switch r.Intn(3) {
+			case 0:
+				cov = coverAdd(cov, lo, hi)
+				for j := lo; j < hi; j++ {
+					oracle[j] = true
+				}
+			case 1:
+				cov = coverSub(cov, lo, hi)
+				for j := lo; j < hi; j++ {
+					oracle[j] = false
+				}
+			case 2:
+				missing := coverMissing(cov, lo, hi)
+				var got [coverUniverse]bool
+				mPrevHi := -1
+				for i, m := range missing {
+					if m.lo >= m.hi || m.lo < lo || m.hi > hi {
+						t.Fatalf("trial %d step %d: missing run %d [%d,%d) outside query [%d,%d)",
+							trial, step, i, m.lo, m.hi, lo, hi)
+					}
+					if m.lo <= mPrevHi {
+						t.Fatalf("trial %d step %d: missing runs unsorted or touching", trial, step)
+					}
+					mPrevHi = m.hi
+					for j := m.lo; j < m.hi; j++ {
+						got[j] = true
+					}
+				}
+				for j := lo; j < hi; j++ {
+					if got[j] == oracle[j] {
+						t.Fatalf("trial %d step %d: index %d missing=%v but covered=%v (cov %v, query [%d,%d))",
+							trial, step, j, got[j], oracle[j], cov, lo, hi)
+					}
+				}
+				continue
+			}
+			if got := coverBits(t, cov); got != oracle {
+				t.Fatalf("trial %d step %d: cover %v diverged from oracle", trial, step, cov)
+			}
+		}
+	}
+}
+
+func TestCoverAdjacentRunMerges(t *testing.T) {
+	// Filling the gap between two runs collapses all three into one.
+	cov := coverAdd(coverAdd(nil, 0, 2), 4, 6)
+	cov = coverAdd(cov, 2, 4)
+	if len(cov) != 1 || cov[0] != (intRun{lo: 0, hi: 6}) {
+		t.Fatalf("bridge add left %v, want one [0,6) run", cov)
+	}
+	// Touching (not overlapping) on either side merges too.
+	if got := coverAdd([]intRun{{lo: 0, hi: 2}}, 2, 4); len(got) != 1 || got[0] != (intRun{lo: 0, hi: 4}) {
+		t.Fatalf("right-touching add left %v", got)
+	}
+	if got := coverAdd([]intRun{{lo: 2, hi: 4}}, 0, 2); len(got) != 1 || got[0] != (intRun{lo: 0, hi: 4}) {
+		t.Fatalf("left-touching add left %v", got)
+	}
+	// An empty add is a no-op.
+	if got := coverAdd([]intRun{{lo: 1, hi: 3}}, 2, 2); len(got) != 1 || got[0] != (intRun{lo: 1, hi: 3}) {
+		t.Fatalf("empty add changed the cover: %v", got)
+	}
+	// Subtracting the middle splits; subtracting a touching range is a
+	// no-op (half-open intervals share no elements).
+	if got := coverSub([]intRun{{lo: 0, hi: 6}}, 2, 4); len(got) != 2 ||
+		got[0] != (intRun{lo: 0, hi: 2}) || got[1] != (intRun{lo: 4, hi: 6}) {
+		t.Fatalf("mid-sub left %v, want [0,2) [4,6)", got)
+	}
+	if got := coverSub([]intRun{{lo: 0, hi: 2}}, 2, 4); len(got) != 1 || got[0] != (intRun{lo: 0, hi: 2}) {
+		t.Fatalf("touching sub changed the cover: %v", got)
+	}
+	// Missing over an empty cover is the whole query; over a full cover
+	// it is nothing.
+	if got := coverMissing(nil, 3, 9); len(got) != 1 || got[0] != (intRun{lo: 3, hi: 9}) {
+		t.Fatalf("missing over empty cover = %v", got)
+	}
+	if got := coverMissing([]intRun{{lo: 0, hi: 10}}, 3, 9); len(got) != 0 {
+		t.Fatalf("missing over full cover = %v", got)
+	}
+}

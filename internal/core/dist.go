@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ppm/internal/mp"
 	"ppm/internal/wire"
@@ -28,6 +29,15 @@ type DistEngine interface {
 	// peer's complete stream for the same phase has arrived, returned
 	// indexed by source.
 	CommitExchange(phase int64, outgoing [][]byte) ([][]byte, error)
+	// CommitCodec returns the negotiated codec for commit streams this
+	// rank sends to dst; PeerCommitCodec the codec src's streams arrive
+	// in. Core transcodes around CommitExchange — the engine stays a
+	// byte shipper and never parses commit payloads.
+	CommitCodec(dst int) wire.Codec
+	PeerCommitCodec(src int) wire.Codec
+	// WireStats returns the engine-side transport counters accumulated
+	// so far (frames, flushes, bytes on wire, read requests).
+	WireStats() WireStats
 	// Abort broadcasts a fatal error to all peers, best effort.
 	Abort(err error)
 }
@@ -100,6 +110,15 @@ func RunDist(opt Options, eng DistEngine, prog func(rt *Runtime)) (*Report, erro
 		// peer still needs them (e.g. to serve a final result fetch).
 		runErr = runRecovered(rt.node, func() { rt.comm.Barrier() })
 	}
+
+	// Merge the engine-side and core-side wire counters into this rank's
+	// stats (each process is authoritative for its own rank only, like
+	// every other per-node entry).
+	ws := eng.WireStats()
+	ws.ReadsCoalesced = gs.wireCoalesced.Load()
+	ws.CommitBytesRaw = gs.wireCommitRaw
+	ws.CommitBytesEnc = gs.wireCommitEnc
+	gs.stats[rt.node].Wire = ws
 
 	rep := &Report{PerNode: gs.stats, Conflicts: gs.conflicts.list()}
 	for _, s := range gs.stats {
@@ -258,11 +277,32 @@ func (d *doRun) commitGlobalDist() error {
 		for _, arr := range gs.arrays {
 			buf = arr.encodeStagedWire(d.node, dst, buf)
 		}
+		gs.wireCommitRaw += int64(len(buf))
+		if len(buf) > 0 && gs.dist.CommitCodec(dst) == wire.CodecDelta {
+			enc, err := wire.AppendCommitDelta(nil, buf, gs.arrayElemBytes)
+			if err != nil {
+				return fmt.Errorf("core: node %d: delta-encoding commit for node %d: %w", d.node, dst, err)
+			}
+			buf = enc
+		}
+		gs.wireCommitEnc += int64(len(buf))
 		outgoing[dst] = buf
 	}
 	incoming, err := gs.dist.CommitExchange(seq, outgoing)
 	if err != nil {
 		return err
+	}
+	for src := 0; src < nodes; src++ {
+		if src == d.node || len(incoming[src]) == 0 {
+			continue
+		}
+		if gs.dist.PeerCommitCodec(src) == wire.CodecDelta {
+			raw, err := wire.DecodeCommitDelta(incoming[src], gs.arrayElemBytes)
+			if err != nil {
+				return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
+			}
+			incoming[src] = raw
+		}
 	}
 
 	// Every peer has finished its phase body (its complete delta is
@@ -459,13 +499,73 @@ func (g *Global[T]) restoreCheckpoint(node int, rd *wire.CommitReader, nRuns int
 // remote subranges from their owners. The per-array cover doubles as the
 // fetch cache: within a phase a shared variable is immutable, so every
 // range is fetched at most once per node per phase, mirroring the
-// simulator's modeled read cache. Serving VPs lock the array's cover
-// mutex, so concurrent VPs fetch each gap once ("single flight").
+// simulator's modeled read cache.
+//
+// The single flight is fleet-wide across this node's VPs: a VP claims
+// the sub-gaps nobody else is fetching (dpend), releases the cover
+// mutex, and fetches over the wire concurrently with other claimants;
+// VPs whose whole gap is already in flight wait on the cover's
+// condition and are fanned the result — one wire ReadReq however many
+// VPs need the range. Claimed ranges are disjoint by construction, so
+// the unlocked installRange calls never overlap each other or a reader
+// (a VP only reads ranges the cover already includes).
 func (g *Global[T]) distFetch(self, lo, hi int) {
 	gs := g.gs
 	g.dmu.Lock()
-	defer g.dmu.Unlock()
-	for _, gap := range coverMissing(g.dcov, lo, hi) {
+	if g.dcnd == nil {
+		g.dcnd = sync.NewCond(&g.dmu)
+	}
+	waited := false
+	for {
+		missing := coverMissing(g.dcov, lo, hi)
+		if len(missing) == 0 {
+			g.dmu.Unlock()
+			if waited {
+				gs.wireCoalesced.Add(1)
+			}
+			return
+		}
+		var mine []intRun
+		for _, gap := range missing {
+			mine = append(mine, coverMissing(g.dpend, gap.lo, gap.hi)...)
+		}
+		if len(mine) == 0 {
+			// Everything still missing is in flight from other VPs.
+			waited = true
+			g.dcnd.Wait()
+			continue
+		}
+		for _, r := range mine {
+			g.dpend = coverAdd(g.dpend, r.lo, r.hi)
+		}
+		g.dmu.Unlock()
+
+		err := g.fetchRuns(self, mine)
+
+		g.dmu.Lock()
+		for _, r := range mine {
+			g.dpend = coverSub(g.dpend, r.lo, r.hi)
+			if err == nil {
+				g.dcov = coverAdd(g.dcov, r.lo, r.hi)
+			}
+		}
+		// Wake waiters even on failure: they re-claim the ranges, hit the
+		// dead engine's fast error path, and unwind instead of hanging.
+		g.dcnd.Broadcast()
+		if err != nil {
+			g.dmu.Unlock()
+			panic(AbortError{Err: err})
+		}
+	}
+}
+
+// fetchRuns pulls the given uncovered ranges from their owners, without
+// holding the cover mutex. Self-owned stretches need no wire traffic
+// (the backing store is authoritative); they are claimed and covered by
+// the caller like any other range.
+func (g *Global[T]) fetchRuns(self int, runs []intRun) error {
+	gs := g.gs
+	for _, gap := range runs {
 		for s := gap.lo; s < gap.hi; {
 			owner := g.part.Owner(s)
 			_, oend := g.part.Range(owner)
@@ -479,13 +579,13 @@ func (g *Global[T]) distFetch(self, lo, hi int) {
 					err = g.installRange(s, e, data)
 				}
 				if err != nil {
-					panic(AbortError{Err: err})
+					return err
 				}
 			}
 			s = e
 		}
 	}
-	g.dcov = coverAdd(g.dcov, lo, hi)
+	return nil
 }
 
 // coverMissing returns the subranges of [lo, hi) not covered by cov
@@ -546,6 +646,28 @@ func coverAdd(cov []intRun, lo, hi int) []intRun {
 	}
 	if !inserted {
 		out = append(out, intRun{lo: lo, hi: hi})
+	}
+	return out
+}
+
+// coverSub removes [lo, hi) from cov, splitting runs that straddle an
+// endpoint. Like coverAdd the result is freshly allocated.
+func coverSub(cov []intRun, lo, hi int) []intRun {
+	if lo >= hi {
+		return cov
+	}
+	out := make([]intRun, 0, len(cov)+1)
+	for _, r := range cov {
+		if r.hi <= lo || r.lo >= hi {
+			out = append(out, r)
+			continue
+		}
+		if r.lo < lo {
+			out = append(out, intRun{lo: r.lo, hi: lo})
+		}
+		if r.hi > hi {
+			out = append(out, intRun{lo: hi, hi: r.hi})
+		}
 	}
 	return out
 }

@@ -160,6 +160,42 @@ type NodeStats struct {
 	PhaseComputeTime vtime.Duration // VP work spans, incl. dispatch and fixed costs
 	PhaseCommTime    vtime.Duration // communication time not hidden by overlap
 	PhaseApplyTime   vtime.Duration // receive-side unpack and commit application
+
+	// Wire counts real transport activity. Only distributed runs fill
+	// it; the simulator's modeled traffic lives in the fields above, and
+	// the equivalence tests compare reports with Wire zeroed (like the
+	// vtime fields, it measures the substrate, not the program).
+	Wire WireStats
+}
+
+// WireStats counts one node process's real wire activity in a
+// distributed run: what actually went onto (or was saved from) the
+// TCP links, as opposed to the modeled bundle counters. The engine
+// supplies the transport-side fields; core fills the commit-codec and
+// read-coalescing fields. BENCH_wire.json and any future /metrics
+// endpoint read these same numbers.
+type WireStats struct {
+	FramesOut     int64 // wire frames handed to the per-peer writers
+	Flushes       int64 // TCP writes (bundles actually shipped)
+	ForcedFlushes int64 // flushes forced early by a critical-path frame
+	BytesOnWire   int64 // bytes written to sockets, after bundling and codec
+
+	ReadReqsSent   int64 // remote reads that went to the wire
+	ReadsCoalesced int64 // VP fetch waits satisfied by another VP's in-flight request
+
+	CommitBytesRaw int64 // commit-stream bytes before the codec
+	CommitBytesEnc int64 // commit-stream bytes after the codec (== raw under CodecRaw)
+}
+
+func (w *WireStats) add(o WireStats) {
+	w.FramesOut += o.FramesOut
+	w.Flushes += o.Flushes
+	w.ForcedFlushes += o.ForcedFlushes
+	w.BytesOnWire += o.BytesOnWire
+	w.ReadReqsSent += o.ReadReqsSent
+	w.ReadsCoalesced += o.ReadsCoalesced
+	w.CommitBytesRaw += o.CommitBytesRaw
+	w.CommitBytesEnc += o.CommitBytesEnc
 }
 
 // Add accumulates o into s field by field (used by the distributed
@@ -182,6 +218,7 @@ func (s *NodeStats) add(o NodeStats) {
 	s.PhaseComputeTime += o.PhaseComputeTime
 	s.PhaseCommTime += o.PhaseCommTime
 	s.PhaseApplyTime += o.PhaseApplyTime
+	s.Wire.add(o.Wire)
 }
 
 // Report summarizes a PPM run: the underlying cluster report plus PPM

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"ppm/internal/cluster"
 	"ppm/internal/machine"
@@ -47,6 +48,11 @@ type globalState struct {
 	// lastCkptPhase is the phaseSeq of this rank's newest checkpoint
 	// (written or restored), driving Checkpoint.EveryPhases spacing.
 	lastCkptPhase int64
+	// Core-side wire counters (see WireStats): fetch waits that rode
+	// another VP's in-flight request (atomic — VPs race), and commit
+	// stream sizes before/after the codec (commit goroutine only).
+	wireCoalesced                atomic.Int64
+	wireCommitRaw, wireCommitEnc int64
 }
 
 // noteStrict records the first strict-mode violation of the run.
@@ -54,6 +60,16 @@ func (gs *globalState) noteStrict(err error) {
 	if gs.strictErr == nil {
 		gs.strictErr = err
 	}
+}
+
+// arrayElemBytes is the commit codec's array-id → element-size lookup.
+// Ids outside the registered set report 0 (unknown), which the codec
+// rejects as protocol corruption.
+func (gs *globalState) arrayElemBytes(id int) int {
+	if id < 0 || id >= len(gs.arrays) {
+		return 0
+	}
+	return gs.arrays[id].elemBytes()
 }
 
 // registeredArray is the commit-side interface every shared array

@@ -185,9 +185,13 @@ type Global[T Elem] struct {
 	bufPool sync.Pool
 	// Distributed mode: dcov (under dmu) is the set of index ranges of
 	// g.base that are locally valid this phase — the local partition plus
-	// every remotely fetched range. See distFetch in dist.go.
-	dmu  sync.Mutex
-	dcov []intRun
+	// every remotely fetched range. dpend is the set currently being
+	// fetched by some VP, and dcnd (lazily built) fans fetched ranges out
+	// to the VPs waiting on them. See distFetch in dist.go.
+	dmu   sync.Mutex
+	dcov  []intRun
+	dpend []intRun
+	dcnd  *sync.Cond
 }
 
 // AllocGlobal allocates a globally shared array of n elements, block-

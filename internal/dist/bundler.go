@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"ppm/internal/wire"
+)
+
+// bundler is the per-writer bundling policy: how many queued bytes one
+// flush may coalesce, and which frames must not wait for coalescing at
+// all. It is pure state-machine — no goroutines, channels, or clocks —
+// so the policy is testable in isolation from the writer loop.
+//
+// Legacy mode (adaptive off) reproduces the fixed-cap behavior exactly:
+// nothing is urgent and the limit never moves, so the writer drains
+// until the configured BundleBytes or an empty queue, as before.
+//
+// Adaptive mode splits traffic by criticality. A frame whose receiver
+// is (or is about to be) blocked on it — read requests and replies,
+// node-level messages feeding collectives, commit-end markers, aborts —
+// flushes immediately: bundling it buys bytes and costs a stalled peer.
+// Bulk commit-delta chunks are the opposite: nobody reads them until
+// the stream's end marker, so the cap grows geometrically while the
+// writer keeps hitting it (a saturated phase boundary) and decays back
+// once flushes come up short, keeping idle-period latency at the
+// configured base.
+type bundler struct {
+	adaptive bool
+	base     int // configured BundleBytes, the floor
+	max      int // growth ceiling
+	cur      int
+	streak   int // consecutive cap-hitting flushes
+}
+
+// bundleGrowthCap bounds adaptive growth: 32x the base, at most 1 MiB.
+func bundleGrowthCap(base int) int {
+	c := base * 32
+	if c > 1<<20 {
+		c = 1 << 20
+	}
+	if c < base {
+		c = base
+	}
+	return c
+}
+
+func newBundler(base int, adaptive bool) *bundler {
+	return &bundler{adaptive: adaptive, base: base, max: bundleGrowthCap(base), cur: base}
+}
+
+// limit is the current coalescing cap in bytes.
+func (b *bundler) limit() int { return b.cur }
+
+// urgent reports whether kind must cut the current bundle short and go
+// to the wire now. Always false in legacy mode.
+func (b *bundler) urgent(kind byte) bool {
+	if !b.adaptive {
+		return false
+	}
+	// Everything except bulk commit-delta chunks sits on some consumer's
+	// critical path. (CommitEnd is what the peer's commit wait actually
+	// blocks on, so it stays urgent even though it trails the chunks.)
+	return kind != wire.KindCommitData
+}
+
+// note records one completed drain: the bundle's size and whether the
+// drain stopped because it hit the cap (a hungry writer) rather than
+// running the queue dry.
+func (b *bundler) note(n int, hitCap bool) {
+	if !b.adaptive {
+		return
+	}
+	if hitCap {
+		b.streak++
+		if b.streak >= 2 && b.cur < b.max {
+			b.cur *= 2
+			if b.cur > b.max {
+				b.cur = b.max
+			}
+			b.streak = 0
+		}
+		return
+	}
+	b.streak = 0
+	if n < b.cur/4 && b.cur > b.base {
+		b.cur /= 2
+		if b.cur < b.base {
+			b.cur = b.base
+		}
+	}
+}
+
+// pacer spaces flush starts across one rank's per-peer writers so N
+// writers do not burst into the NIC in lockstep at a phase boundary —
+// the paper's "schedule communication to reduce NIC contention", in
+// its simplest useful form. Each flush reserves the next free slot on
+// a shared clock, slots gap apart; a nil pacer (stagger off, the
+// default) costs nothing.
+type pacer struct {
+	gap  time.Duration
+	mu   sync.Mutex
+	next time.Time
+}
+
+func newPacer(gap time.Duration) *pacer {
+	if gap <= 0 {
+		return nil
+	}
+	return &pacer{gap: gap}
+}
+
+// wait blocks until this flush's reserved slot. Reservation is under
+// the mutex; the sleep is outside it, so writers queue up slots without
+// serializing their waits.
+func (p *pacer) wait() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	now := time.Now()
+	slot := p.next
+	if slot.Before(now) {
+		slot = now
+	}
+	p.next = slot.Add(p.gap)
+	p.mu.Unlock()
+	if d := slot.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ppm/internal/wire"
+)
+
+// The bundler is pure policy, so its contract is tested exhaustively in
+// isolation: legacy mode is inert, urgency splits traffic by frame
+// kind, and the cap grows under sustained saturation and decays back.
+
+func TestBundlerLegacyModeIsInert(t *testing.T) {
+	b := newBundler(4096, false)
+	kinds := []byte{wire.KindMsg, wire.KindReadReq, wire.KindReadResp,
+		wire.KindCommitData, wire.KindCommitEnd, wire.KindAbort, wire.KindPing}
+	for _, k := range kinds {
+		if b.urgent(k) {
+			t.Errorf("legacy bundler marks kind %d urgent", k)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		b.note(4096, true)
+	}
+	if b.limit() != 4096 {
+		t.Errorf("legacy limit moved to %d", b.limit())
+	}
+}
+
+func TestBundlerUrgencySplitsByKind(t *testing.T) {
+	b := newBundler(4096, true)
+	if b.urgent(wire.KindCommitData) {
+		t.Error("bulk commit chunks must not cut bundles short")
+	}
+	for _, k := range []byte{wire.KindMsg, wire.KindReadReq, wire.KindReadResp,
+		wire.KindCommitEnd, wire.KindAbort, wire.KindPing, wire.KindPong, wire.KindBye} {
+		if !b.urgent(k) {
+			t.Errorf("critical-path kind %d not urgent", k)
+		}
+	}
+}
+
+func TestBundlerGrowsUnderSaturationAndDecays(t *testing.T) {
+	base := 4096
+	b := newBundler(base, true)
+	if b.limit() != base {
+		t.Fatalf("initial limit %d, want %d", b.limit(), base)
+	}
+	// One cap-hitting flush is not a trend; two are.
+	b.note(base, true)
+	if b.limit() != base {
+		t.Fatalf("limit grew after a single full flush")
+	}
+	b.note(base, true)
+	if b.limit() != 2*base {
+		t.Fatalf("limit = %d after sustained saturation, want %d", b.limit(), 2*base)
+	}
+	// Saturation all the way up hits the ceiling and stays there.
+	for i := 0; i < 64; i++ {
+		b.note(b.limit(), true)
+	}
+	if b.limit() != bundleGrowthCap(base) {
+		t.Fatalf("limit = %d at saturation, want ceiling %d", b.limit(), bundleGrowthCap(base))
+	}
+	// Small flushes decay the cap back toward (and not below) the base.
+	for i := 0; i < 64; i++ {
+		b.note(0, false)
+	}
+	if b.limit() != base {
+		t.Fatalf("limit = %d after decay, want base %d", b.limit(), base)
+	}
+	// A near-full flush that simply ran the queue dry is not shrink
+	// evidence; only clearly undersized bundles are.
+	b.note(base, true)
+	b.note(base, true)
+	grown := b.limit()
+	b.note(grown-1, false)
+	if b.limit() != grown {
+		t.Fatalf("limit shrank on a near-full flush")
+	}
+}
+
+func TestBundleGrowthCapBounds(t *testing.T) {
+	if c := bundleGrowthCap(4096); c != 4096*32 {
+		t.Errorf("cap(4096) = %d", c)
+	}
+	if c := bundleGrowthCap(1 << 19); c != 1<<20 {
+		t.Errorf("cap(512KiB) = %d, want 1MiB", c)
+	}
+	if c := bundleGrowthCap(1 << 21); c != 1<<21 {
+		t.Errorf("cap(2MiB) = %d, must never sit below base", c)
+	}
+}
+
+func TestPacerSpacesSlots(t *testing.T) {
+	const gap = 5 * time.Millisecond
+	p := newPacer(gap)
+	const n = 8
+	// Per-wakeup timestamps are scheduler noise on a loaded host, but the
+	// slot clock itself is exact: n flushes reserve slots gap apart, so
+	// the last one cannot return before (n-1)*gap has passed — whether
+	// the callers arrive concurrently or back-to-back.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.wait()
+		}()
+	}
+	wg.Wait()
+	if d, want := time.Since(start), (n-1)*gap; d < want {
+		t.Fatalf("%d concurrent flushes finished in %v, want >= %v", n, d, want)
+	}
+	if newPacer(0) != nil {
+		t.Error("zero stagger must disable the pacer")
+	}
+	var nilPacer *pacer
+	nilPacer.wait() // must be a no-op, not a panic
+}

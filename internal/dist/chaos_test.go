@@ -111,25 +111,33 @@ func TestChaosMatrix(t *testing.T) {
 	faults := []struct {
 		name    string
 		spec    string
-		recover bool // expect bit-identical completion (possibly via restart)
+		recover bool     // expect bit-identical completion (possibly via restart)
+		args    []string // extra per-node flags (wire tuning)
 	}{
-		{"delay", "seed=3; delay=0.2:2ms", true},
-		{"dup", "seed=5; dup=0.3", true},
-		{"drop", "seed=7; drop=0.4", false},
-		{"trunc", "seed=9; trunc=0.5", false},
-		{"partition", "partition=0|1@phase:2", false},
-		{"kill", "kill=1@phase:3", true},
+		{"delay", "seed=3; delay=0.2:2ms", true, nil},
+		{"dup", "seed=5; dup=0.3", true, nil},
+		{"drop", "seed=7; drop=0.4", false, nil},
+		{"trunc", "seed=9; trunc=0.5", false, nil},
+		{"partition", "partition=0|1@phase:2", false, nil},
+		{"kill", "kill=1@phase:3", true, nil},
+		// Wire-tuning interactions: truncation hits post-codec frames, so
+		// a delta-encoded fleet must fail just as cleanly (a corrupt
+		// delta stream is a decode error, never a wrong answer); benign
+		// faults under adaptive bundling must stay bit-identical.
+		{"trunc-delta", "seed=9; trunc=0.5", false, []string{"-wire-codec", "delta"}},
+		{"dup-delta", "seed=5; dup=0.3", true, []string{"-wire-codec", "delta"}},
+		{"delay-adaptive", "seed=3; delay=0.2:2ms", true, []string{"-bundle-adaptive", "-flush-stagger", "100us"}},
 	}
 	for _, app := range []string{"jacobi", "cg"} {
 		for _, f := range faults {
 			t.Run(app+"/"+f.name, func(t *testing.T) {
-				runChaosCase(t, app, f.spec, f.recover)
+				runChaosCase(t, app, f.spec, f.recover, f.args)
 			})
 		}
 	}
 }
 
-func runChaosCase(t *testing.T, app, spec string, expectRecover bool) {
+func runChaosCase(t *testing.T, app, spec string, expectRecover bool, extraArgs []string) {
 	t.Helper()
 	opts := LaunchOpts{
 		Nodes:   2,
@@ -150,6 +158,7 @@ func runChaosCase(t *testing.T, app, spec string, expectRecover bool) {
 		opts.NodeArgs = append([]string{"-app", "cg", "-cores", "2",
 			"-cg-grid", "8x8x8", "-cg-iters", "6"}, detectorArgs...)
 	}
+	opts.NodeArgs = append(opts.NodeArgs, extraArgs...)
 	if expectRecover {
 		opts.MaxRestarts = 2
 		opts.CheckpointDir = t.TempDir()

@@ -50,6 +50,20 @@ type Config struct {
 	// BundleBytes caps the bytes coalesced into one TCP write (default
 	// 8192, matching core's modeled bundle size).
 	BundleBytes int
+	// BundleAdaptive replaces the fixed cap with the adaptive controller
+	// (see bundler.go): critical-path frames flush immediately and the
+	// cap grows under sustained bulk throughput, BundleBytes remaining
+	// the floor.
+	BundleAdaptive bool
+	// Codec is the commit-stream codec this rank prefers to send with;
+	// each link falls back to raw unless the peer advertises support
+	// (negotiated in the Hello handshake, see wire.Negotiate).
+	Codec wire.Codec
+	// FlushStagger, when positive, paces the start of TCP writes across
+	// this rank's per-peer writers so they do not burst into the NIC in
+	// lockstep at phase boundaries; each flush waits for a slot on a
+	// shared clock with this gap. Zero disables pacing.
+	FlushStagger time.Duration
 	// ConnectTimeout bounds rendezvous plus mesh establishment (default
 	// 30s).
 	ConnectTimeout time.Duration
@@ -131,6 +145,11 @@ type peer struct {
 	conn net.Conn
 	br   *bufio.Reader
 	out  chan outFrame
+	// sendCodec/recvCodec are the handshake-negotiated commit-stream
+	// codecs for the two directions of this link (immutable after
+	// Connect). Core consults them through CommitCodec/PeerCommitCodec.
+	sendCodec wire.Codec
+	recvCodec wire.Codec
 	// sawBye is set by the peer's reader goroutine when the peer
 	// announces orderly shutdown: a subsequent EOF (and silence) is then
 	// expected, not a failure. Read by the heartbeat checker too.
@@ -164,15 +183,26 @@ type serveReq struct {
 // Engine is one process's connection mesh. It is created by Connect,
 // passed to core.RunDist, and closed after the run.
 type Engine struct {
-	rank   int
-	nodes  int
-	bundle int
+	rank     int
+	nodes    int
+	bundle   int
+	adaptive bool
+	codec    wire.Codec // preferred send codec, before per-link negotiation
+	pace     *pacer     // nil unless FlushStagger > 0
 
 	hbInterval   time.Duration
 	hbTimeout    time.Duration
 	opTimeout    time.Duration
 	drainTimeout time.Duration
 	faults       *faultinject.Plan
+
+	// Engine-side wire counters (see core.WireStats); written by the
+	// per-peer writers and Fetch, read whole by WireStats.
+	wsFrames   atomic.Int64
+	wsFlushes  atomic.Int64
+	wsForced   atomic.Int64
+	wsBytes    atomic.Int64
+	wsReadReqs atomic.Int64
 
 	// curOp names the operation currently blocked on the mesh (one of
 	// possibly several — VPs fetch concurrently), purely to make detector
@@ -222,6 +252,9 @@ func Connect(cfg Config) (*Engine, error) {
 		rank:         cfg.Rank,
 		nodes:        cfg.Nodes,
 		bundle:       cfg.BundleBytes,
+		adaptive:     cfg.BundleAdaptive,
+		codec:        cfg.Codec,
+		pace:         newPacer(cfg.FlushStagger),
 		hbInterval:   cfg.HeartbeatInterval,
 		hbTimeout:    cfg.HeartbeatTimeout,
 		opTimeout:    cfg.OpTimeout,
@@ -272,7 +305,7 @@ func Connect(cfg Config) (*Engine, error) {
 	// Dial every lower rank (they are already accepting: rank 0 dials
 	// nobody, and by induction rank j < rank finished its dials first).
 	for j := 0; j < cfg.Rank; j++ {
-		p, err := dialPeer(addrs[j], cfg.Rank, j, cfg.Nodes, deadline)
+		p, err := dialPeer(addrs[j], cfg.Rank, j, cfg.Nodes, deadline, cfg.Codec)
 		if err != nil {
 			return fail(err)
 		}
@@ -287,7 +320,7 @@ func Connect(cfg Config) (*Engine, error) {
 		if err != nil {
 			return fail(fmt.Errorf("dist: rank %d accept: %w", cfg.Rank, err))
 		}
-		p, err := acceptPeer(conn, cfg.Rank, cfg.Nodes, deadline)
+		p, err := acceptPeer(conn, cfg.Rank, cfg.Nodes, deadline, cfg.Codec)
 		if err != nil {
 			conn.Close()
 			return fail(err)
@@ -416,7 +449,7 @@ func (b *backoff) next() time.Duration {
 	return d
 }
 
-func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, error) {
+func dialPeer(addr string, self, target, nodes int, deadline time.Time, prefer wire.Codec) (*peer, error) {
 	var conn net.Conn
 	var err error
 	bo := newBackoff(uint64(self)<<16 | uint64(target))
@@ -431,7 +464,8 @@ func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, 
 		time.Sleep(bo.next())
 	}
 	conn.SetDeadline(deadline)
-	hello := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian()})
+	hello := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian(),
+		Caps: wire.SupportedCaps, Prefer: prefer})
 	if _, err := conn.Write(wire.AppendFrame(nil, wire.KindHello, hello)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dist: rank %d hello to rank %d: %w", self, target, err)
@@ -451,10 +485,10 @@ func dialPeer(addr string, self, target, nodes int, deadline time.Time) (*peer, 
 		conn.Close()
 		return nil, fmt.Errorf("dist: rank %d dialed rank %d but reached rank %d", self, target, h.Rank)
 	}
-	return newPeer(target, conn, br), nil
+	return newPeer(target, conn, br, prefer, h), nil
 }
 
-func acceptPeer(conn net.Conn, self, nodes int, deadline time.Time) (*peer, error) {
+func acceptPeer(conn net.Conn, self, nodes int, deadline time.Time, prefer wire.Codec) (*peer, error) {
 	conn.SetDeadline(deadline)
 	br := bufio.NewReaderSize(conn, 64<<10)
 	kind, payload, err := wire.ReadFrame(br)
@@ -468,15 +502,27 @@ func acceptPeer(conn net.Conn, self, nodes int, deadline time.Time) (*peer, erro
 	if h.Rank <= self || h.Rank >= nodes {
 		return nil, fmt.Errorf("dist: rank %d accepted unexpected rank %d", self, h.Rank)
 	}
-	ack := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian()})
+	ack := wire.EncodeHello(wire.Hello{Rank: self, Nodes: nodes, LittleEndian: wire.NativeLittleEndian(),
+		Caps: wire.SupportedCaps, Prefer: prefer})
 	if _, err := conn.Write(wire.AppendFrame(nil, wire.KindHelloAck, ack)); err != nil {
 		return nil, fmt.Errorf("dist: rank %d hello-ack to rank %d: %w", self, h.Rank, err)
 	}
-	return newPeer(h.Rank, conn, br), nil
+	return newPeer(h.Rank, conn, br, prefer, h), nil
 }
 
-func newPeer(id int, conn net.Conn, br *bufio.Reader) *peer {
-	return &peer{id: id, conn: conn, br: br, out: make(chan outFrame, 1024)}
+// newPeer builds the peer record, resolving the link's codecs from the
+// local preference and the peer's Hello. Both ends run the same
+// Negotiate on the same two inputs (each side's prefer, the other's
+// caps), so sender and receiver agree without an extra round trip.
+func newPeer(id int, conn net.Conn, br *bufio.Reader, prefer wire.Codec, h wire.Hello) *peer {
+	return &peer{
+		id:        id,
+		conn:      conn,
+		br:        br,
+		out:       make(chan outFrame, 1024),
+		sendCodec: wire.Negotiate(prefer, h.Caps),
+		recvCodec: wire.Negotiate(h.Prefer, wire.SupportedCaps),
+	}
 }
 
 // --- engine-side fatal handling -----------------------------------------
@@ -561,20 +607,28 @@ func (e *Engine) heartbeatLoop() {
 // --- per-peer goroutines ------------------------------------------------
 
 // writeLoop ships queued frames, coalescing everything already waiting
-// into one buffered write of up to BundleBytes: the wire-level bundling.
-// It exits on the kindStop sentinel (the out channel is never closed).
-// The fault-injection seam sits here, under the bundling layer, so an
-// injected drop/dup/truncation affects exactly one wire frame.
+// into one buffered write: the wire-level bundling. The bundler decides
+// the coalescing cap and which frames cut a bundle short (with adaptive
+// bundling off it reproduces the fixed BundleBytes drain exactly), and
+// the engine's pacer — when flush staggering is on — spaces the actual
+// TCP writes across this rank's writers. The loop exits on the kindStop
+// sentinel (the out channel is never closed).
+// The fault-injection seam sits here, under the bundling layer and
+// after core's codec transcode, so an injected drop/dup/truncation
+// affects exactly one post-codec wire frame.
 func (e *Engine) writeLoop(p *peer) {
 	defer e.sendWg.Done()
 	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	bu := newBundler(e.bundle, e.adaptive)
 	var buf []byte
 	dead := false
-	flush := func() {
+	flush := func(forced bool) {
 		if dead || len(buf) == 0 {
 			buf = buf[:0]
 			return
 		}
+		e.pace.wait()
+		n := len(buf)
 		_, err := bw.Write(buf)
 		if err == nil {
 			err = bw.Flush()
@@ -585,16 +639,23 @@ func (e *Engine) writeLoop(p *peer) {
 			if !e.closing.Load() {
 				e.setFatal(fmt.Errorf("dist: rank %d: write to rank %d: %w", e.rank, p.id, err))
 			}
+			return
+		}
+		e.wsFlushes.Add(1)
+		e.wsBytes.Add(int64(n))
+		if forced {
+			e.wsForced.Add(1)
 		}
 	}
 	appendFrame := func(f outFrame) {
+		e.wsFrames.Add(1)
 		if e.faults != nil {
 			if e.faults.Blackholed(p.id) {
 				return
 			}
 			fault := e.faults.Frame(p.id, f.kind)
 			if fault.Delay > 0 {
-				flush()
+				flush(false)
 				time.Sleep(fault.Delay)
 			}
 			if fault.Drop {
@@ -616,24 +677,30 @@ func (e *Engine) writeLoop(p *peer) {
 	for {
 		f := <-p.out
 		if f.kind == kindStop {
-			flush()
+			flush(false)
 			return
 		}
 		appendFrame(f)
-		more := true
-		for more && len(buf) < e.bundle {
+		urgent := bu.urgent(f.kind)
+		hitCap := false
+	drain:
+		for !urgent && len(buf) < bu.limit() {
 			select {
 			case f2 := <-p.out:
 				if f2.kind == kindStop {
-					flush()
+					bu.note(len(buf), false)
+					flush(false)
 					return
 				}
 				appendFrame(f2)
+				urgent = bu.urgent(f2.kind)
 			default:
-				more = false
+				break drain
 			}
 		}
-		flush()
+		hitCap = !urgent && len(buf) >= bu.limit()
+		bu.note(len(buf), hitCap)
+		flush(urgent)
 	}
 }
 
@@ -826,6 +893,37 @@ func (e *Engine) SetReadServer(fn func(array, lo, hi int) ([]byte, error)) {
 	close(e.serverReady)
 }
 
+// CommitCodec implements core.DistEngine: the handshake-negotiated
+// codec for commit streams this rank sends to dst (raw for self and
+// unconnected ranks).
+func (e *Engine) CommitCodec(dst int) wire.Codec {
+	if dst >= 0 && dst < len(e.peers) && e.peers[dst] != nil {
+		return e.peers[dst].sendCodec
+	}
+	return wire.CodecRaw
+}
+
+// PeerCommitCodec implements core.DistEngine: the codec src's commit
+// streams arrive in.
+func (e *Engine) PeerCommitCodec(src int) wire.Codec {
+	if src >= 0 && src < len(e.peers) && e.peers[src] != nil {
+		return e.peers[src].recvCodec
+	}
+	return wire.CodecRaw
+}
+
+// WireStats implements core.DistEngine: the engine-side transport
+// counters accumulated so far (core adds its own fields on top).
+func (e *Engine) WireStats() core.WireStats {
+	return core.WireStats{
+		FramesOut:     e.wsFrames.Load(),
+		Flushes:       e.wsFlushes.Load(),
+		ForcedFlushes: e.wsForced.Load(),
+		BytesOnWire:   e.wsBytes.Load(),
+		ReadReqsSent:  e.wsReadReqs.Load(),
+	}
+}
+
 // Fetch implements core.DistEngine: one synchronous remote read,
 // bounded by OpTimeout so a wedged owner cannot park the fleet until
 // the launcher's watchdog.
@@ -845,6 +943,7 @@ func (e *Engine) Fetch(array, owner, lo, hi int) ([]byte, error) {
 		drop()
 		return nil, err
 	}
+	e.wsReadReqs.Add(1)
 	var timeoutCh <-chan time.Time
 	if e.opTimeout > 0 {
 		tm := time.NewTimer(e.opTimeout)

@@ -3,7 +3,6 @@ package dist
 import (
 	"fmt"
 	"math"
-	"sync"
 	"testing"
 
 	"ppm/internal/apps/cg"
@@ -20,24 +19,15 @@ import (
 // detector sees all of it at once.
 func runMesh(t *testing.T, nodes int, body func(rank int, eng *Engine) error) {
 	t.Helper()
-	dir := t.TempDir()
-	errs := make([]error, nodes)
-	var wg sync.WaitGroup
-	for r := 0; r < nodes; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			eng, err := Connect(Config{Rank: rank, Nodes: nodes, RendezvousDir: dir})
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			defer eng.Close()
-			errs[rank] = body(rank, eng)
-		}(r)
-	}
-	wg.Wait()
-	for r, err := range errs {
+	runMeshWith(t, nodes, nil, body)
+}
+
+// runMeshWith is runMesh with a per-rank Config hook (wire codec,
+// adaptive bundling, flush stagger — the rank is already filled in);
+// unlike runMeshCfg (fault_test.go) every rank error fails the test.
+func runMeshWith(t *testing.T, nodes int, mod func(rank int, cfg *Config), body func(rank int, eng *Engine) error) {
+	t.Helper()
+	for r, err := range runMeshCfg(t, nodes, mod, body) {
 		if err != nil {
 			t.Fatalf("rank %d: %v", r, err)
 		}
@@ -72,10 +62,13 @@ func sameF64(t *testing.T, label string, got, want []float64) {
 	}
 }
 
-// stripTimes zeroes the virtual-time fields, which are the one part of
-// NodeStats a real run intentionally does not model.
+// stripTimes zeroes the substrate-measurement fields — virtual time
+// (which a real run does not model) and the real-wire counters (which
+// the simulator does not have, and which legitimately vary with codec
+// and bundling configuration). Everything else must match exactly.
 func stripTimes(s core.NodeStats) core.NodeStats {
 	s.PhaseComputeTime, s.PhaseCommTime, s.PhaseApplyTime = 0, 0, 0
+	s.Wire = core.WireStats{}
 	return s
 }
 

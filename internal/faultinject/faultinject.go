@@ -10,6 +10,11 @@
 // exactly: the same spec against the same program produces the same
 // faults on the same frames.
 //
+// Frame faults act at the writer seam, after all payload encoding: a
+// truncated CommitData frame under the delta wire codec mutilates the
+// encoded stream, exactly like damage on a real link, and must surface
+// as a decode/length error on the receiver — never a wrong answer.
+//
 // Spec grammar (items separated by ';', whitespace ignored):
 //
 //	seed=N                    rng seed for probabilistic faults (default 1)

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Commit-stream codecs. A Codec names the encoding of the CommitData
+// payload bytes for one direction of one link; both directions of the
+// handshake advertise which codecs a side can decode (CodecCaps) and
+// which it wants to send (Prefer), and Negotiate derives the same
+// per-link answer on both ends. CodecRaw is the PR-4 run-length grammar
+// and is mandatory; CodecDelta is an optional delta+varint transcoding
+// of the same grammar targeting sparse scatter streams (short runs,
+// near-monotone offsets), where the per-run header — flags, absolute
+// offset, length, writer id — dominates the element payload.
+//
+// The delta codec is a pure transcoder: it never changes which runs a
+// commit applies, only how their headers travel. Element bytes stay in
+// native order uncompressed, so a delta stream is never materially
+// larger than its raw form (the bound is a few bytes per block for the
+// first run's absolute offset), and decode→apply is bit-identical to
+// raw by construction.
+//
+//	delta  := block*
+//	block  := uvarint(arrayID) uvarint(nRuns) run^nRuns
+//	run    := uvarint(hdr) [zigzag(writer-prevWriter)] [uvarint(n)] n*elemBytes
+//	hdr    := zigzag(lo-prevEnd)<<3 | single(4) | sameWriter(2) | add(1)
+//
+// prevEnd and prevWriter reset to 0 at each block header; prevEnd is
+// the previous run's lo+n. A single-element run (the scatter common
+// case) omits its length; a run by the previous run's writer (VPs drain
+// their write buffers contiguously) omits its writer.
+type Codec byte
+
+const (
+	// CodecRaw is the uncompressed commit grammar (wire.go); every build
+	// decodes it, and it is the fallback whenever negotiation fails.
+	CodecRaw Codec = 0
+	// CodecDelta is the delta+varint header transcoding described above.
+	CodecDelta Codec = 1
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("codec(%d)", byte(c))
+}
+
+// ParseCodec parses a codec name as used by the -wire-codec flag.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "raw":
+		return CodecRaw, nil
+	case "delta":
+		return CodecDelta, nil
+	}
+	return CodecRaw, fmt.Errorf("wire: unknown codec %q (want raw or delta)", s)
+}
+
+// CodecCaps is the bitmask of codecs one side can decode, advertised in
+// its Hello: bit i set means Codec(i) is understood.
+type CodecCaps byte
+
+// Has reports whether caps includes c.
+func (caps CodecCaps) Has(c Codec) bool { return caps&(1<<c) != 0 }
+
+// SupportedCaps is what this build advertises.
+const SupportedCaps = CodecCaps(1<<CodecRaw | 1<<CodecDelta)
+
+// Negotiate resolves the codec a sender preferring prefer uses toward a
+// receiver advertising caps. Both ends evaluate it — the sender with
+// the peer's caps, the receiver with its own — and get the same answer,
+// so no extra round trip is needed: anything the receiver cannot decode
+// (including codecs from a newer build) falls back to raw.
+func Negotiate(prefer Codec, caps CodecCaps) Codec {
+	if prefer != CodecRaw && caps.Has(prefer) {
+		return prefer
+	}
+	return CodecRaw
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Delta run-header flag bits (low three bits of hdr).
+const (
+	deltaAdd        = 1 // run is an Add (same meaning as runFlagAdd)
+	deltaSameWriter = 2 // writer equals the previous run's writer
+	deltaSingle     = 4 // n == 1, length omitted
+)
+
+// AppendCommitDelta transcodes a raw commit stream into the delta codec
+// and appends it to dst. elemBytes maps an array id to its element
+// size; ids the callback does not know (non-positive return) are
+// protocol corruption.
+func AppendCommitDelta(dst, raw []byte, elemBytes func(array int) int) ([]byte, error) {
+	rd := NewCommitReader(raw)
+	for rd.More() {
+		array, nRuns, err := rd.Block()
+		if err != nil {
+			return nil, err
+		}
+		es := elemBytes(array)
+		if es <= 0 {
+			return nil, fmt.Errorf("wire: delta encode: unknown array id %d", array)
+		}
+		dst = AppendBlockHeader(dst, array, nRuns)
+		prevEnd, prevWriter := 0, int64(0)
+		for i := 0; i < nRuns; i++ {
+			h, elems, err := rd.Run(es)
+			if err != nil {
+				return nil, err
+			}
+			hdr := zigzag(int64(h.Lo-prevEnd)) << 3
+			if h.N == 1 {
+				hdr |= deltaSingle
+			}
+			if h.Writer == prevWriter {
+				hdr |= deltaSameWriter
+			}
+			if h.Add {
+				hdr |= deltaAdd
+			}
+			dst = binary.AppendUvarint(dst, hdr)
+			if h.Writer != prevWriter {
+				dst = binary.AppendUvarint(dst, zigzag(h.Writer-prevWriter))
+			}
+			if h.N != 1 {
+				dst = binary.AppendUvarint(dst, uint64(h.N))
+			}
+			dst = append(dst, elems...)
+			prevEnd = h.Lo + h.N
+			prevWriter = h.Writer
+		}
+	}
+	return dst, nil
+}
+
+// DecodeCommitDelta transcodes a delta commit stream back into the raw
+// grammar. Every decoded run must be representable in the raw grammar
+// (non-negative offset, length, and writer) and every element payload
+// must lie inside the stream, so corrupt or truncated input produces an
+// error, never a panic or a desynced parse.
+func DecodeCommitDelta(enc []byte, elemBytes func(array int) int) ([]byte, error) {
+	dst := make([]byte, 0, len(enc)+len(enc)/2)
+	off := 0
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(enc[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wire: corrupt delta commit stream at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	for off < len(enc) {
+		arrayU, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nRunsU, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		array, nRuns := int(arrayU), int(nRunsU)
+		if array < 0 || nRuns < 0 {
+			return nil, fmt.Errorf("wire: delta block header (array %d, %d runs) out of range", array, nRuns)
+		}
+		es := elemBytes(array)
+		if es <= 0 {
+			return nil, fmt.Errorf("wire: delta decode: unknown array id %d", array)
+		}
+		dst = AppendBlockHeader(dst, array, nRuns)
+		prevEnd, prevWriter := 0, int64(0)
+		for i := 0; i < nRuns; i++ {
+			hdr, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			writer := prevWriter
+			if hdr&deltaSameWriter == 0 {
+				dw, err := uvarint()
+				if err != nil {
+					return nil, err
+				}
+				writer = prevWriter + unzigzag(dw)
+			}
+			n := 1
+			if hdr&deltaSingle == 0 {
+				nU, err := uvarint()
+				if err != nil {
+					return nil, err
+				}
+				n = int(nU)
+			}
+			lo := prevEnd + int(unzigzag(hdr>>3))
+			if lo < 0 || n < 0 || writer < 0 {
+				return nil, fmt.Errorf("wire: delta run (lo=%d, n=%d, writer=%d) not representable", lo, n, writer)
+			}
+			if n > (len(enc)-off)/es {
+				return nil, fmt.Errorf("wire: delta run of %d elements overruns the stream", n)
+			}
+			nb := n * es
+			dst = AppendRunHeader(dst, RunHeader{Lo: lo, N: n, Writer: writer, Add: hdr&deltaAdd != 0})
+			dst = append(dst, enc[off:off+nb]...)
+			off += nb
+			prevEnd = lo + n
+			prevWriter = writer
+		}
+	}
+	return dst, nil
+}

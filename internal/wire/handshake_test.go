@@ -38,13 +38,55 @@ func TestDecodeHelloEndiannessMismatch(t *testing.T) {
 
 func TestDecodeHelloShortAndLong(t *testing.T) {
 	good := EncodeHello(Hello{Rank: 0, Nodes: 2, LittleEndian: NativeLittleEndian()})
-	for _, n := range []int{0, 1, 7, 14} {
+	if len(good) != 17 {
+		t.Fatalf("hello payload is %d bytes, want 17", len(good))
+	}
+	for _, n := range []int{0, 1, 7, 14, 16} {
 		if _, err := DecodeHello(good[:n], 2); err == nil {
 			t.Errorf("%d-byte hello accepted", n)
 		}
 	}
 	if _, err := DecodeHello(append(append([]byte{}, good...), 0), 2); err == nil {
-		t.Error("16-byte hello accepted")
+		t.Error("18-byte hello accepted")
+	}
+}
+
+func TestDecodeHelloLegacyAndCodecBytes(t *testing.T) {
+	h := Hello{Rank: 1, Nodes: 4, LittleEndian: NativeLittleEndian(),
+		Caps: SupportedCaps, Prefer: CodecDelta}
+	p := EncodeHello(h)
+
+	got, err := DecodeHello(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Caps != SupportedCaps || got.Prefer != CodecDelta {
+		t.Errorf("caps/prefer = %v/%v, want %v/%v", got.Caps, got.Prefer, SupportedCaps, CodecDelta)
+	}
+
+	// The first 15 bytes are the pre-codec hello: an old peer's payload
+	// must still decode, as a raw-only speaker.
+	legacy, err := DecodeHello(p[:15], 4)
+	if err != nil {
+		t.Fatalf("legacy 15-byte hello rejected: %v", err)
+	}
+	if legacy.Prefer != CodecRaw || !legacy.Caps.Has(CodecRaw) || legacy.Caps.Has(CodecDelta) {
+		t.Errorf("legacy hello decoded as caps=%v prefer=%v, want raw-only", legacy.Caps, legacy.Prefer)
+	}
+	if legacy.Rank != 1 || legacy.Nodes != 4 {
+		t.Errorf("legacy hello identity = rank %d / %d nodes, want 1 / 4", legacy.Rank, legacy.Nodes)
+	}
+
+	// Negotiation is symmetric: the sender evaluates the peer's caps, the
+	// receiver its own, and both land on the same codec.
+	if c := Negotiate(CodecDelta, SupportedCaps); c != CodecDelta {
+		t.Errorf("delta vs delta-capable peer negotiated %v", c)
+	}
+	if c := Negotiate(CodecDelta, legacy.Caps); c != CodecRaw {
+		t.Errorf("delta vs raw-only peer negotiated %v", c)
+	}
+	if c := Negotiate(Codec(9), SupportedCaps); c != CodecRaw {
+		t.Errorf("unknown future codec negotiated %v, want raw fallback", c)
 	}
 }
 
@@ -87,9 +129,9 @@ func TestHelloFrameFromGarbageStream(t *testing.T) {
 	// or errors — it must not block once bytes stop, and must not panic.
 	streams := [][]byte{
 		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
-		{0x00, 0x00, 0x00, 0x00},             // zero-length frame
-		{0xff, 0xff, 0xff, 0x7f, 0x01},       // absurd length prefix
-		{0x05, 0x00, 0x00, 0x00, KindHello},  // hello frame, empty payload
+		{0x00, 0x00, 0x00, 0x00},            // zero-length frame
+		{0xff, 0xff, 0xff, 0x7f, 0x01},      // absurd length prefix
+		{0x05, 0x00, 0x00, 0x00, KindHello}, // hello frame, empty payload
 	}
 	for i, s := range streams {
 		br := bufio.NewReader(bytes.NewReader(s))

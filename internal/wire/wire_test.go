@@ -70,7 +70,7 @@ func TestFrameTruncatedAndOversized(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	h := Hello{Rank: 3, Nodes: 8, LittleEndian: NativeLittleEndian()}
+	h := Hello{Rank: 3, Nodes: 8, LittleEndian: NativeLittleEndian(), Caps: SupportedCaps, Prefer: CodecDelta}
 	got, err := DecodeHello(EncodeHello(h), 8)
 	if err != nil {
 		t.Fatalf("DecodeHello: %v", err)
