@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples langcheck test race race-parallel bench-hotpath bench-parallel bench-wire dist-smoke chaos figures
+.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire dist-smoke chaos figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
-## phase-semantics analyzers over both front ends) and race-test.
-check: build vet ppmvet ppmvet-examples langcheck race
+## phase-semantics analyzers over both front ends, gated by the
+## findings baseline) and race-test.
+check: build vet vet-all ppmvet-examples langcheck race
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,21 @@ ppmvet:
 ## are what new users copy from — kept green explicitly.
 ppmvet-examples:
 	$(GO) run ./cmd/ppmvet ./examples/...
+
+## vet-all: every analyzer over the whole tree (apps, examples,
+## commands, runtime), gated by the checked-in findings baseline:
+## findings recorded in VET_BASELINE.json are tolerated, any NEW
+## finding fails the build. Accept a finding by regenerating the
+## baseline with `make vet-report && cp ppmvet-report.json VET_BASELINE.json`
+## (or better, fix or //ppmvet:ignore it with a reason).
+vet-all:
+	$(GO) run ./cmd/ppmvet -baseline VET_BASELINE.json ./...
+
+## vet-report: machine-readable findings report for CI artifacts and
+## baseline regeneration. Exit status is ignored: the report is the
+## product, vet-all is the gate.
+vet-report:
+	$(GO) run ./cmd/ppmvet -json ./... > ppmvet-report.json; true
 
 ## langcheck: phase-semantics analysis of the example .ppm programs.
 langcheck:

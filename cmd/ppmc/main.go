@@ -12,9 +12,10 @@
 //
 // check reports every diagnostic with file:line:col positions — semantic
 // errors plus phase-semantics warnings (guaranteed strict-mode write
-// conflicts, stale same-phase reads, unused shared arrays) — and exits
-// nonzero when there are findings. -json emits them as a JSON array for
-// tooling.
+// conflicts, overlapping VP write sets and index sets it cannot prove
+// disjoint [phaserace, phaserace.possible], stale same-phase reads,
+// unused shared arrays) — and exits nonzero when there are findings.
+// -json emits them as a JSON array for tooling.
 //
 // The language is documented in internal/lang; examples/language contains
 // runnable programs (including the paper's Section 5 listing).

@@ -1,0 +1,845 @@
+package analysis
+
+// Affine index resolution: rewriting shared-array index expressions as
+// affine forms over a small symbol vocabulary — VP rank, global rank,
+// node id, ChunkRange/OwnerRange results, loop induction variables, and
+// opaque-but-uniform values — precise enough to decide whether two VP
+// instances of a phase can write the same element (see phaserace.go for
+// the decision procedure itself).
+//
+// Symbols carry a uniformity class, which is what the pair comparison
+// exploits: a kUniform symbol has one value for every VP of the program,
+// a kNodeVar one value per node, while kNodeRank/kGlobalRank/kChunk*
+// vary per VP in ways with known structure (ranks are dense integers;
+// ChunkRange intervals partition [0, n) across the ranks of one node).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+type symKind int
+
+const (
+	kUniform    symKind = iota // one value program-wide
+	kNodeVar                   // one value per node, unknown across nodes
+	kNodeID                    // rt.NodeID(): distinct per node
+	kNodeRank                  // vp.NodeRank(): per VP, dense 0..K-1 per node
+	kGlobalRank                // vp.GlobalRank(): distinct across all VPs
+	kOwnerLo                   // OwnerRange lo of a shared array: per node
+	kOwnerHi                   // OwnerRange hi of a shared array: per node
+	kChunkLo                   // ChunkRange lo: per VP, partition structure
+	kChunkHi                   // ChunkRange hi: per VP, partition structure
+	kLoop                      // loop induction variable (substituted away)
+)
+
+// sym is one symbolic term. key discriminates distinct symbols of a
+// kind: a types.Object, an ast.Node, a string, or a chunk-site key.
+type sym struct {
+	kind symKind
+	key  any
+}
+
+// affine is c + Σ terms[s]*s, or unresolvable (ok == false).
+type affine struct {
+	ok bool
+	c  int64
+	t  map[sym]int64
+}
+
+func aConst(c int64) affine { return affine{ok: true, c: c} }
+func aSym(s sym) affine     { return affine{ok: true, t: map[sym]int64{s: 1}} }
+func aBad() affine          { return affine{} }
+
+func (a affine) clone() affine {
+	b := affine{ok: a.ok, c: a.c, t: map[sym]int64{}}
+	for s, c := range a.t {
+		b.t[s] = c
+	}
+	return b
+}
+
+func (a affine) addScaled(b affine, k int64) affine {
+	if !a.ok || !b.ok {
+		return aBad()
+	}
+	r := a.clone()
+	r.c += k * b.c
+	for s, c := range b.t {
+		r.t[s] += k * c
+		if r.t[s] == 0 {
+			delete(r.t, s)
+		}
+	}
+	return r
+}
+
+func (a affine) add(b affine) affine { return a.addScaled(b, 1) }
+func (a affine) sub(b affine) affine { return a.addScaled(b, -1) }
+
+func (a affine) scale(k int64) affine {
+	if !a.ok {
+		return aBad()
+	}
+	r := affine{ok: true, c: a.c * k, t: map[sym]int64{}}
+	for s, c := range a.t {
+		if c*k != 0 {
+			r.t[s] = c * k
+		}
+	}
+	return r
+}
+
+// isConst reports a pure constant and its value.
+func (a affine) isConst() (int64, bool) {
+	if !a.ok || len(a.t) != 0 {
+		return 0, false
+	}
+	return a.c, true
+}
+
+func (a affine) coef(s sym) int64 { return a.t[s] }
+
+// equal reports structural equality (same symbols, same coefficients).
+func (a affine) equal(b affine) bool {
+	if !a.ok || !b.ok || a.c != b.c || len(a.t) != len(b.t) {
+		return false
+	}
+	for s, c := range a.t {
+		if b.t[s] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// kindsIn reports whether a mentions any symbol of the given kinds.
+func (a affine) kindsIn(kinds ...symKind) bool {
+	for s := range a.t {
+		for _, k := range kinds {
+			if s.kind == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resolveEnv is the context of one expression resolution: the frame (for
+// parameter substitution; nil during lexical ascent), the unit whose
+// reaching-definitions govern identifier lookups, and the active loops.
+type resolveEnv struct {
+	fr    *frame
+	u     *unit
+	loops []loopRec
+}
+
+func envOf(fr *frame, loops []loopRec) resolveEnv {
+	return resolveEnv{fr: fr, u: fr.unit, loops: loops}
+}
+
+// loopKey identifies one loop in one frame for kLoop symbols.
+type loopKey struct {
+	stmt ast.Node
+	fr   *frame
+}
+
+// resolver caches classification and chunk-site metadata for one
+// analysis pass over one package.
+type resolver struct {
+	px *PkgIndex
+	// class memoizes object uniformity classification. The int encodes
+	// kUniform/kNodeVar, or -1 for per-VP (unresolvable).
+	class map[types.Object]int
+	// chunk sites are canonicalized by the (n, k) argument affines: two
+	// ChunkRange calls with equal arguments compute the same partition,
+	// so their lo/hi symbols must be shared for cancellation.
+	chunkIDs map[string]int
+	chunkN   map[int]affine // chunk id -> n affine
+	// symIDs numbers symbols for canonical affine serialization.
+	symIDs map[sym]int
+	// loopInfo caches validated loop bounds.
+	loopInfo map[loopKey]*loopBounds
+}
+
+const classPerVP = -1
+
+func newResolver(px *PkgIndex) *resolver {
+	return &resolver{
+		px:       px,
+		class:    map[types.Object]int{},
+		chunkIDs: map[string]int{},
+		chunkN:   map[int]affine{},
+		symIDs:   map[sym]int{},
+		loopInfo: map[loopKey]*loopBounds{},
+	}
+}
+
+// canon serializes an affine into a stable string (used to canonicalize
+// chunk sites by their arguments).
+func (rv *resolver) canon(a affine) string {
+	if !a.ok {
+		return "?"
+	}
+	type term struct {
+		id int
+		c  int64
+	}
+	var ts []term
+	for s, c := range a.t {
+		id, ok := rv.symIDs[s]
+		if !ok {
+			id = len(rv.symIDs)
+			rv.symIDs[s] = id
+		}
+		ts = append(ts, term{id, c})
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", a.c)
+	for _, t := range ts {
+		fmt.Fprintf(&b, "+%d*s%d", t.c, t.id)
+	}
+	return b.String()
+}
+
+// chunkSite interns a ChunkRange site by its canonical (n, k) arguments
+// and records n for owner-anchoring checks. ok is false when the rank
+// argument is not plainly vp.NodeRank(), or n/k are not VP-invariant —
+// the partition property then does not relate same-node VPs.
+func (rv *resolver) chunkSite(nAff, kAff, rankAff affine) (id int, ok bool) {
+	isRankSym := rankAff.ok && rankAff.c == 0 && len(rankAff.t) == 1
+	if isRankSym {
+		for s, c := range rankAff.t {
+			if s.kind != kNodeRank || c != 1 {
+				isRankSym = false
+			}
+		}
+	}
+	perVP := func(a affine) bool {
+		return !a.ok || a.kindsIn(kNodeRank, kGlobalRank, kChunkLo, kChunkHi, kLoop)
+	}
+	ok = isRankSym && !perVP(nAff) && !perVP(kAff)
+	if !ok {
+		return 0, false
+	}
+	key := rv.canon(nAff) + ";" + rv.canon(kAff)
+	cid, have := rv.chunkIDs[key]
+	if !have {
+		cid = len(rv.chunkIDs)
+		rv.chunkIDs[key] = cid
+		rv.chunkN[cid] = nAff
+	}
+	return cid, ok
+}
+
+// constVal extracts an exact integer constant from the type checker.
+func (rv *resolver) constVal(e ast.Expr) (int64, bool) {
+	tv, ok := rv.px.info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// exprAffine resolves e (in env) to an affine form.
+func (rv *resolver) exprAffine(e ast.Expr, env resolveEnv) affine {
+	return rv.exprAffineD(e, env, 0)
+}
+
+const maxResolveDepth = 24
+
+func (rv *resolver) exprAffineD(e ast.Expr, env resolveEnv, depth int) affine {
+	if depth > maxResolveDepth {
+		return aBad()
+	}
+	if v, ok := rv.constVal(e); ok {
+		return aConst(v)
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return rv.exprAffineD(x.X, env, depth+1)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.ADD:
+			return rv.exprAffineD(x.X, env, depth+1)
+		case token.SUB:
+			return rv.exprAffineD(x.X, env, depth+1).scale(-1)
+		}
+		return aBad()
+	case *ast.BinaryExpr:
+		l := rv.exprAffineD(x.X, env, depth+1)
+		r := rv.exprAffineD(x.Y, env, depth+1)
+		switch x.Op {
+		case token.ADD:
+			return l.add(r)
+		case token.SUB:
+			return l.sub(r)
+		case token.MUL:
+			if c, ok := l.isConst(); ok {
+				return r.scale(c)
+			}
+			if c, ok := r.isConst(); ok {
+				return l.scale(c)
+			}
+		}
+		return rv.opaque(e, env)
+	case *ast.CallExpr:
+		// Conversions like int64(e) are transparent.
+		if len(x.Args) == 1 {
+			if tv, ok := rv.px.info.Types[x.Fun]; ok && tv.IsType() {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return rv.exprAffineD(x.Args[0], env, depth+1)
+				}
+			}
+		}
+		if isVPMethod(rv.px.info, x, "NodeRank") {
+			return aSym(sym{kNodeRank, "rank"})
+		}
+		if isVPMethod(rv.px.info, x, "GlobalRank") {
+			return aSym(sym{kGlobalRank, "grank"})
+		}
+		if isVPMethod(rv.px.info, x, "K") {
+			return aSym(sym{kNodeVar, "vp.K"})
+		}
+		if isVPMethod(rv.px.info, x, "GlobalK") {
+			return aSym(sym{kUniform, "vp.GlobalK"})
+		}
+		if isVPMethod(rv.px.info, x, "Node", "Nodes", "Cores") {
+			if isVPMethod(rv.px.info, x, "Node") {
+				return aSym(sym{kNodeID, "node"})
+			}
+			return aSym(sym{kUniform, "vp." + x.Fun.(*ast.SelectorExpr).Sel.Name})
+		}
+		if isRuntimeMethod(rv.px.info, x, "NodeID") {
+			return aSym(sym{kNodeID, "node"})
+		}
+		if isRuntimeMethod(rv.px.info, x, "NodeCount", "CoresPerNode") {
+			return aSym(sym{kUniform, "rt." + x.Fun.(*ast.SelectorExpr).Sel.Name})
+		}
+		return rv.opaque(e, env)
+	case *ast.Ident:
+		return rv.identAffine(x, env, depth)
+	}
+	return rv.opaque(e, env)
+}
+
+// identAffine resolves one identifier: parameter substitution, loop
+// induction symbol, unique-definition rewriting, then classification.
+func (rv *resolver) identAffine(id *ast.Ident, env resolveEnv, depth int) affine {
+	info := rv.px.info
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return aBad()
+	}
+	// Parameter bound at a call site: resolve the caller's argument in
+	// the caller's context.
+	if env.fr != nil {
+		if arg, ok := env.fr.args[obj]; ok && env.fr.parent != nil {
+			penv := resolveEnv{fr: env.fr.parent, u: env.fr.parent.unit, loops: env.fr.loops}
+			return rv.exprAffineD(arg, penv, depth+1)
+		}
+	}
+	// Induction variable of an active loop.
+	for i := len(env.loops) - 1; i >= 0; i-- {
+		lr := env.loops[i]
+		if rv.loopOwns(lr, obj) {
+			return aSym(sym{kLoop, loopKey{lr.stmt, lr.fr}})
+		}
+	}
+	return rv.resolveObj(obj, id.Pos(), env, depth)
+}
+
+// resolveObj resolves obj at pos through its reaching definitions.
+func (rv *resolver) resolveObj(obj types.Object, pos token.Pos, env resolveEnv, depth int) affine {
+	if depth > maxResolveDepth {
+		return aBad()
+	}
+	r := rv.px.reachOf(env.u)
+	d := r.uniqueDef(obj, pos)
+	if d == nil {
+		return rv.classified(obj)
+	}
+	if d.site == nil {
+		// Entry def: a parameter without a frame binding, or a free
+		// variable — ascend one lexical level.
+		du := rv.px.declaringUnit(obj.Pos())
+		if du == nil || du == env.u {
+			return rv.classified(obj)
+		}
+		// Find the child of du on env.u's lexical parent chain; the
+		// variable's value at env.u is its value where that literal
+		// appears.
+		child := env.u
+		for child.parent != nil && child.parent != du {
+			child = child.parent
+		}
+		if child.parent != du {
+			return rv.classified(obj)
+		}
+		return rv.resolveObj(obj, child.node.Pos(), resolveEnv{u: du}, depth+1)
+	}
+	// Definitions inside loops not active in env would replay per
+	// iteration; restrict substitution-context loops to those enclosing
+	// the def site.
+	denv := env
+	denv.loops = nil
+	for _, lr := range env.loops {
+		if lr.stmt.Pos() <= d.site.Pos() && d.site.Pos() < lr.stmt.End() {
+			denv.loops = append(denv.loops, lr)
+		}
+	}
+	rhs, lhsIdx := defRHS(rv.px.info, d)
+	if rhs != nil {
+		return rv.exprAffineD(rhs, denv, depth+1)
+	}
+	// Multi-value call: recognize ChunkRange and OwnerRange.
+	if as, ok := d.site.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && lhsIdx >= 0 && lhsIdx <= 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && len(as.Lhs) == 2 {
+			if isChunkRangeCall(rv.px.info, call) && len(call.Args) == 3 {
+				nAff := rv.exprAffineD(call.Args[0], denv, depth+1)
+				kAff := rv.exprAffineD(call.Args[1], denv, depth+1)
+				rankAff := rv.exprAffineD(call.Args[2], denv, depth+1)
+				cid, ok := rv.chunkSite(nAff, kAff, rankAff)
+				if !ok {
+					return rv.classified(obj)
+				}
+				kind := kChunkLo
+				if lhsIdx == 1 {
+					kind = kChunkHi
+				}
+				return aSym(sym{kind, cid})
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "OwnerRange" {
+				if selx := rv.px.info.Selections[sel]; selx != nil && selx.Kind() == types.MethodVal {
+					if t := namedCoreType(selx.Recv()); t == "Global" || t == "Node" {
+						arr := rv.arrayObj(sel.X, denv)
+						if arr != nil {
+							kind := kOwnerLo
+							if lhsIdx == 1 {
+								kind = kOwnerHi
+							}
+							return aSym(sym{kind, arr})
+						}
+					}
+				}
+			}
+		}
+	}
+	return rv.classified(obj)
+}
+
+// isChunkRangeCall recognizes core.ChunkRange / ppm.ChunkRange.
+func isChunkRangeCall(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "ChunkRange" || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == corePath || p == "ppm"
+}
+
+// arrayObj resolves the root object a shared-array receiver expression
+// denotes, substituting frame parameters and unique definitions (so a
+// helper's `sh` parameter resolves to the caller's array variable, and
+// `g := tables[l]` resolves to `tables`).
+func (rv *resolver) arrayObj(e ast.Expr, env resolveEnv) types.Object {
+	return rv.arrayObjD(e, env, 0)
+}
+
+func (rv *resolver) arrayObjD(e ast.Expr, env resolveEnv, depth int) types.Object {
+	if depth > maxResolveDepth {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return rv.arrayObjD(x.X, env, depth+1)
+	case *ast.IndexExpr:
+		return rv.arrayObjD(x.X, env, depth+1)
+	case *ast.SelectorExpr:
+		return rv.arrayObjD(x.X, env, depth+1)
+	case *ast.StarExpr:
+		return rv.arrayObjD(x.X, env, depth+1)
+	case *ast.Ident:
+		obj := rv.px.info.Uses[x]
+		if obj == nil {
+			obj = rv.px.info.Defs[x]
+		}
+		if obj == nil {
+			return nil
+		}
+		if env.fr != nil {
+			if arg, ok := env.fr.args[obj]; ok && env.fr.parent != nil {
+				penv := resolveEnv{fr: env.fr.parent, u: env.fr.parent.unit, loops: env.fr.loops}
+				return rv.arrayObjD(arg, penv, depth+1)
+			}
+		}
+		// Follow a unique alias definition when it resolves to another
+		// identifier-rooted expression (g := tables[l]); otherwise the
+		// variable itself is the array's identity.
+		if env.u != nil {
+			r := rv.px.reachOf(env.u)
+			if d := r.uniqueDef(obj, x.Pos()); d != nil && d.site != nil {
+				if rhs, _ := defRHS(rv.px.info, d); rhs != nil {
+					if root := rv.arrayObjD(rhs, env, depth+1); root != nil {
+						return root
+					}
+				}
+			}
+		}
+		return obj
+	}
+	return nil
+}
+
+// loopOwns reports whether lr's loop declares obj as its induction
+// variable (for-init define, or range key).
+func (rv *resolver) loopOwns(lr loopRec, obj types.Object) bool {
+	switch st := lr.stmt.(type) {
+	case *ast.ForStmt:
+		init, ok := st.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+			return false
+		}
+		id, ok := init.Lhs[0].(*ast.Ident)
+		return ok && rv.px.info.Defs[id] == obj
+	case *ast.RangeStmt:
+		if id, ok := st.Key.(*ast.Ident); ok && st.Tok == token.DEFINE && rv.px.info.Defs[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeValueOwner returns the loop whose range VALUE variable is obj.
+func rangeValueOwner(info *types.Info, loops []loopRec, obj types.Object) (loopRec, bool) {
+	for i := len(loops) - 1; i >= 0; i-- {
+		if st, ok := loops[i].stmt.(*ast.RangeStmt); ok && st.Tok == token.DEFINE {
+			if id, ok := st.Value.(*ast.Ident); ok && info.Defs[id] == obj {
+				return loops[i], true
+			}
+		}
+	}
+	return loopRec{}, false
+}
+
+// loopBounds is a validated stride-1 loop: the induction variable runs
+// over [lo, hi) and is not otherwise assigned in the body.
+type loopBounds struct {
+	ok     bool
+	lo, hi affine
+}
+
+// bounds validates lr as a simple counted loop (i := A; i < B; i++, or
+// a range over a slice for the key variable) and resolves its bounds in
+// the loop's own context. prefix is the loop stack outside lr.
+func (rv *resolver) bounds(lr loopRec, prefix []loopRec) *loopBounds {
+	key := loopKey{lr.stmt, lr.fr}
+	if b, ok := rv.loopInfo[key]; ok {
+		return b
+	}
+	b := &loopBounds{}
+	rv.loopInfo[key] = b
+	env := resolveEnv{fr: lr.fr, u: lr.fr.unit, loops: prefix}
+	switch st := lr.stmt.(type) {
+	case *ast.ForStmt:
+		init, ok := st.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			return b
+		}
+		id, ok := init.Lhs[0].(*ast.Ident)
+		if !ok {
+			return b
+		}
+		obj := rv.px.info.Defs[id]
+		cond, ok := st.Cond.(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+			return b
+		}
+		cid, ok := cond.X.(*ast.Ident)
+		if !ok || rv.px.info.Uses[cid] != obj {
+			return b
+		}
+		// Post must be i++ (or i += 1).
+		switch post := st.Post.(type) {
+		case *ast.IncDecStmt:
+			pid, ok := post.X.(*ast.Ident)
+			if !ok || post.Tok != token.INC || rv.px.info.Uses[pid] != obj {
+				return b
+			}
+		case *ast.AssignStmt:
+			if post.Tok != token.ADD_ASSIGN || len(post.Lhs) != 1 || len(post.Rhs) != 1 {
+				return b
+			}
+			pid, ok := post.Lhs[0].(*ast.Ident)
+			if !ok || rv.px.info.Uses[pid] != obj {
+				return b
+			}
+			if v, ok := rv.constVal(post.Rhs[0]); !ok || v != 1 {
+				return b
+			}
+		default:
+			return b
+		}
+		if loopReassigns(rv.px.info, st.Body, obj) {
+			return b
+		}
+		lo := rv.exprAffine(init.Rhs[0], env)
+		hi := rv.exprAffine(cond.Y, env)
+		if cond.Op == token.LEQ {
+			hi = hi.add(aConst(1))
+		}
+		if !lo.ok || !hi.ok {
+			return b
+		}
+		b.ok, b.lo, b.hi = true, lo, hi
+		return b
+	case *ast.RangeStmt:
+		// Key variable over a slice: [0, len(X)). len(X) is modeled as
+		// an opaque symbol keyed by the range statement, classified by
+		// the range expression's uniformity.
+		if loopReassignsKey(rv.px.info, st) {
+			return b
+		}
+		cls := rv.classifyExpr(st.X, env)
+		if cls == classPerVP {
+			return b
+		}
+		kind := kUniform
+		if cls == int(kNodeVar) {
+			kind = kNodeVar
+		}
+		b.ok = true
+		b.lo = aConst(0)
+		b.hi = aSym(sym{kind, key})
+		return b
+	}
+	return b
+}
+
+// loopReassigns reports whether body assigns, increments, or takes the
+// address of obj.
+func loopReassigns(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	bad := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+					bad = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := x.X.(*ast.Ident); ok && info.Uses[id] == obj {
+				bad = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := x.X.(*ast.Ident); ok && info.Uses[id] == obj {
+					bad = true
+				}
+			}
+		}
+		return !bad
+	})
+	return bad
+}
+
+func loopReassignsKey(info *types.Info, st *ast.RangeStmt) bool {
+	id, ok := st.Key.(*ast.Ident)
+	if !ok || st.Tok != token.DEFINE {
+		return false
+	}
+	obj := info.Defs[id]
+	return obj != nil && loopReassigns(info, st.Body, obj)
+}
+
+// opaque builds a symbol for an expression the affine grammar cannot
+// decompose, classified by uniformity; per-VP opaque values poison the
+// form.
+func (rv *resolver) opaque(e ast.Expr, env resolveEnv) affine {
+	switch rv.classifyExpr(e, env) {
+	case classPerVP:
+		return aBad()
+	case int(kNodeVar):
+		return aSym(sym{kNodeVar, ast.Node(e)})
+	default:
+		return aSym(sym{kUniform, ast.Node(e)})
+	}
+}
+
+// classified resolves obj to its uniformity symbol.
+func (rv *resolver) classified(obj types.Object) affine {
+	switch rv.classifyObj(obj, 0) {
+	case classPerVP:
+		return aBad()
+	case int(kNodeVar):
+		return aSym(sym{kNodeVar, obj})
+	default:
+		return aSym(sym{kUniform, obj})
+	}
+}
+
+// classifyExpr classifies an expression's uniformity: classPerVP if it
+// can differ between VPs of one node, kNodeVar if only between nodes,
+// kUniform otherwise.
+func (rv *resolver) classifyExpr(e ast.Expr, env resolveEnv) int {
+	cls := int(kUniform)
+	merge := func(c int) {
+		if c == classPerVP || cls == classPerVP {
+			cls = classPerVP
+		} else if c == int(kNodeVar) {
+			cls = int(kNodeVar)
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if cls == classPerVP {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isVPMethod(rv.px.info, x, "NodeRank", "GlobalRank") {
+				merge(classPerVP)
+				return false
+			}
+			if isVPMethod(rv.px.info, x, "K") || isRuntimeMethod(rv.px.info, x, "NodeID") {
+				merge(int(kNodeVar))
+				return false
+			}
+		case *ast.Ident:
+			obj := rv.px.info.Uses[x]
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				// Loop variables active in env are per-VP iteration state.
+				for _, lr := range env.loops {
+					if rv.loopOwns(lr, obj) {
+						merge(classPerVP)
+						return true
+					}
+				}
+				merge(rv.classifyObj(obj, 0))
+			}
+		}
+		return true
+	})
+	return cls
+}
+
+// classifyObj classifies a variable's uniformity from where it is
+// declared and what its definitions mention.
+func (rv *resolver) classifyObj(obj types.Object, depth int) int {
+	if c, ok := rv.class[obj]; ok {
+		return c
+	}
+	if depth > 8 {
+		return int(kNodeVar) // conservative middle class
+	}
+	// Guard against recursion through cyclic definitions.
+	rv.class[obj] = int(kNodeVar)
+
+	cls := int(kUniform)
+	du := rv.px.declaringUnit(obj.Pos())
+	if du != nil && rv.px.vpRoot(du) != nil {
+		cls = classPerVP
+	} else if du != nil {
+		// Scan the declaring unit's definitions of obj for node- or
+		// VP-dependent ingredients.
+		merge := func(c int) {
+			if c == classPerVP || cls == classPerVP {
+				cls = classPerVP
+			} else if c == int(kNodeVar) {
+				cls = int(kNodeVar)
+			}
+		}
+		scanRHS := func(e ast.Expr) {
+			ast.Inspect(e, func(n ast.Node) bool {
+				if cls == classPerVP {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if isVPMethod(rv.px.info, x, "NodeRank", "GlobalRank") {
+						merge(classPerVP)
+						return false
+					}
+					if isVPMethod(rv.px.info, x, "K") || isRuntimeMethod(rv.px.info, x, "NodeID") {
+						merge(int(kNodeVar))
+						return false
+					}
+					if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "OwnerRange" {
+						merge(int(kNodeVar))
+						return false
+					}
+					// AllReduce results are uniform across nodes.
+					if isRuntimeMethod(rv.px.info, x, "AllReduce", "AllReduceInt") {
+						return false
+					}
+				case *ast.Ident:
+					o := rv.px.info.Uses[x]
+					if v, ok := o.(*types.Var); ok && !v.IsField() && o != obj {
+						merge(rv.classifyObj(o, depth+1))
+					}
+				}
+				return true
+			})
+		}
+		ast.Inspect(du.body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					o := rv.px.info.Defs[id]
+					if o == nil {
+						o = rv.px.info.Uses[id]
+					}
+					if o != obj {
+						continue
+					}
+					if len(x.Rhs) == len(x.Lhs) {
+						scanRHS(x.Rhs[i])
+					} else if len(x.Rhs) == 1 {
+						scanRHS(x.Rhs[0])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if rv.px.info.Defs[name] == obj && i < len(x.Values) {
+						scanRHS(x.Values[i])
+					}
+				}
+			case *ast.RangeStmt:
+				for _, v := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := v.(*ast.Ident); ok && rv.px.info.Defs[id] == obj {
+						scanRHS(x.X)
+					}
+				}
+			}
+			return true
+		})
+	}
+	rv.class[obj] = cls
+	return cls
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+// The affine decision procedure rests on this small symbolic
+// arithmetic; these tests pin its algebra directly.
+
+func TestAffineArithmetic(t *testing.T) {
+	rank := sym{kNodeRank, "rank"}
+	grank := sym{kGlobalRank, "grank"}
+
+	// 2*rank + 3
+	a := aSym(rank).scale(2).add(aConst(3))
+	if !a.ok || a.c != 3 || a.coef(rank) != 2 {
+		t.Fatalf("2*rank+3 built wrong: %+v", a)
+	}
+	// (2*rank + 3) - 2*rank = 3: matching symbols cancel exactly.
+	d := a.sub(aSym(rank).scale(2))
+	if c, ok := d.isConst(); !ok || c != 3 {
+		t.Errorf("difference = %+v, want constant 3", d)
+	}
+	// Mixed symbols do not cancel.
+	m := a.sub(aSym(grank).scale(2))
+	if _, ok := m.isConst(); ok {
+		t.Errorf("rank - grank collapsed to a constant: %+v", m)
+	}
+	if m.coef(rank) != 2 || m.coef(grank) != -2 {
+		t.Errorf("mixed difference coefficients wrong: %+v", m)
+	}
+}
+
+func TestAffineEqualIgnoresZeroCoefficients(t *testing.T) {
+	rank := sym{kNodeRank, "rank"}
+	a := aConst(5)
+	b := aSym(rank).add(aConst(5)).sub(aSym(rank)) // 5 with a cancelled term
+	if !a.equal(b) || !b.equal(a) {
+		t.Errorf("equal must ignore zero coefficients: %+v vs %+v", a, b)
+	}
+}
+
+func TestAffineBadPropagates(t *testing.T) {
+	bad := aBad()
+	for name, a := range map[string]affine{
+		"add":       bad.add(aConst(1)),
+		"sub":       aConst(1).sub(bad),
+		"scale":     bad.scale(2),
+		"addScaled": aConst(0).addScaled(bad, 3),
+	} {
+		if a.ok {
+			t.Errorf("%s of a non-affine form claims affine: %+v", name, a)
+		}
+	}
+	if _, ok := bad.isConst(); ok {
+		t.Error("non-affine form reports a constant value")
+	}
+}
+
+func TestAffineScaleZeroDropsSymbols(t *testing.T) {
+	rank := sym{kNodeRank, "rank"}
+	z := aSym(rank).scale(0)
+	if c, ok := z.isConst(); !ok || c != 0 {
+		t.Errorf("0 * rank = %+v, want constant 0", z)
+	}
+}

@@ -7,7 +7,10 @@
 // semantics of the paper's model statically: shared-variable accesses
 // outside phases, guaranteed strict-mode write conflicts, same-phase
 // read-after-write staleness, node-level aliases leaking into VP code,
-// and ignored run errors.
+// ignored run errors, overlapping VP write sets (an affine analysis of
+// index expressions over a CFG/dataflow/call-summary layer), host
+// state mutated from VP code without Serial, and block-transfer slices
+// escaping their phase.
 //
 // The runtime enforces each of these dynamically (accessCheck panics,
 // StrictWrites commit checks); ppmvet reports them before a program
@@ -22,6 +25,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one static-analysis rule.
@@ -63,6 +67,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportTagged records a diagnostic under an explicit rule tag, letting
+// one analyzer emit findings of graded certainty ("phaserace" for
+// proven overlaps, "phaserace.possible" for undecidable index sets)
+// that are suppressible separately. Suppression matches by prefix:
+// ignoring the analyzer name also ignores its dotted sub-rules.
+func (p *Pass) reportTagged(pos token.Pos, rule string, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg.suppressed(rule, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Rule:     rule,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
 // A Diagnostic is one finding of one analyzer.
 type Diagnostic struct {
 	Rule     string
@@ -75,13 +97,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
 }
 
+// RuleTiming is the accumulated wall-clock cost of one analyzer across
+// every analyzed package.
+type RuleTiming struct {
+	Rule    string
+	Elapsed time.Duration
+}
+
 // Run applies every analyzer to every package and returns the combined
 // findings sorted by position. Packages that failed to load contribute
 // their load errors via the returned error (analysis of the remaining
 // packages still happens).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-rule timing, in the analyzers' order.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []RuleTiming, error) {
 	var diags []Diagnostic
 	var loadErrs []string
+	elapsed := make([]time.Duration, len(analyzers))
+	timings := func() []RuleTiming {
+		out := make([]RuleTiming, len(analyzers))
+		for i, a := range analyzers {
+			out[i] = RuleTiming{Rule: a.Name, Elapsed: elapsed[i]}
+		}
+		return out
+	}
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			for _, e := range pkg.Errors {
@@ -89,7 +132,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			continue
 		}
-		for _, a := range analyzers {
+		for ai, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -99,8 +142,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				pkg:       pkg,
 				sink:      &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[ai] += time.Since(start)
+			if err != nil {
+				return diags, timings(), fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
 			}
 		}
 	}
@@ -118,9 +164,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return diags[i].Rule < diags[j].Rule
 	})
 	if len(loadErrs) > 0 {
-		return diags, fmt.Errorf("load errors:\n  %s", strings.Join(loadErrs, "\n  "))
+		return diags, timings(), fmt.Errorf("load errors:\n  %s", strings.Join(loadErrs, "\n  "))
 	}
-	return diags, nil
+	return diags, timings(), nil
 }
 
 // Rules returns the ppmvet analyzer suite in a stable order.
@@ -131,6 +177,9 @@ func Rules() []*Analyzer {
 		StaleReadAnalyzer,
 		LocalAliasAnalyzer,
 		RunErrorAnalyzer,
+		PhaseRaceAnalyzer,
+		SerialEscapeAnalyzer,
+		BlockRetainAnalyzer,
 	}
 }
 

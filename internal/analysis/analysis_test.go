@@ -30,14 +30,34 @@ func TestRunError(t *testing.T) {
 	analysistest.Run(t, "testdata/src/runerror", analysis.RunErrorAnalyzer)
 }
 
+func TestPhaseRace(t *testing.T) {
+	analysistest.Run(t, "testdata/src/phaserace", analysis.PhaseRaceAnalyzer)
+}
+
+func TestSerialEscape(t *testing.T) {
+	analysistest.Run(t, "testdata/src/serialescape", analysis.SerialEscapeAnalyzer)
+}
+
+func TestBlockRetain(t *testing.T) {
+	analysistest.Run(t, "testdata/src/blockretain", analysis.BlockRetainAnalyzer)
+}
+
+// TestIgnoreAnnotations pins the //ppmvet:ignore contract: standalone
+// annotations reach the next line, rule names cover dotted sub-rules,
+// and neither a wrong rule name nor an end-of-line annotation on the
+// line above suppresses a finding.
+func TestIgnoreAnnotations(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ignore", analysis.PhaseRaceAnalyzer)
+}
+
 // The clean fixture exercises every rule's negative space at once: the
 // idiomatic program from the paper's quickstart must stay findings-free.
 func TestCleanProgram(t *testing.T) {
 	analysistest.RunAll(t, "testdata/src/clean")
 }
 
-// TestRulesComplete pins the advertised rule count (the vet suite's
-// public contract: at least the five documented rules).
+// TestRulesComplete pins the advertised rule set (the vet suite's
+// public contract: the eight documented rules).
 func TestRulesComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range analysis.Rules() {
@@ -46,7 +66,10 @@ func TestRulesComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"phasebound", "constwrite", "staleread", "localalias", "runerror"} {
+	for _, want := range []string{
+		"phasebound", "constwrite", "staleread", "localalias", "runerror",
+		"phaserace", "serialescape", "blockretain",
+	} {
 		if !names[want] {
 			t.Errorf("rule %q missing from Rules()", want)
 		}

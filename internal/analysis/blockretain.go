@@ -1,0 +1,217 @@
+package analysis
+
+// blockretain: block-transfer slices outliving their phase. A
+// WriteBlock/AddBlock source is logically handed to the runtime until
+// the end-of-phase commit applies it: the model contract lets the
+// runtime stage the slice zero-copy (the simulator happens to copy
+// into a commit arena, but portable PPM code must not rely on that).
+// Such a slice escaping the phase — stored into a field or a variable
+// declared outside the function, stored into package state, returned
+// to a caller, or handed to a helper that escapes it
+// (funcSummary.escapesParam) — aliases memory the runtime may still
+// own across the phase boundary. The fix is always the same: copy the
+// data. Results of any view-returning block read accessor are tracked
+// the same way (ReadBlock itself fills a caller-owned dst and is not
+// tracked).
+//
+// The check runs per unit: a helper that binds sh.ReadBlock(...) and
+// stores it into a field is reported in the helper itself, so the
+// through-a-helper case needs no call-site expansion; escape through a
+// callee is covered by summaries.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockRetainAnalyzer reports phase block slices that escape the phase.
+var BlockRetainAnalyzer = &Analyzer{
+	Name: "blockretain",
+	Doc: "report WriteBlock/AddBlock source slices that escape their phase " +
+		"(field store, store to outer or package state, return, or an escaping helper): " +
+		"the runtime may stage block sources until the end-of-phase commit",
+	Run: runBlockRetain,
+}
+
+func runBlockRetain(pass *Pass) error {
+	px := pass.Index()
+	for _, u := range px.units {
+		checkBlockRetain(pass, px, u)
+	}
+	return nil
+}
+
+func checkBlockRetain(pass *Pass, px *PkgIndex, u *unit) {
+	// Pass 1: collect the tracked slice variables of this unit — block
+	// call results and sources, plus aliases of them. Two sweeps make
+	// alias chains in source order converge.
+	tracked := map[types.Object]bool{}
+	producesTracked := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.CallExpr:
+				sc, ok := asSharedCall(px.info, x)
+				return ok && sc.block && !sc.write
+			case *ast.Ident:
+				obj := px.info.Uses[x]
+				return obj != nil && tracked[obj]
+			default:
+				return false
+			}
+		}
+	}
+	ownScan := func(fn func(n ast.Node)) {
+		ast.Inspect(u.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && px.units[lit] != nil {
+				_ = lit
+				return false // nested unit: scanned separately below
+			}
+			fn(n)
+			return true
+		})
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		ownScan(func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" || len(x.Rhs) != len(x.Lhs) {
+						continue
+					}
+					if producesTracked(x.Rhs[i]) {
+						obj := px.info.Defs[id]
+						if obj == nil {
+							obj = px.info.Uses[id]
+						}
+						if obj != nil {
+							tracked[obj] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// WriteBlock/AddBlock: the source slice is held by the
+				// runtime until the phase commit.
+				if sc, ok := asSharedCall(px.info, x); ok && sc.block && sc.write {
+					if obj := exprRootVar(px.info, x.Args[len(x.Args)-1]); obj != nil {
+						if !declaredOutsideUnit(u, obj) {
+							tracked[obj] = true
+						}
+					}
+				}
+			}
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: escapes in this unit's own statements.
+	ownScan(func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if len(x.Rhs) != len(x.Lhs) || !producesTracked(x.Rhs[i]) {
+					continue
+				}
+				reportBlockStore(pass, px, u, tracked, lhs, x)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if producesTracked(res) {
+					pass.Reportf(x.Pos(),
+						"phase block slice is returned: it aliases a runtime-owned buffer valid only within the phase — copy the data instead")
+				}
+			}
+		case *ast.CallExpr:
+			if _, isShared := asSharedCall(px.info, x); isShared {
+				return
+			}
+			callee := px.localCallee(x)
+			if callee == nil || callee.fn == nil {
+				return
+			}
+			s := px.summaryOf(callee.fn)
+			if s == nil {
+				return
+			}
+			for i, arg := range x.Args {
+				if i < len(s.escapesParam) && s.escapesParam[i] && producesTracked(arg) {
+					pass.Reportf(x.Pos(),
+						"phase block slice is passed to %s, which stores or returns it: "+
+							"the slice aliases a runtime-owned buffer valid only within the phase — copy the data instead",
+						callee.fn.Name())
+				}
+			}
+		}
+	})
+
+	// Pass 3: nested literals storing a tracked free variable to
+	// longer-lived state (the closure-capture escape).
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || px.units[lit] == nil {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if len(as.Rhs) != len(as.Lhs) {
+					continue
+				}
+				id, ok := as.Rhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := px.info.Uses[id]
+				if obj == nil || !tracked[obj] {
+					continue
+				}
+				reportBlockStore(pass, px, u, tracked, lhs, as)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// reportBlockStore reports an assignment of a tracked slice to lhs when
+// the destination outlives the phase: a field/element/pointer store
+// whose root is not itself phase-local tracked state, a variable
+// declared outside the unit, or a package variable.
+func reportBlockStore(pass *Pass, px *PkgIndex, u *unit, tracked map[types.Object]bool, lhs ast.Expr, at ast.Node) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := px.info.Defs[id]
+		if obj == nil {
+			obj = px.info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if px.declaringUnit(obj.Pos()) == nil {
+			pass.Reportf(at.Pos(),
+				"phase block slice is stored in package variable %s: it aliases a runtime-owned buffer valid only within the phase — copy the data instead",
+				obj.Name())
+			return
+		}
+		if declaredOutsideUnit(u, obj) {
+			pass.Reportf(at.Pos(),
+				"phase block slice is stored in %s, declared outside this function: it aliases a runtime-owned buffer valid only within the phase — copy the data instead",
+				obj.Name())
+		}
+		return
+	}
+	root := exprRootVar(px.info, lhs)
+	if root != nil && tracked[root] {
+		return // writing into the block view itself, not retaining it
+	}
+	pass.Reportf(at.Pos(),
+		"phase block slice is stored into longer-lived state: it aliases a runtime-owned buffer valid only within the phase — copy the data instead")
+}

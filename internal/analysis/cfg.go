@@ -1,0 +1,336 @@
+package analysis
+
+// This file is the bottom of the dataflow layer: per-function
+// control-flow graphs. A CFG decomposes one function body into basic
+// blocks of simple statements (assignments, declarations, calls,
+// returns) plus the control expressions that guard the edges between
+// them. Compound statements never appear in a block — their pieces do —
+// so a dataflow pass can treat Nodes as a straight-line sequence.
+//
+// The builder handles the full statement grammar the repo uses: if/else
+// chains, three-clause and range for loops, switch/type-switch with
+// fallthrough, select, labeled break/continue, goto, and early returns.
+// Function literals are NOT descended into: a literal's body is its own
+// function with its own CFG (see unitIndex in callgraph.go); in the
+// enclosing graph the literal is just an expression operand.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks[0] is the entry block; Exit is the single synthetic exit
+	// every return and falling-off-the-end path reaches.
+	Blocks []*CFGBlock
+	Exit   *CFGBlock
+}
+
+// A CFGBlock is one basic block: Nodes execute in order, then control
+// transfers to one of Succs (no successors only for the exit block and
+// blocks ending in panic-like dead ends).
+type CFGBlock struct {
+	Index int
+	// Nodes holds simple statements in execution order, plus control
+	// expressions (an if/for/switch condition is the last node of the
+	// block that evaluates it). A *ast.RangeStmt node stands for the
+	// per-iteration key/value assignment of its loop head.
+	Nodes []ast.Node
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+}
+
+// cfgBuilder carries the under-construction graph and the branch
+// context (break/continue/goto targets) of the statement being lowered.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+
+	// breakTo/continueTo map "" to the innermost target and each label
+	// to its labeled construct's target.
+	breakTo    map[string][]*CFGBlock
+	continueTo map[string][]*CFGBlock
+	labels     map[string]*CFGBlock
+	gotos      []pendingGoto
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so break/continue with that label resolve correctly.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *CFGBlock
+	label string
+}
+
+// BuildCFG lowers one function body to a control-flow graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		breakTo:    map[string][]*CFGBlock{},
+		continueTo: map[string][]*CFGBlock{},
+		labels:     map[string]*CFGBlock{},
+	}
+	entry := b.newBlock()
+	b.cur = entry
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.stmtList(body.List)
+	b.link(b.cur, exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a simple node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// pushBreak registers target for break (and optionally continue)
+// statements naming label or naming nothing, and returns a pop func.
+func (b *cfgBuilder) pushTargets(label string, brk, cont *CFGBlock) func() {
+	keys := []string{""}
+	if label != "" {
+		keys = append(keys, label)
+	}
+	for _, k := range keys {
+		b.breakTo[k] = append(b.breakTo[k], brk)
+		if cont != nil {
+			b.continueTo[k] = append(b.continueTo[k], cont)
+		}
+	}
+	return func() {
+		for _, k := range keys {
+			b.breakTo[k] = b.breakTo[k][:len(b.breakTo[k])-1]
+			if cont != nil {
+				b.continueTo[k] = b.continueTo[k][:len(b.continueTo[k])-1]
+			}
+		}
+	}
+}
+
+func top(m map[string][]*CFGBlock, label string) *CFGBlock {
+	s := m[label]
+	if len(s) == 0 {
+		return nil
+	}
+	return s[len(s)-1]
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		b.labels[st.Label.Name] = head
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		b.link(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(st.Body)
+		b.link(b.cur, join)
+		if st.Else != nil {
+			elseBlk := b.newBlock()
+			b.link(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(st.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		if st.Cond != nil {
+			b.add(st.Cond)
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after) // cond false (or loop exit via cond-less for's break only)
+		pop := b.pushTargets(label, after, post)
+		b.cur = body
+		b.stmt(st.Body)
+		pop()
+		b.link(b.cur, post)
+		b.cur = post
+		if st.Post != nil {
+			b.add(st.Post)
+		}
+		b.link(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.link(b.cur, head)
+		// The RangeStmt node itself stands for the loop-head assignment
+		// of Key/Value on each iteration.
+		head.Nodes = append(head.Nodes, st)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		pop := b.pushTargets(label, after, head)
+		b.cur = body
+		b.stmt(st.Body)
+		pop()
+		b.link(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			tsw := st.(*ast.TypeSwitchStmt)
+			init, tag, body = tsw.Init, tsw.Assign, tsw.Body
+		}
+		if init != nil {
+			b.add(init)
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		head := b.cur
+		after := b.newBlock()
+		pop := b.pushTargets(label, after, nil)
+		var clauseBlocks []*CFGBlock
+		var clauses []*ast.CaseClause
+		hasDefault := false
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			blk := b.newBlock()
+			b.link(head, blk)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauses = append(clauses, cc)
+		}
+		for i, cc := range clauses {
+			b.cur = clauseBlocks[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			fallsThrough := false
+			for _, cs := range cc.Body {
+				if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					fallsThrough = true
+					continue
+				}
+				b.stmt(cs)
+			}
+			if fallsThrough && i+1 < len(clauseBlocks) {
+				b.link(b.cur, clauseBlocks[i+1])
+			} else {
+				b.link(b.cur, after)
+			}
+		}
+		pop()
+		if !hasDefault {
+			b.link(head, after)
+		}
+		b.cur = after
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		pop := b.pushTargets(label, after, nil)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		pop()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // dead: anything after a return is unreachable
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			label := ""
+			if st.Label != nil {
+				label = st.Label.Name
+			}
+			b.link(b.cur, top(b.breakTo, label))
+		case token.CONTINUE:
+			label := ""
+			if st.Label != nil {
+				label = st.Label.Name
+			}
+			b.link(b.cur, top(b.continueTo, label))
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name})
+		}
+		// FALLTHROUGH is handled inside switch lowering.
+		b.cur = b.newBlock()
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Simple statements: assignments, declarations, expression and
+		// send statements, go/defer, inc/dec.
+		b.add(st)
+	}
+}

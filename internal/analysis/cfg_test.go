@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSrc parses and type-checks one import-free file and returns the
+// named top-level function.
+func checkSrc(t *testing.T, src, fn string) (*token.FileSet, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	if _, err := (&types.Config{}).Check("t", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fset, info, fd
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil, nil
+}
+
+// blockOf finds the block containing a node that satisfies pred.
+func blockOf(cfg *CFG, pred func(ast.Node) bool) *CFGBlock {
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// isPlainAssign matches `name = <lit>` (not a := declaration).
+func isPlainAssign(name, lit string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name != name {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == lit
+	}
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(cfg *CFG) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{}
+	var walk func(b *CFGBlock)
+	walk = func(b *CFGBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Blocks[0])
+	return seen
+}
+
+func TestCFGLinear(t *testing.T) {
+	_, _, fd := checkSrc(t, `package t
+func f() int {
+	x := 1
+	y := x + 2
+	return y
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("exit block has successors: %v", cfg.Exit.Succs)
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Error("exit not reachable from entry")
+	}
+	entry := cfg.Blocks[0]
+	if len(entry.Nodes) != 3 {
+		t.Errorf("straight-line body split across blocks: entry holds %d nodes", len(entry.Nodes))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	_, _, fd := checkSrc(t, `package t
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	entry := cfg.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(entry.Succs))
+	}
+	// Both arms must rejoin before the return.
+	thenB := blockOf(cfg, isPlainAssign("x", "1"))
+	if thenB == nil || len(thenB.Succs) != 1 {
+		t.Fatalf("then arm missing or not rejoining: %+v", thenB)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, _, fd := checkSrc(t, `package t
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	// The loop body must lead back to the condition: a cycle reachable
+	// from the entry.
+	body := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ADD_ASSIGN
+	})
+	if body == nil {
+		t.Fatal("loop body block not found")
+	}
+	onCycle := false
+	var walk func(b *CFGBlock, seen map[*CFGBlock]bool)
+	walk = func(b *CFGBlock, seen map[*CFGBlock]bool) {
+		if seen[b] {
+			onCycle = onCycle || b == body
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s, seen)
+		}
+	}
+	walk(body, map[*CFGBlock]bool{})
+	if !onCycle {
+		t.Error("no back edge: loop body does not reach itself")
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Error("exit not reachable (loop treated as infinite)")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	_, _, fd := checkSrc(t, `package t
+func f(c bool) int {
+	x := 1
+	if c {
+		return 0
+	}
+	x = 2
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	ret := blockOf(cfg, func(n ast.Node) bool {
+		r, ok := n.(*ast.ReturnStmt)
+		return ok && len(r.Results) == 1 && types.ExprString(r.Results[0]) == "0"
+	})
+	if ret == nil {
+		t.Fatal("early-return block not found")
+	}
+	if len(ret.Succs) != 1 || ret.Succs[0] != cfg.Exit {
+		t.Errorf("early return must jump straight to exit, has succs %v", ret.Succs)
+	}
+	// The fall-through path must not pass through the return block.
+	after := blockOf(cfg, isPlainAssign("x", "2"))
+	for _, p := range after.Preds {
+		if p == ret {
+			t.Error("code after the if is a successor of the return block")
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, _, fd := checkSrc(t, `package t
+func f(c int) int {
+	x := 0
+	switch c {
+	case 1:
+		x = 1
+		fallthrough
+	case 2:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	case1 := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == "1"
+	})
+	case2 := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == "2"
+	})
+	if case1 == nil || case2 == nil {
+		t.Fatal("case blocks not found")
+	}
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge case1->case2 missing (succs %v)", case1.Succs)
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Error("exit not reachable")
+	}
+}
+
+// objNamed finds the object a function body declares under name.
+func objNamed(info *types.Info, name string) types.Object {
+	for id, obj := range info.Defs {
+		if obj != nil && id.Name == name {
+			return obj
+		}
+	}
+	return nil
+}
+
+// useOf returns the position of the n-th use of name.
+func useOf(t *testing.T, info *types.Info, obj types.Object, n int) token.Pos {
+	t.Helper()
+	var poss []token.Pos
+	for id, o := range info.Uses {
+		if o == obj {
+			poss = append(poss, id.Pos())
+		}
+	}
+	if len(poss) <= n {
+		t.Fatalf("%s has %d uses, want index %d", obj.Name(), len(poss), n)
+	}
+	// Uses come from map order; sort by position.
+	for i := range poss {
+		for j := i + 1; j < len(poss); j++ {
+			if poss[j] < poss[i] {
+				poss[i], poss[j] = poss[j], poss[i]
+			}
+		}
+	}
+	return poss[n]
+}
+
+func TestReachingStraightLine(t *testing.T) {
+	_, info, fd := checkSrc(t, `package t
+func f() int {
+	x := 1
+	y := x + 2
+	return y
+}`, "f")
+	r := buildReaching(info, fd, BuildCFG(fd.Body))
+	x := objNamed(info, "x")
+	d := r.uniqueDef(x, useOf(t, info, x, 0))
+	if d == nil {
+		t.Fatal("x has no unique def at its use")
+	}
+	rhs, _ := defRHS(info, d)
+	if types.ExprString(rhs) != "1" {
+		t.Errorf("unique def RHS = %s, want 1", types.ExprString(rhs))
+	}
+}
+
+func TestReachingLoopRedefinition(t *testing.T) {
+	_, info, fd := checkSrc(t, `package t
+func f(n int) int {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x + 1
+	}
+	return x
+}`, "f")
+	r := buildReaching(info, fd, BuildCFG(fd.Body))
+	x := objNamed(info, "x")
+	// At the return, both the initial def and the loop redefinition
+	// reach: no unique def.
+	if d := r.uniqueDef(x, useOf(t, info, x, 2)); d != nil {
+		t.Errorf("x at return has unique def %v; loop redefinition must also reach", d)
+	}
+}
+
+func TestReachingEarlyReturnKillsPath(t *testing.T) {
+	_, info, fd := checkSrc(t, `package t
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+		return x
+	}
+	return x
+}`, "f")
+	r := buildReaching(info, fd, BuildCFG(fd.Body))
+	x := objNamed(info, "x")
+	// The final return is only reached when the branch was not taken:
+	// x = 2 returned early, so x := 1 is the unique def there. (Use 0
+	// is the x = 2 target, use 1 the early return, use 2 the final.)
+	d := r.uniqueDef(x, useOf(t, info, x, 2))
+	if d == nil {
+		t.Fatal("x at final return has no unique def; x = 2 path should have exited")
+	}
+	rhs, _ := defRHS(info, d)
+	if types.ExprString(rhs) != "1" {
+		t.Errorf("unique def RHS = %s, want 1", types.ExprString(rhs))
+	}
+}
+
+func TestReachingSwitchArms(t *testing.T) {
+	_, info, fd := checkSrc(t, `package t
+func f(c int) int {
+	x := 1
+	switch c {
+	case 1:
+		x = 2
+	case 2:
+		x = 3
+	}
+	return x
+}`, "f")
+	r := buildReaching(info, fd, BuildCFG(fd.Body))
+	x := objNamed(info, "x")
+	if d := r.uniqueDef(x, useOf(t, info, x, 2)); d != nil {
+		t.Errorf("x after switch has unique def %v; three defs reach the return", d)
+	}
+}

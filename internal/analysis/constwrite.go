@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -20,7 +21,8 @@ var ConstWriteAnalyzer = &Analyzer{
 }
 
 func runConstWrite(pass *Pass) error {
-	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	px := pass.Index()
+	ctx := px.ctx
 	for _, f := range pass.Files {
 		tainted := taintedVars(pass.TypesInfo, f)
 		inspectStack(f, func(n ast.Node, stack []ast.Node) {
@@ -54,7 +56,91 @@ func runConstWrite(pass *Pass) error {
 				types.ExprString(sc.recv), sc.method, types.ExprString(sc.indices[0]))
 		})
 	}
+	reportHelperConstWrites(pass, px)
 	return nil
+}
+
+// reportHelperConstWrites is the interprocedural half of the rule:
+// writes reached through package-local helpers whose index, after
+// substituting the caller's arguments, is a rank-independent constant.
+// The direct (depth-0) case is handled syntactically above, with its
+// richer guard analysis; here a write is exempted when a rank-dependent
+// if-condition encloses it in any frame of the expansion chain.
+func reportHelperConstWrites(pass *Pass, px *PkgIndex) {
+	rv := newResolver(px)
+	taintedByFile := map[*ast.File]map[types.Object]bool{}
+	taintedFor := func(pos token.Pos) map[types.Object]bool {
+		for _, f := range pass.Files {
+			if f.Pos() <= pos && pos < f.End() {
+				t, ok := taintedByFile[f]
+				if !ok {
+					t = taintedVars(pass.TypesInfo, f)
+					taintedByFile[f] = t
+				}
+				return t
+			}
+		}
+		return nil
+	}
+	for lit, isPhase := range px.ctx.phaseLits {
+		if !isPhase {
+			continue
+		}
+		u := px.unitFor(lit)
+		if u == nil {
+			continue
+		}
+		singleVP := phaseSingleVP(pass, px, u)
+		px.walkOps(&frame{unit: u}, map[*unit]bool{}, func(op opSite) {
+			if op.depth == 0 || !op.sc.write || op.sc.add || op.sc.block {
+				return
+			}
+			env := envOf(op.fr, op.loops)
+			for _, idx := range op.sc.indices {
+				a := rv.exprAffine(idx, env)
+				if _, isConst := a.isConst(); !isConst {
+					return
+				}
+			}
+			if op.sc.typ == "Node" && singleVP {
+				return
+			}
+			// Rank guards anywhere along the expansion chain exempt.
+			node := ast.Node(op.sc.call)
+			for f := op.fr; f != nil && node != nil; f = f.parent {
+				if rankGuardedIn(pass, f.unit, node, taintedFor(f.unit.body.Pos())) {
+					return
+				}
+				node = f.site
+			}
+			arr := rv.arrayObj(op.sc.recv, env)
+			name := types.ExprString(op.sc.recv)
+			if arr != nil {
+				name = arr.Name()
+			}
+			pass.Reportf(op.fr.reportPos(op.sc.call.Pos()),
+				"%s.%s through a helper resolves to a constant index executed by every VP of the phase: guaranteed conflicting writes under StrictWrites — guard by rank or use Add",
+				name, op.sc.method)
+		})
+	}
+}
+
+// rankGuardedIn reports whether a rank-dependent if-condition encloses
+// node within u's body.
+func rankGuardedIn(pass *Pass, u *unit, node ast.Node, tainted map[types.Object]bool) bool {
+	guarded := false
+	inspectStack(u.body, func(n ast.Node, stack []ast.Node) {
+		if n != node || guarded {
+			return
+		}
+		for _, anc := range stack {
+			if ifs, ok := anc.(*ast.IfStmt); ok && rankDependent(pass.TypesInfo, ifs.Cond, tainted) {
+				guarded = true
+				return
+			}
+		}
+	})
+	return guarded
 }
 
 // rankGuarded reports whether any if-condition between the phase body

@@ -1,0 +1,411 @@
+package analysis
+
+// Reaching definitions over the CFG of cfg.go. Each definition is one
+// (variable, site) pair: an assignment, a declaration, an inc/dec, a
+// range-loop head, or the function's own parameter list. The classic
+// gen/kill bitset worklist computes, for every basic block, which
+// definitions can reach its entry; position queries then recover which
+// definitions of a variable reach a given use, which is what the affine
+// resolver needs ("the unique def of `vlo` reaching this Write call is
+// the ChunkRange multi-assign on line N").
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A def is one definition site of one object.
+type def struct {
+	obj types.Object
+	// site is the defining node: *ast.AssignStmt, *ast.ValueSpec,
+	// *ast.IncDecStmt, *ast.RangeStmt, or nil for the entry definition
+	// of a parameter/receiver/free variable.
+	site ast.Node
+	// addressed marks conservative defs: the object's address was taken
+	// or a nested function literal assigns it, so the value at this
+	// point is unknown.
+	addressed bool
+}
+
+// reaching holds the fixpoint solution for one function body.
+type reaching struct {
+	info *types.Info
+	cfg  *CFG
+	defs []def
+	// byObj indexes the def list per object (for kill sets).
+	byObj map[types.Object][]int
+	// in[b] is the bitset of defs reaching block b's entry.
+	in []bitset
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | src[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// buildReaching runs reaching definitions over one function. fn is the
+// *ast.FuncDecl or *ast.FuncLit whose body produced cfg; its parameters
+// (and receiver) get entry definitions, as does every outer-scope object
+// the body references (free variables are defined "elsewhere").
+func buildReaching(info *types.Info, fn ast.Node, cfg *CFG) *reaching {
+	r := &reaching{info: info, cfg: cfg, byObj: map[types.Object][]int{}}
+
+	addDef := func(obj types.Object, site ast.Node, addressed bool) {
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); !ok || v.IsField() {
+			return
+		}
+		r.byObj[obj] = append(r.byObj[obj], len(r.defs))
+		r.defs = append(r.defs, def{obj: obj, site: site, addressed: addressed})
+	}
+
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	var recv *ast.FieldList
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body, ftype, recv = f.Body, f.Type, f.Recv
+	case *ast.FuncLit:
+		body, ftype = f.Body, f.Type
+	}
+
+	// Entry definitions: receiver, parameters, named results.
+	entryDefs := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				addDef(info.Defs[name], nil, false)
+			}
+		}
+	}
+	entryDefs(recv)
+	if ftype != nil {
+		entryDefs(ftype.Params)
+		entryDefs(ftype.Results)
+	}
+
+	// Free variables referenced but not declared inside fn also get an
+	// entry def, so queries on them resolve to "defined elsewhere".
+	declared := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	seenFree := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if v, isVar := obj.(*types.Var); isVar && !v.IsField() && !declared[obj] && !seenFree[obj] && len(r.byObj[obj]) == 0 {
+				seenFree[obj] = true
+				addDef(obj, nil, false)
+			}
+		}
+		return true
+	})
+
+	// Definition sites inside the body. Nested function literals are
+	// scanned only for assignments to objects of THIS function (closure
+	// mutation = conservative def at the literal's position); their own
+	// locals belong to their own reaching pass.
+	lhsObjs := func(e ast.Expr) types.Object {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				return obj
+			}
+			return info.Uses[id]
+		}
+		return nil
+	}
+	scanNode := func(n ast.Node, conservative bool) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				addDef(lhsObjs(lhs), st, conservative)
+			}
+		case *ast.IncDecStmt:
+			addDef(lhsObjs(st.X), st, true) // value = old+1: treat as opaque
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							addDef(info.Defs[name], vs, conservative)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			addDef(lhsObjs(st.Key), st, false)
+			addDef(lhsObjs(st.Value), st, false)
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			scanNode(n, false)
+			// Address-of and closure mutations: conservative defs.
+			ast.Inspect(n, func(sub ast.Node) bool {
+				switch x := sub.(type) {
+				case *ast.UnaryExpr:
+					if x.Op == token.AND {
+						if obj := recvRoot(info, x.X); obj != nil {
+							addDef(obj, n, true)
+						}
+					}
+				case *ast.FuncLit:
+					ast.Inspect(x.Body, func(inner ast.Node) bool {
+						switch ist := inner.(type) {
+						case *ast.AssignStmt:
+							for _, lhs := range ist.Lhs {
+								if obj := lhsObjs(lhs); obj != nil && !declaredIn(info, obj, x) {
+									addDef(obj, n, true)
+								}
+							}
+						case *ast.IncDecStmt:
+							if obj := lhsObjs(ist.X); obj != nil && !declaredIn(info, obj, x) {
+								addDef(obj, n, true)
+							}
+						}
+						return true
+					})
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	r.solve()
+	return r
+}
+
+// declaredIn reports whether obj's declaration position lies inside lit.
+func declaredIn(info *types.Info, obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+}
+
+// solve runs the gen/kill worklist.
+func (r *reaching) solve() {
+	n := len(r.defs)
+	nb := len(r.cfg.Blocks)
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	out := make([]bitset, nb)
+	r.in = make([]bitset, nb)
+	for i := range r.cfg.Blocks {
+		gen[i] = newBitset(n)
+		kill[i] = newBitset(n)
+		out[i] = newBitset(n)
+		r.in[i] = newBitset(n)
+	}
+
+	// Per-block gen/kill: later defs of the same object kill earlier
+	// in-block ones; every def of obj kills all other defs of obj.
+	for bi, blk := range r.cfg.Blocks {
+		for _, node := range blk.Nodes {
+			for di, d := range r.defs {
+				if d.site == node {
+					for _, other := range r.byObj[d.obj] {
+						gen[bi].clear(other)
+						kill[bi].set(other)
+					}
+					gen[bi].set(di)
+					kill[bi].clear(di)
+				}
+			}
+		}
+	}
+
+	// Entry block additionally generates the entry (site==nil) defs.
+	for di, d := range r.defs {
+		if d.site == nil && !kill[0].has(di) {
+			gen[0].set(di)
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for bi, blk := range r.cfg.Blocks {
+			if bi != 0 {
+				for i := range r.in[bi] {
+					r.in[bi][i] = 0
+				}
+				for _, p := range blk.Preds {
+					r.in[bi].orInto(out[p.Index])
+				}
+			}
+			newOut := r.in[bi].clone()
+			for i := range newOut {
+				newOut[i] = (newOut[i] &^ kill[bi][i]) | gen[bi][i]
+			}
+			for i := range newOut {
+				if newOut[i] != out[bi][i] {
+					out[bi] = newOut
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// nodeFor finds the block and in-block index of the smallest CFG node
+// whose span contains pos. Returns (-1, -1) when pos is not inside any
+// recorded node (e.g. inside a nested function literal's body).
+func (r *reaching) nodeFor(pos token.Pos) (blockIdx, nodeIdx int) {
+	blockIdx, nodeIdx = -1, -1
+	var bestSpan token.Pos = 1 << 60
+	for bi, blk := range r.cfg.Blocks {
+		for ni, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				span := n.End() - n.Pos()
+				if span < bestSpan {
+					bestSpan = span
+					blockIdx, nodeIdx = bi, ni
+				}
+			}
+		}
+	}
+	return blockIdx, nodeIdx
+}
+
+// defsAt returns the definitions of obj that can reach the use at pos.
+// A def takes effect after its statement, so the defs in force at pos
+// are the block-entry set updated by the in-block nodes strictly before
+// the node containing pos.
+func (r *reaching) defsAt(obj types.Object, pos token.Pos) []def {
+	bi, ni := r.nodeFor(pos)
+	if bi < 0 {
+		return r.entryDefs(obj)
+	}
+	live := r.in[bi].clone()
+	blk := r.cfg.Blocks[bi]
+	if bi == 0 {
+		// Entry defs were folded into gen[0] by solve; re-apply them
+		// here since in[0] is empty.
+		for di, d := range r.defs {
+			if d.site == nil {
+				live.set(di)
+			}
+		}
+	}
+	for i := 0; i < ni; i++ {
+		node := blk.Nodes[i]
+		for di, d := range r.defs {
+			if d.site == node {
+				for _, other := range r.byObj[d.obj] {
+					live.clear(other)
+				}
+				live.set(di)
+			}
+		}
+	}
+	var out []def
+	for _, di := range r.byObj[obj] {
+		if live.has(di) {
+			out = append(out, r.defs[di])
+		}
+	}
+	return out
+}
+
+// entryDefs returns obj's site==nil defs (parameter / free variable).
+func (r *reaching) entryDefs(obj types.Object) []def {
+	var out []def
+	for _, di := range r.byObj[obj] {
+		if r.defs[di].site == nil {
+			out = append(out, r.defs[di])
+		}
+	}
+	return out
+}
+
+// uniqueDef returns the single non-conservative definition of obj
+// reaching pos, or nil when there are zero, several, or only
+// conservative ones. This is the workhorse of affine resolution: an
+// index variable with one reaching def can be rewritten as its RHS.
+func (r *reaching) uniqueDef(obj types.Object, pos token.Pos) *def {
+	ds := r.defsAt(obj, pos)
+	if len(ds) != 1 || ds[0].addressed {
+		return nil
+	}
+	return &ds[0]
+}
+
+// defRHS extracts the expression assigned to obj by d, for defs that
+// bind obj directly to one expression: `x := e`, `x = e`, `var x = e`,
+// and the i-th position of a balanced multi-assign. Multi-value calls
+// (x, y := f()) return (nil, idx) with idx = obj's position on the LHS,
+// letting callers special-case known functions like ChunkRange.
+func defRHS(info *types.Info, d *def) (rhs ast.Expr, lhsIdx int) {
+	lhsIdx = -1
+	switch site := d.site.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range site.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == d.obj {
+				lhsIdx = i
+				break
+			}
+		}
+		if lhsIdx < 0 {
+			return nil, -1
+		}
+		if len(site.Rhs) == len(site.Lhs) {
+			if site.Tok == token.ASSIGN || site.Tok == token.DEFINE {
+				return site.Rhs[lhsIdx], lhsIdx
+			}
+			return nil, lhsIdx // op-assign: value is old op rhs
+		}
+		return nil, lhsIdx // multi-value call
+	case *ast.ValueSpec:
+		for i, name := range site.Names {
+			if info.Defs[name] == d.obj {
+				lhsIdx = i
+				break
+			}
+		}
+		if lhsIdx >= 0 && len(site.Values) == len(site.Names) {
+			return site.Values[lhsIdx], lhsIdx
+		}
+		return nil, lhsIdx
+	}
+	return nil, -1
+}

@@ -34,6 +34,10 @@ type Package struct {
 	// ignoreRanges holds function-extent suppressions from //ppmvet:ignore
 	// annotations in declaration doc comments.
 	ignoreRanges map[string][]ignoreRange
+
+	// index is the lazily built interprocedural index shared by every
+	// analyzer running over this package (see callgraph.go).
+	index *PkgIndex
 }
 
 // ignoreRange suppresses rules over a line range (a whole declaration).
@@ -113,13 +117,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		for _, name := range e.GoFiles {
 			path := filepath.Join(e.Dir, name)
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err)
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
 				pkg.Errors = append(pkg.Errors, err)
 				continue
 			}
 			pkg.Files = append(pkg.Files, f)
-			pkg.recordIgnores(f)
+			pkg.recordIgnores(f, src)
 		}
 		if len(pkg.Errors) == 0 {
 			pkg.TypesInfo = &types.Info{
@@ -142,11 +151,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // recordIgnores scans f for //ppmvet:ignore comments. An annotation
 // suppresses the named rules (all rules when none are named) on its own
-// line and, for a standalone comment line, on the following line. An
-// annotation inside a function's doc comment suppresses over the whole
-// function (for infrastructure like the language interpreter, whose
-// phase discipline is established dynamically).
-func (p *Package) recordIgnores(f *ast.File) {
+// line and — only when the comment stands alone on its line — on the
+// following line; an end-of-line annotation applies to its own line
+// only, so it cannot silently swallow a finding on the statement below.
+// An annotation inside a function's doc comment suppresses over the
+// whole function (for infrastructure like the language interpreter,
+// whose phase discipline is established dynamically).
+func (p *Package) recordIgnores(f *ast.File, src []byte) {
 	for _, d := range f.Decls {
 		fd, ok := d.(*ast.FuncDecl)
 		if !ok || fd.Doc == nil {
@@ -176,7 +187,9 @@ func (p *Package) recordIgnores(f *ast.File) {
 				p.ignore[pos.Filename] = lines
 			}
 			lines[pos.Line] = append(lines[pos.Line], rules...)
-			lines[pos.Line+1] = append(lines[pos.Line+1], rules...)
+			if standaloneComment(src, pos.Offset) {
+				lines[pos.Line+1] = append(lines[pos.Line+1], rules...)
+			}
 		}
 	}
 }
@@ -203,10 +216,37 @@ func parseIgnore(comment string) (rules []string, ok bool) {
 	return rules, true
 }
 
+// standaloneComment reports whether only whitespace precedes the
+// comment starting at offset on its source line.
+func standaloneComment(src []byte, offset int) bool {
+	if offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			// keep scanning
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}
+
+// ruleMatches reports whether suppression entry r covers rule: the
+// empty entry covers everything, an exact name covers itself, and a
+// name covers its dotted sub-rules (ignoring "phaserace" also ignores
+// "phaserace.possible"; the reverse does not hold).
+func ruleMatches(r, rule string) bool {
+	return r == "" || r == rule || strings.HasPrefix(rule, r+".")
+}
+
 // suppressed reports whether rule is ignored at pos.
 func (p *Package) suppressed(rule string, pos token.Position) bool {
 	for _, r := range p.ignore[pos.Filename][pos.Line] {
-		if r == "" || r == rule {
+		if ruleMatches(r, rule) {
 			return true
 		}
 	}
@@ -215,7 +255,7 @@ func (p *Package) suppressed(rule string, pos token.Position) bool {
 			continue
 		}
 		for _, r := range rng.rules {
-			if r == "" || r == rule {
+			if ruleMatches(r, rule) {
 				return true
 			}
 		}

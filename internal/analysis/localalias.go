@@ -20,11 +20,11 @@ var LocalAliasAnalyzer = &Analyzer{
 }
 
 func runLocalAlias(pass *Pass) error {
-	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	px := pass.Index()
 	for _, f := range pass.Files {
 		aliases := localSlices(pass.TypesInfo, f)
 		inspectStack(f, func(n ast.Node, stack []ast.Node) {
-			if !insideDoLit(ctx, stack) {
+			if !insideVPCode(px, stack) {
 				return
 			}
 			switch x := n.(type) {
@@ -108,17 +108,22 @@ func nodeLevelAccessor(info *types.Info, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// insideDoLit reports whether the innermost function on stack is (or is
-// nested within) a Do-body literal. Phase bodies count too: the alias
-// hazard is the same there.
-func insideDoLit(ctx *phaseCtx, stack []ast.Node) bool {
+// insideVPCode reports whether the innermost function on stack executes
+// as VP code: a Do-body literal, anything nested in one (phase bodies
+// included — the alias hazard is the same there), or a named function
+// taking a *core.VP parameter (a VP helper called from Do bodies, which
+// the pre-index version of this rule was blind to).
+func insideVPCode(px *PkgIndex, stack []ast.Node) bool {
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch h := stack[i].(type) {
 		case *ast.FuncLit:
-			if ctx.doLits[h] {
-				return true
+			if u := px.units[h]; u != nil {
+				return px.vpRoot(u) != nil
 			}
 		case *ast.FuncDecl:
+			if u := px.units[h]; u != nil {
+				return px.vpRoot(u) != nil
+			}
 			return false
 		}
 	}

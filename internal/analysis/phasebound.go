@@ -18,7 +18,7 @@ var PhaseBoundAnalyzer = &Analyzer{
 }
 
 func runPhaseBound(pass *Pass) error {
-	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
+	ctx := pass.Index().ctx
 	for _, f := range pass.Files {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) {
 			call, ok := n.(*ast.CallExpr)

@@ -6,13 +6,21 @@ import (
 )
 
 // RunErrorAnalyzer flags ppm.Run (and core.Run / lang.Interpret) calls
-// whose error result is discarded. Run's error is how strict-mode
-// write-conflict detection, phase-shape violations and VP panics
-// surface; dropping it silently accepts a failed run's partial results.
+// whose error result is discarded — as a bare statement, through go or
+// defer, or assigned to the blank identifier. Run's error is how
+// strict-mode write-conflict detection, phase-shape violations and VP
+// panics surface; dropping it silently accepts a failed run's partial
+// results.
+//
+// The rule is interprocedural: a package-local function that merely
+// forwards a watched call's error (`return ppm.Run(...)`, or
+// `rep, err := ppm.Run(...); return rep, err`) becomes watched itself,
+// so discarding that helper's result is reported at the caller.
 var RunErrorAnalyzer = &Analyzer{
 	Name: "runerror",
-	Doc: "report discarded ppm.Run errors: strict-mode conflicts and phase-shape " +
-		"violations are only observable through them",
+	Doc: "report discarded ppm.Run errors (bare call, go/defer, blank assignment, " +
+		"or through an error-forwarding helper): strict-mode conflicts and " +
+		"phase-shape violations are only observable through them",
 	Run: runRunError,
 }
 
@@ -28,13 +36,15 @@ var errFuncs = []struct {
 }
 
 func runRunError(pass *Pass) error {
+	px := pass.Index()
+	watchedLocal := buildWatchedLocals(px)
 	for _, f := range pass.Files {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return
 			}
-			errIdx, ok := watchedCall(pass.TypesInfo, call)
+			errIdx, ok := watchedCall(px, call, watchedLocal)
 			if !ok {
 				return
 			}
@@ -56,21 +66,117 @@ func runRunError(pass *Pass) error {
 							"%s error assigned to _: strict-mode conflicts and run failures surface only through it", name)
 					}
 				}
+			case *ast.ReturnStmt:
+				// Forwarding the error is handled by making the
+				// enclosing function watched; nothing is discarded here.
 			}
 		})
 	}
 	return nil
 }
 
-// watchedCall reports whether call invokes one of the watched
-// error-returning entry points, and which result is the error.
-func watchedCall(info *types.Info, call *ast.CallExpr) (int, bool) {
+// buildWatchedLocals finds package-local functions that forward a
+// watched call's error to their own caller, iterating to a fixpoint so
+// forwarding chains are covered. The value is the error's position in
+// the function's result list.
+func buildWatchedLocals(px *PkgIndex) map[*types.Func]int {
+	watched := map[*types.Func]int{}
+	for changed := true; changed; {
+		changed = false
+		for fn, u := range px.byFunc {
+			if _, done := watched[fn]; done {
+				continue
+			}
+			if idx, ok := forwardsWatchedError(px, u, watched); ok {
+				watched[fn] = idx
+				changed = true
+			}
+		}
+	}
+	return watched
+}
+
+// forwardsWatchedError reports whether some return statement of u
+// passes a watched call's error out: a direct tuple forward
+// (`return ppm.Run(...)`), an error-position call result, or a variable
+// whose unique reaching definition binds the watched call's error.
+func forwardsWatchedError(px *PkgIndex, u *unit, watched map[*types.Func]int) (int, bool) {
+	found, ok := -1, false
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit && n != u.node {
+			return false // nested literal: its returns are not u's
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		// return f(...): the whole result tuple is forwarded, the error
+		// keeps its index.
+		if len(ret.Results) == 1 {
+			if call, isCall := ret.Results[0].(*ast.CallExpr); isCall {
+				if idx, w := watchedCall(px, call, watched); w {
+					found, ok = idx, true
+					return false
+				}
+			}
+		}
+		for i, res := range ret.Results {
+			switch x := res.(type) {
+			case *ast.CallExpr:
+				// return ..., lang.Interpret(...) as a single-result call
+				// in the error position.
+				if idx, w := watchedCall(px, x, watched); w && idx == 0 {
+					found, ok = i, true
+					return false
+				}
+			case *ast.Ident:
+				// return rep, err — err's unique definition binds the
+				// watched call's error result.
+				obj := px.info.Uses[x]
+				if obj == nil {
+					continue
+				}
+				r := px.reachOf(u)
+				d := r.uniqueDef(obj, x.Pos())
+				if d == nil || d.site == nil {
+					continue
+				}
+				as, isAssign := d.site.(*ast.AssignStmt)
+				if !isAssign || len(as.Rhs) != 1 {
+					continue
+				}
+				call, isCall := as.Rhs[0].(*ast.CallExpr)
+				if !isCall {
+					continue
+				}
+				idx, w := watchedCall(px, call, watched)
+				if !w {
+					continue
+				}
+				if _, lhsIdx := defRHS(px.info, d); lhsIdx == idx {
+					found, ok = i, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// watchedCall reports whether call invokes a watched error-returning
+// entry point — one of the errFuncs, or a package-local forwarder — and
+// which result is the error.
+func watchedCall(px *PkgIndex, call *ast.CallExpr, watchedLocal map[*types.Func]int) (int, bool) {
 	var obj types.Object
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		obj = info.Uses[fun]
+		obj = px.info.Uses[fun]
 	case *ast.SelectorExpr:
-		obj = info.Uses[fun.Sel]
+		obj = px.info.Uses[fun.Sel]
 	default:
 		return 0, false
 	}
@@ -81,6 +187,14 @@ func watchedCall(info *types.Info, call *ast.CallExpr) (int, bool) {
 	for _, w := range errFuncs {
 		if fn.Pkg().Path() == w.pkg && fn.Name() == w.name {
 			return w.errIdx, true
+		}
+	}
+	if idx, ok := watchedLocal[fn]; ok {
+		return idx, true
+	}
+	if orig := fn.Origin(); orig != nil {
+		if idx, ok := watchedLocal[orig]; ok {
+			return idx, true
 		}
 	}
 	return 0, false

@@ -1,9 +1,9 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/token"
+	"fmt"
 	"go/types"
+	"strings"
 )
 
 // StaleReadAnalyzer flags a Read of a shared element after a Write/Add
@@ -13,6 +13,12 @@ import (
 // that reads back what it just wrote is (perhaps surprisingly) reading
 // the old value. Read-then-write is the intended idiom and is not
 // flagged; neither are accesses in different phases.
+//
+// The rule matches elements two ways: semantically, by the affine form
+// of the index with helper arguments substituted (so a write performed
+// inside a helper and a read of the same element back in the phase body
+// match), and syntactically within one function frame, for indices the
+// affine resolver cannot decompose.
 var StaleReadAnalyzer = &Analyzer{
 	Name: "staleread",
 	Doc: "report same-phase read-after-write of one shared element: the read " +
@@ -21,77 +27,77 @@ var StaleReadAnalyzer = &Analyzer{
 }
 
 func runStaleRead(pass *Pass) error {
-	ctx := buildPhaseCtx(pass.TypesInfo, pass.Files)
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if lit := phaseBodyLit(pass.TypesInfo, call); lit != nil && ctx.phaseLits[lit] {
-				checkPhaseBody(pass, lit)
-			}
-			return true
-		})
+	px := pass.Index()
+	rv := newResolver(px)
+	for lit, isPhase := range px.ctx.phaseLits {
+		if !isPhase {
+			continue
+		}
+		if u := px.unitFor(lit); u != nil {
+			checkStaleReads(pass, px, rv, u)
+		}
 	}
 	return nil
 }
 
-// accessKey identifies one shared element syntactically: the receiver's
-// root object (or printed receiver), the accessor family (scalar/block)
-// and the printed index expression.
-type accessKey struct {
-	recv  any // types.Object or receiver string
+// srKey identifies one shared element within one phase walk.
+type srKey struct {
+	arr   any // types.Object when resolvable, else the printed receiver
 	block bool
-	index string
+	idx   string
 }
 
-func keyOf(sc sharedCall) accessKey {
-	k := accessKey{block: sc.block, index: types.ExprString(sc.indices[0])}
-	if len(sc.indices) == 2 {
-		k.index += "," + types.ExprString(sc.indices[1])
-	}
-	if sc.recvObj != nil {
-		k.recv = sc.recvObj
-	} else {
-		k.recv = types.ExprString(sc.recv)
-	}
-	return k
-}
-
-// checkPhaseBody scans one phase body in source order. A write is
-// recorded at its call's End so that reads nested in the write's own
-// arguments (`a.Write(vp, i, a.Read(vp, i)+1)`, evaluated before the
-// write) are not flagged.
-func checkPhaseBody(pass *Pass, lit *ast.FuncLit) {
-	writes := map[accessKey]struct {
-		end    token.Pos
-		method string
-	}{}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// checkStaleReads walks one phase body (expanding helpers) in execution
+// order. Writes are recorded when emitted; since walkOps visits a
+// call's arguments before the call itself, a read nested in the write's
+// own arguments (`a.Write(vp, i, a.Read(vp, i)+1)`) is seen first and
+// not flagged.
+func checkStaleReads(pass *Pass, px *PkgIndex, rv *resolver, phase *unit) {
+	type written struct{ method string }
+	sem := map[srKey]written{} // affine-matched elements
+	syn := map[srKey]written{} // syntactic fallback, per frame
+	px.walkOps(&frame{unit: phase}, map[*unit]bool{}, func(op opSite) {
+		env := envOf(op.fr, op.loops)
+		var arrKey any = types.ExprString(op.sc.recv)
+		if arr := rv.arrayObj(op.sc.recv, env); arr != nil {
+			arrKey = arr
 		}
-		sc, ok := asSharedCall(pass.TypesInfo, call)
-		if !ok {
-			return true
-		}
-		key := keyOf(sc)
-		if sc.write {
-			if _, seen := writes[key]; !seen {
-				writes[key] = struct {
-					end    token.Pos
-					method string
-				}{call.End(), sc.method}
+		var semParts, synParts []string
+		affOK := true
+		for _, idx := range op.sc.indices {
+			synParts = append(synParts, types.ExprString(idx))
+			a := rv.exprAffine(idx, env)
+			if a.ok {
+				semParts = append(semParts, rv.canon(a))
+			} else {
+				affOK = false
 			}
-			return true
 		}
-		if w, seen := writes[key]; seen && call.Pos() >= w.end {
-			pass.Reportf(call.Pos(),
+		semKey := srKey{arr: arrKey, block: op.sc.block, idx: strings.Join(semParts, ",")}
+		synKey := srKey{arr: arrKey, block: op.sc.block,
+			idx: fmt.Sprintf("%p|%s", op.fr, strings.Join(synParts, ","))}
+		if op.sc.write {
+			if affOK {
+				if _, seen := sem[semKey]; !seen {
+					sem[semKey] = written{op.sc.method}
+				}
+			}
+			if _, seen := syn[synKey]; !seen {
+				syn[synKey] = written{op.sc.method}
+			}
+			return
+		}
+		w, seen := written{}, false
+		if affOK {
+			w, seen = sem[semKey]
+		}
+		if !seen {
+			w, seen = syn[synKey]
+		}
+		if seen {
+			pass.Reportf(op.fr.reportPos(op.sc.call.Pos()),
 				"%s.%s(%s) after %s in the same phase reads the begin-of-phase value: writes only commit at the phase's end barrier — split the phases if the new value is needed",
-				types.ExprString(sc.recv), sc.method, keyOf(sc).index, w.method)
+				types.ExprString(op.sc.recv), op.sc.method, strings.Join(synParts, ","), w.method)
 		}
-		return true
 	})
 }

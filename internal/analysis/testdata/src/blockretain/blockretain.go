@@ -1,0 +1,56 @@
+// Package blockretain exercises the blockretain rule: a slice handed
+// to WriteBlock/AddBlock is logically runtime-owned until the
+// end-of-phase commit, so storing it anywhere that outlives the phase
+// (fields, outer or package variables, returns, escaping helpers) is
+// flagged.
+package blockretain
+
+import "ppm"
+
+var sink []float64
+
+type holder struct{ buf []float64 }
+
+// stash returns its argument: passing a block source to it escapes.
+func stash(s []float64) []float64 { return s }
+
+// sum only reads its argument; passing a block source to it is fine.
+func sum(s []float64) float64 {
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+func Host(rt *ppm.Runtime) {
+	g := ppm.AllocGlobal[float64](rt, "g", 64)
+	h := &holder{}
+	var outer []float64
+	var kept []float64
+	rt.Do(4, func(vp *ppm.VP) {
+		vp.GlobalPhase(func() {
+			src := make([]float64, 8)
+			for i := range src {
+				src[i] = float64(i)
+			}
+			g.WriteBlock(vp, vp.GlobalRank()*8, src)
+			h.buf = src  // want `stored into longer-lived state`
+			outer = src  // want `stored in outer, declared outside this function`
+			sink = src   // want `stored in package variable sink`
+			_ = sum(src) // reading helper: no escape
+			view := src[2:4]
+			view[0] = 9.0 // writing into the view is not a retention
+			kept = view   // want `stored in kept, declared outside this function`
+			_ = stash(src) // want `passed to stash, which stores or returns it`
+		})
+	})
+	_, _ = outer, kept
+}
+
+// retBlock returns an AddBlock source out of a VP helper.
+func retBlock(vp *ppm.VP, g *ppm.Global[float64]) []float64 {
+	src := make([]float64, 4)
+	g.AddBlock(vp, 0, src)
+	return src // want `phase block slice is returned`
+}

@@ -1,0 +1,89 @@
+// Package phaserace exercises the phaserace rule: definite write
+// overlaps between VP instances (including one seeded through a
+// helper), provably-disjoint patterns that must stay silent, and
+// non-affine indices that degrade to phaserace.possible.
+package phaserace
+
+import "ppm"
+
+// smear writes a caller-chosen element; the overlap is only visible
+// once the call-site argument is substituted into the index.
+func smear(vp *ppm.VP, g *ppm.Global[float64], base int) {
+	g.Write(vp, base, 2.0)
+}
+
+// scatter is deliberately non-affine (modulus of a per-VP quantity).
+func scatter(vp *ppm.VP) int { return vp.NodeRank() % 5 }
+
+func Overlaps(rt *ppm.Runtime) {
+	a := ppm.AllocGlobal[float64](rt, "a", 64)
+	q := ppm.AllocGlobal[float64](rt, "q", 64)
+	h := ppm.AllocGlobal[float64](rt, "h", 64)
+	d := ppm.AllocNode[float64](rt, "d", 64)
+	e := ppm.AllocGlobal[float64](rt, "e", 64)
+	m := ppm.AllocGlobal2D[float64](rt, "m", 8, 8)
+	rt.Do(4, func(vp *ppm.VP) {
+		vp.GlobalPhase(func() {
+			a.Write(vp, 0, 1.0)           // want `overlapping elements of a`
+			smear(vp, q, 3)               // want `overlapping elements of q`
+			h.Write(vp, scatter(vp), 1.0) // want `cannot prove VP write sets of h disjoint`
+			m.Write(vp, vp.NodeRank(), 0, 1.0) // want `overlapping elements of m`
+		})
+		vp.NodePhase(func() {
+			lo, hi := ppm.ChunkRange(64, vp.K(), vp.NodeRank())
+			for i := lo; i < hi; i++ {
+				d.Write(vp, i, 1.0) // want `overlapping elements of d`
+				d.Write(vp, i+1, 0.5)
+			}
+		})
+		vp.GlobalPhase(func() {
+			// Chunking a Global by the node-local rank partitions within
+			// one node but collides with the same window on every other
+			// node.
+			lo, hi := ppm.ChunkRange(64, vp.K(), vp.NodeRank())
+			for i := lo; i < hi; i++ {
+				e.Write(vp, i, 1.0) // want `overlapping elements of e`
+			}
+		})
+	})
+}
+
+func Disjoint(rt *ppm.Runtime) {
+	b := ppm.AllocGlobal[float64](rt, "b", 64)
+	c := ppm.AllocNode[float64](rt, "c", 64)
+	g := ppm.AllocGlobal[float64](rt, "g", 64)
+	m := ppm.AllocGlobal2D[float64](rt, "m2", 64, 4)
+	acc := ppm.AllocGlobal[float64](rt, "acc", 1)
+	n1 := ppm.AllocNode[float64](rt, "n1", 4)
+	glo, ghi := g.OwnerRange(rt)
+	rt.Do(4, func(vp *ppm.VP) {
+		vp.GlobalPhase(func() {
+			// Globally-ranked point writes are distinct per instance.
+			b.Write(vp, vp.GlobalRank(), 1.0)
+			// Row index distinguishes instances; the column may collide.
+			m.Write(vp, vp.GlobalRank(), 2, 1.0)
+			// Add is combining: concurrent Adds never conflict.
+			acc.Add(vp, 0, 1.0)
+			// Chunks of this node's owner partition: disjoint within the
+			// node by the chunk split, across nodes by ownership.
+			lo, hi := ppm.ChunkRange(ghi-glo, vp.K(), vp.NodeRank())
+			for i := lo; i < hi; i++ {
+				g.Write(vp, glo+i, 1.0)
+			}
+		})
+		vp.NodePhase(func() {
+			// Node arrays have one instance per node; the chunk split
+			// alone proves the node-local writes disjoint.
+			lo, hi := ppm.ChunkRange(64, vp.K(), vp.NodeRank())
+			for i := lo; i < hi; i++ {
+				c.Write(vp, i, 1.0)
+			}
+		})
+	})
+	// A single VP per node cannot race with itself on node state.
+	rt.Do(1, func(vp *ppm.VP) {
+		vp.NodePhase(func() {
+			n1.Write(vp, 0, 1.0)
+		})
+	})
+}

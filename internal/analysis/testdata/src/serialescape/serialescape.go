@@ -1,0 +1,42 @@
+// Package serialescape exercises the serialescape rule: VP code
+// mutating state declared outside the VP function races between the
+// concurrent VP instances unless the update runs under Serial.
+package serialescape
+
+import "ppm"
+
+var launches int
+
+type counter struct{ n int }
+
+// bump stores through its parameter; callers passing host state are
+// reported at the call site via the function summary.
+func bump(c *counter) { c.n++ }
+
+// peek only reads; passing host state to it is fine.
+func peek(c *counter) int { return c.n }
+
+func Host(rt *ppm.Runtime) {
+	total := 0.0
+	ctr := &counter{}
+	sums := make([]float64, 4)
+	rt.Do(4, func(vp *ppm.VP) {
+		local := 0.0
+		local += 1.0
+		total += local // want `VP code mutates total`
+		launches++     // want `VP code mutates launches`
+		bump(ctr)      // want `passes ctr, declared outside the VP function, to bump`
+		_ = peek(ctr)
+		vp.GlobalPhase(func() {
+			sums[0] = local // want `VP code mutates sums`
+		})
+		rt.Serial(func() {
+			total += local // serialized: the sanctioned escape hatch
+		})
+	})
+	// A single VP per node cannot race with itself.
+	rt.Do(1, func(vp *ppm.VP) {
+		total += 1.0
+	})
+	_ = total
+}

@@ -103,6 +103,12 @@ func RunPPMOn(run core.Runner, opt core.Options, p Params) (*State, *core.Report
 					for r := range sources {
 						sources[r] = &treeSource{g: trees, vp: vp, off: r * segLen, cache: cache}
 					}
+					// step mutates only s.VX/VY/VZ/PX/PY/PZ[i] for i in
+					// this VP's [vlo, vhi) chunk, and ChunkRange windows
+					// of distinct VPs are disjoint — a per-element
+					// partition the analyzer cannot see through the
+					// *State indirection.
+					//ppmvet:ignore serialescape — writes are chunk-partitioned per VP
 					inter := step(p, s, part, vlo, vhi, func(r int) octree.Source { return sources[r] })
 					vp.ChargeFlops(inter * interactionFlops)
 				})

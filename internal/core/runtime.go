@@ -112,6 +112,9 @@ type Runtime struct {
 	node int
 
 	inDo bool
+	// serialMu orders Serial sections in distributed runs, where the
+	// simulator's cooperative turn discipline is unavailable.
+	serialMu sync.Mutex
 }
 
 // Runner is the signature shared by Run and the distributed launcher's
@@ -217,6 +220,23 @@ func (rt *Runtime) Barrier() {
 		return
 	}
 	rt.proc.Barrier()
+}
+
+// Serial runs f in this node's serial section: at most one Serial
+// callback executes at a time on the node, ordered with node-level
+// code. It is the sanctioned way for VP code to update node state that
+// is not a shared array (counters, work queues); ppmvet's serialescape
+// rule reports such updates made without it. Under the simulator it
+// acquires the cooperative turn; in distributed runs it holds a
+// node-local mutex.
+func (rt *Runtime) Serial(f func()) {
+	if rt.proc != nil {
+		rt.proc.Serial(f)
+		return
+	}
+	rt.serialMu.Lock()
+	defer rt.serialMu.Unlock()
+	f()
 }
 
 // stats returns this node's mutable statistics record.

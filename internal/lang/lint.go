@@ -25,6 +25,7 @@ func lintProgram(prog *Program) []Diag {
 	var diags []Diag
 	diags = append(diags, lintConstWrite(prog, consts, shared)...)
 	diags = append(diags, lintStaleRead(prog, shared)...)
+	diags = append(diags, lintPhaseRace(prog, consts, shared)...)
 	diags = append(diags, lintUnusedShared(prog)...)
 	return diags
 }
@@ -133,24 +134,7 @@ func evalConst(e Expr, consts map[string]int64) (int64, bool) {
 // arrays are exempt when every `do` of the function starts a single VP
 // per node; global arrays conflict across nodes regardless of K.
 func lintConstWrite(prog *Program, consts map[string]int64, shared map[string]*SharedDecl) []Diag {
-	doK := map[string][]Expr{}
-	walkStmt(prog.Main, func(s Stmt) {
-		if d, ok := s.(*Do); ok {
-			doK[d.Name] = append(doK[d.Name], d.K)
-		}
-	})
-	alwaysSingleVP := func(fname string) bool {
-		ks := doK[fname]
-		if len(ks) == 0 {
-			return false
-		}
-		for _, k := range ks {
-			if v, ok := evalConst(k, consts); !ok || v != 1 {
-				return false
-			}
-		}
-		return true
-	}
+	alwaysSingleVP := singleVPFuncs(prog, consts)
 
 	var diags []Diag
 	for _, f := range prog.Funcs {

@@ -29,12 +29,16 @@ func TestAnalyzeFixtures(t *testing.T) {
 		}},
 		{"constwrite.ppm", []finding{
 			{"constwrite", 8, SevWarning},
+			{"phaserace", 8, SevWarning},
 			{"constwrite", 9, SevWarning},
+			{"phaserace", 9, SevWarning},
 			{"constwrite", 10, SevWarning},
+			{"phaserace", 10, SevWarning},
 		}},
 		{"staleread.ppm", []finding{
 			{"staleread", 8, SevWarning},
 			{"staleread", 10, SevWarning},
+			{"phaserace", 11, SevWarning},
 		}},
 		{"unusedshared.ppm", []finding{
 			{"unusedshared", 3, SevWarning},
@@ -42,6 +46,14 @@ func TestAnalyzeFixtures(t *testing.T) {
 		{"bad_phase.ppm", []finding{
 			{"phasebound", 8, SevError},
 			{"constwrite", 10, SevWarning},
+			{"phaserace", 10, SevWarning},
+		}},
+		{"phaserace.ppm", []finding{
+			{"phaserace", 12, SevWarning},
+			{"phaserace", 14, SevWarning},
+			{"phaserace.possible", 16, SevWarning},
+			{"phaserace", 22, SevWarning},
+			{"phaserace.possible", 30, SevWarning},
 		}},
 		{"clean.ppm", nil},
 	}
