@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire dist-smoke chaos figures
+.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire bench-steady plancache-equiv dist-smoke chaos figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends, gated by the
@@ -70,6 +70,20 @@ bench-parallel:
 ## vs adaptive vs the delta commit codec; see internal/dist/wire_bench_test.go).
 bench-wire:
 	BENCH_WIRE=1 $(GO) test -run TestWireBenchArtifact -v ./internal/dist/
+
+## bench-steady: regenerate BENCH_steady.json (cold vs warm steady-state
+## phase iteration costs; see steady_bench_test.go). The artifact test
+## enforces the contract: warm CG and Jacobi iterations allocate nothing
+## and run at least 1.5x faster than cold (plan cache off).
+bench-steady:
+	BENCH_STEADY=1 $(GO) test -run TestSteadyBenchArtifact -v .
+
+## plancache-equiv: the figure-app equivalence matrix with the plan
+## cache forced off and forced on — both must be green, proving the
+## cache changes no observable bit anywhere in the suite.
+plancache-equiv:
+	PPM_PLAN_CACHE=0 $(GO) test -count=1 -run 'Equivalence|MatchesSimulator|TestPlanCache|TestFleetPlanCache' . ./internal/core/ ./internal/dist/
+	PPM_PLAN_CACHE=1 $(GO) test -count=1 -run 'Equivalence|MatchesSimulator|TestPlanCache|TestFleetPlanCache' . ./internal/core/ ./internal/dist/
 
 ## dist-smoke: real multi-process runs — 2 ppm-node processes over
 ## loopback TCP solving a small cg point, launched by ppm-run; once

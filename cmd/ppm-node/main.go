@@ -18,7 +18,7 @@
 //	         [-run-id ID] [-hb-interval 500ms] [-hb-timeout 5s]
 //	         [-op-timeout 60s] [-checkpoint-dir DIR [-checkpoint-every K] [-restore]]
 //	         [-bundle-adaptive] [-wire-codec raw|delta] [-flush-stagger 0]
-//	         -app cg|colloc|nbody|jacobi|search [-cores 4]
+//	         -app cg|colloc|nbody|jacobi|search|scatter [-cores 4]
 //	         [-no-bundling] [-no-overlap] [-no-readcache] [-static]
 //	         [app-specific flags, see -h]
 //
@@ -39,6 +39,7 @@ import (
 	"ppm/internal/apps/colloc"
 	"ppm/internal/apps/jacobi"
 	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/scatter"
 	"ppm/internal/apps/search"
 	"ppm/internal/core"
 	"ppm/internal/dist"
@@ -66,7 +67,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "minimum committed global phases between checkpoints (default 1)")
 	restore := flag.Bool("restore", false, "resume from the newest checkpoint all ranks hold in -checkpoint-dir")
 
-	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search")
+	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search, scatter")
 	cores := flag.Int("cores", 4, "cores per node (VP scheduling width)")
 	noBundling := flag.Bool("no-bundling", false, "disable remote-access bundling counters")
 	noOverlap := flag.Bool("no-overlap", false, "disable comm/compute overlap counters")
@@ -83,6 +84,10 @@ func main() {
 	jacSweeps := flag.Int("jacobi-sweeps", 10, "jacobi: sweeps")
 	searchN := flag.Int("search-n", 1<<20, "search: sorted array length")
 	searchK := flag.Int("search-k", 1<<14, "search: keys per node")
+	scatterN := flag.Int("scatter-n", 3000, "scatter: global accumulator length")
+	scatterVPs := flag.Int("scatter-vps", 6, "scatter: virtual processors per node")
+	scatterIters := flag.Int("scatter-iters", 4, "scatter: scatter-add phases")
+	scatterSeed := flag.Uint64("scatter-seed", 7, "scatter: workload seed")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -115,8 +120,10 @@ func main() {
 		spec.Jacobi = jacobi.Params{NX: nx, NY: ny, NZ: nz, Sweeps: *jacSweeps}
 	case "search":
 		spec.Search = search.Params{N: *searchN, K: *searchK, Seed: 42}
+	case "scatter":
+		spec.Scatter = scatter.Params{N: *scatterN, VPs: *scatterVPs, Iters: *scatterIters, Seed: *scatterSeed}
 	default:
-		fail(fmt.Errorf("unknown -app %q (want cg, colloc, nbody, jacobi, search)", *app))
+		fail(fmt.Errorf("unknown -app %q (want cg, colloc, nbody, jacobi, search, scatter)", *app))
 	}
 	opt := core.Options{
 		Nodes:          *nodes,

@@ -144,9 +144,18 @@ type Cluster struct {
 
 	// Parallel-scheduler state: parkReq is where a process announces it
 	// reached an operation and needs the turn (buffered so announcing
-	// never blocks the scheduler's grant cycle).
+	// never blocks the scheduler's grant cycle). turnHeap is the grant
+	// queue: one (pickClock, rank) entry per runnable-transition, popped
+	// in key order with lazy invalidation (see pickTurn).
 	parallel bool
 	parkReq  chan *Proc
+	turnHeap []turnEnt
+
+	// tracing caches cfg.Trace != nil so hot scheduler paths can skip
+	// trace calls entirely: the variadic call site boxes its arguments
+	// before trace can test for a nil sink, which would put allocations
+	// on every turn grant even in untraced runs.
+	tracing bool
 
 	sendSeq    int64
 	barrierGen int64
@@ -172,6 +181,7 @@ func Run(cfg Config, prog Program) (*Report, error) {
 		mach:     mach,
 		yield:    make(chan *Proc),
 		parallel: cfg.Parallel || envParallel,
+		tracing:  cfg.Trace != nil,
 	}
 	if c.parallel {
 		c.parkReq = make(chan *Proc, cfg.Procs)
@@ -232,10 +242,14 @@ func (c *Cluster) schedule() error {
 			return err
 		}
 		p.state = stateRunning
-		c.trace("resume rank=%d clock=%v", p.rank, p.clock)
+		if c.tracing {
+			c.trace("resume rank=%d clock=%v", p.rank, p.clock)
+		}
 		p.resume <- true
 		q := <-c.yield
-		c.trace("yield rank=%d state=%v clock=%v", q.rank, q.state, q.clock)
+		if c.tracing {
+			c.trace("yield rank=%d state=%v clock=%v", q.rank, q.state, q.clock)
+		}
 	}
 }
 
@@ -366,11 +380,14 @@ func (c *Cluster) tryBarrierRelease(releaser *Proc) {
 			p.pickClock = release
 			p.state = stateRunnable
 			p.stats.Barriers++
+			c.noteRunnable(p)
 			c.observe(Event{Kind: EvBarrier, Rank: p.rank, Peer: -1, Time: release})
 			if c.parallel && p != releaser {
 				p.resume <- true
 			}
 		}
 	}
-	c.trace("barrier released at %v (%d procs)", release, live)
+	if c.tracing {
+		c.trace("barrier released at %v (%d procs)", release, live)
+	}
 }

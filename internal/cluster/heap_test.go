@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"ppm/internal/vtime"
+)
+
+// TestPickTurnMatchesScanOnRecordedSchedule drives the turn heap with a
+// recorded (seeded, deterministic) schedule of runnable transitions —
+// wakes, grants, yields, and the barrier-self-arrival pattern that
+// leaves stale heap entries behind — and asserts that every grant
+// pickTurn makes is exactly the process the original O(P) scan
+// (pickTurnScan, kept as the oracle) would have picked.
+func TestPickTurnMatchesScanOnRecordedSchedule(t *testing.T) {
+	const procs = 9
+	c := &Cluster{parallel: true}
+	c.procs = make([]*Proc, procs)
+	for r := range c.procs {
+		c.procs[r] = &Proc{cluster: c, rank: r, state: stateBlockedRecv}
+	}
+
+	// Deterministic LCG: the same schedule replays on every run.
+	seed := uint64(0x9e3779b97f4a7c15)
+	rnd := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) % n
+	}
+
+	clock := make([]vtime.Time, procs)
+	grants := 0
+	grant := func() {
+		want := c.pickTurnScan()
+		got := c.pickTurn()
+		if got != want {
+			t.Fatalf("grant %d: pickTurn chose %v, scan oracle chose %v", grants, procName(got), procName(want))
+		}
+		if got == nil {
+			return
+		}
+		grants++
+		got.state = stateRunning
+		// The turn ends: the process advances (possibly not at all, so
+		// identical keys recur) and either yields runnable or blocks.
+		clock[got.rank] += vtime.Time(rnd(5))
+		got.clock = clock[got.rank]
+		if rnd(3) == 0 {
+			got.state = stateRunnable
+			got.pickClock = got.clock
+			c.noteRunnable(got)
+		} else {
+			got.state = stateBlockedRecv
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch rnd(4) {
+		case 0, 1:
+			// A blocked process is woken (message arrival / barrier
+			// release) at a clock at or after its last. Zero dwell makes
+			// equal-clock rank tiebreaks common.
+			p := c.procs[rnd(procs)]
+			if p.state == stateBlockedRecv {
+				clock[p.rank] += vtime.Time(rnd(3))
+				p.state = stateRunnable
+				p.pickClock = clock[p.rank]
+				c.noteRunnable(p)
+			}
+		case 2:
+			grant()
+		case 3:
+			// Barrier-self-arrival analog: a runnable process starts
+			// running without a grant, orphaning its heap entry; it may
+			// then become runnable again — sometimes at the same clock,
+			// making the stale and live entries carry identical keys.
+			p := c.procs[rnd(procs)]
+			if p.state == stateRunnable {
+				p.state = stateRunning
+				clock[p.rank] += vtime.Time(rnd(4))
+				p.clock = clock[p.rank]
+				if rnd(2) == 0 {
+					p.state = stateRunnable
+					p.pickClock = p.clock
+					c.noteRunnable(p)
+				} else {
+					p.state = stateBlockedRecv
+				}
+			}
+		}
+	}
+	if grants < 1000 {
+		t.Fatalf("recorded schedule exercised only %d grants — not a meaningful comparison", grants)
+	}
+
+	// Drain every remaining runnable process; the heap must then agree
+	// with the scan that nothing is left and end empty.
+	for c.pickTurnScan() != nil {
+		grant()
+		for _, p := range c.procs {
+			if p.state == stateRunnable {
+				break
+			}
+		}
+		// Block whatever the grant left runnable so draining terminates.
+		if p := c.pickTurnScan(); p != nil && rnd(2) == 0 {
+			p.state = stateRunning
+			p.state = stateBlockedRecv
+		}
+	}
+	if got := c.pickTurn(); got != nil {
+		t.Fatalf("scan sees no runnable process but pickTurn granted %v", procName(got))
+	}
+	if len(c.turnHeap) != 0 {
+		t.Fatalf("turn heap not drained: %d entries left", len(c.turnHeap))
+	}
+}
+
+func procName(p *Proc) any {
+	if p == nil {
+		return "<none>"
+	}
+	return p.rank
+}

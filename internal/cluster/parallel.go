@@ -1,5 +1,7 @@
 package cluster
 
+import "ppm/internal/vtime"
+
 // This file implements the conservative parallel scheduler selected by
 // Config.Parallel (or PPM_PARALLEL=1).
 //
@@ -58,8 +60,10 @@ package cluster
 // caller's goroutine.
 func (c *Cluster) scheduleParallel() error {
 	// Launch every process; each computes ahead until its first
-	// operation parks it.
+	// operation parks it. Every process starts runnable at clock 0, so
+	// the grant heap is seeded with all of them.
 	for _, p := range c.procs {
+		c.noteRunnable(p)
 		p.resume <- true
 	}
 	for {
@@ -85,7 +89,9 @@ func (c *Cluster) scheduleParallel() error {
 		}
 		cur.parked = false
 		cur.state = stateRunning
-		c.trace("resume rank=%d clock=%v op=%s", cur.rank, cur.pickClock, cur.pendingOp)
+		if c.tracing {
+			c.trace("resume rank=%d clock=%v op=%s", cur.rank, cur.pickClock, cur.pendingOp)
+		}
 		cur.turnCh <- true
 		// The turn ends when cur blocks, yields, or exits; park
 		// requests from other processes keep arriving meanwhile.
@@ -95,7 +101,9 @@ func (c *Cluster) scheduleParallel() error {
 			case p := <-c.parkReq:
 				p.parked = true
 			case q := <-c.yield:
-				c.trace("yield rank=%d state=%v", q.rank, q.state)
+				if c.tracing {
+					c.trace("yield rank=%d state=%v", q.rank, q.state)
+				}
 				stop = true
 			}
 			if stop {
@@ -105,11 +113,99 @@ func (c *Cluster) scheduleParallel() error {
 	}
 }
 
+// turnEnt is one pending grant key in the turn heap: the (pickClock,
+// rank) a process became runnable with. Entries are never updated in
+// place; a process that becomes runnable again simply pushes a new
+// entry, and entries whose process is no longer runnable at that exact
+// key are dropped lazily at pop time.
+type turnEnt struct {
+	clock vtime.Time
+	rank  int
+}
+
+func (e turnEnt) less(o turnEnt) bool {
+	return e.clock < o.clock || (e.clock == o.clock && e.rank < o.rank)
+}
+
+// noteRunnable registers p's runnable transition in the turn heap.
+// Every site that sets state = stateRunnable under the parallel
+// scheduler calls it (start seed, message wake, barrier release,
+// Yield); sequential runs keep the heap empty. Duplicate entries for
+// the same (clock, rank) are harmless: the first grants, the rest are
+// dropped as stale because the process is no longer runnable — or, if
+// it became runnable again at the same key, granting on the duplicate
+// is exactly what the scan would have picked anyway.
+func (c *Cluster) noteRunnable(p *Proc) {
+	if !c.parallel {
+		return
+	}
+	h := append(c.turnHeap, turnEnt{clock: p.pickClock, rank: p.rank})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	c.turnHeap = h
+}
+
+// popTurn removes the minimum heap entry.
+func (c *Cluster) popTurn() {
+	h := c.turnHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].less(h[small]) {
+			small = l
+		}
+		if r < n && h[r].less(h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	c.turnHeap = h
+}
+
 // pickTurn returns the runnable process with the smallest
-// (pickClock, rank), or nil if none are runnable. It mirrors
-// pickRunnable; it may only be called between turns, when every
-// pickClock it reads was published by a channel operation.
+// (pickClock, rank), or nil if none are runnable. It may only be
+// called between turns, when every pickClock it reads was published by
+// a channel operation.
+//
+// The heap makes a grant O(log P) instead of the old O(P) scan (kept
+// below as pickTurnScan, the oracle for the equivalence unit test). An
+// entry is live iff its process is still runnable at exactly the
+// recorded (clock, rank) key; anything else is a leftover from a
+// transition that was since consumed — granted, re-blocked, completed
+// a barrier by its own arrival, or exited — and is discarded. Because
+// every runnable process has a live entry (noteRunnable runs at every
+// runnable transition, and pickClock is frozen while runnable), an
+// empty heap means no process is runnable.
 func (c *Cluster) pickTurn() *Proc {
+	for len(c.turnHeap) > 0 {
+		top := c.turnHeap[0]
+		c.popTurn()
+		p := c.procs[top.rank]
+		if p.state == stateRunnable && p.pickClock == top.clock {
+			return p
+		}
+	}
+	return nil
+}
+
+// pickTurnScan is the original O(P) grant scan, retained as the test
+// oracle for pickTurn.
+func (c *Cluster) pickTurnScan() *Proc {
 	var best *Proc
 	for _, p := range c.procs {
 		if p.state != stateRunnable {

@@ -280,7 +280,9 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	if intra {
 		p.stats.IntraMsgsSent++
 	}
-	c.trace("send %d->%d tag=%d bytes=%d arrival=%v", p.rank, dst, tag, bytes, arrival)
+	if c.tracing {
+		c.trace("send %d->%d tag=%d bytes=%d arrival=%v", p.rank, dst, tag, bytes, arrival)
+	}
 	c.observe(Event{Kind: EvSend, Rank: p.rank, Peer: dst, Tag: tag, Bytes: bytes, Intra: intra, Time: p.clock})
 	// If the destination is parked on a matching receive, wake it. Its
 	// pick clock is the clock it blocked at (unchanged while blocked),
@@ -288,6 +290,7 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	if target.state == stateBlockedRecv && matches(target.wantSrc, target.wantTag, msg) {
 		target.state = stateRunnable
 		target.pickClock = target.clock
+		c.noteRunnable(target)
 		if c.parallel {
 			target.resume <- true
 		}
@@ -340,7 +343,9 @@ func (p *Proc) consumeMatch(src, tag int) *Message {
 		}
 		p.stats.MsgsRecvd++
 		p.stats.BytesRecvd += int64(msg.Bytes)
-		p.cluster.trace("recv %d<-%d tag=%d bytes=%d at %v", p.rank, msg.Src, msg.Tag, msg.Bytes, p.clock)
+		if p.cluster.tracing {
+			p.cluster.trace("recv %d<-%d tag=%d bytes=%d at %v", p.rank, msg.Src, msg.Tag, msg.Bytes, p.clock)
+		}
 		p.cluster.observe(Event{Kind: EvRecv, Rank: p.rank, Peer: msg.Src, Tag: msg.Tag, Bytes: msg.Bytes, Intra: intra, Time: p.clock})
 		return msg
 	}
@@ -379,6 +384,7 @@ func (p *Proc) Yield() {
 		p.acquireTurn("yield")
 		p.state = stateRunnable
 		p.pickClock = p.clock
+		p.cluster.noteRunnable(p)
 		p.hasTurn = false
 		p.cluster.yield <- p
 		return

@@ -341,14 +341,22 @@ func (d *doRun) bundleCount(elems, bytes int64) int64 {
 // a disjoint cover, scattered indices are deduplicated against each other
 // and against the cover, and the result is counted per owning node. All
 // counts are integers, so the merge order cannot perturb them.
+//
+// On a warm doRun the merge is plan-cached (see plan.go): a pass whose
+// inputs exactly match the recorded plan replays the recorded per-owner
+// deltas instead of sorting and sweeping; any other pass records a fresh
+// plan while merging cold, accumulating the sweep into the plan's delta
+// slices and then adding them into the commit's counters (integer sums,
+// so recording cannot perturb the result).
 func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 	gs := d.rt.gs
 	na := len(gs.arrays)
 	if len(d.mrRuns) < na {
-		d.mrRuns = make([][]intRun, na)
-		d.mrIdx = make([][]int, na)
+		d.mrRuns = append(d.mrRuns, make([][]intRun, na-len(d.mrRuns))...)
+		d.mrIdx = append(d.mrIdx, make([][]int, na-len(d.mrIdx))...)
 	}
-	cached := false
+	// Direct counters are already per-owner sums; fold and clear them
+	// first — they bypass planning entirely.
 	for _, vp := range d.vps {
 		if vp.rrElems != nil {
 			for n := range rrElems {
@@ -356,6 +364,42 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 				rrBytes[n] += vp.rrBytes[n]
 				vp.rrElems[n], vp.rrBytes[n] = 0, 0
 			}
+		}
+	}
+	p := d.planFor()
+	if p != nil && p.valid {
+		if d.planMatches(p, na) {
+			d.replay(p, rrElems, rrBytes)
+			return
+		}
+		p.valid = false
+		d.rt.stats().PlanCache.Invalidations++
+	}
+	rec := p != nil
+	if rec {
+		d.rt.stats().PlanCache.Misses++
+		p.beginRecord(d.openKind, d.k, na, gs.nodes, gs.dist != nil)
+	}
+	cached := false
+	for _, vp := range d.vps {
+		if rec {
+			for id := 0; id < na; id++ {
+				var rs []intRun
+				if id < len(vp.rdRuns) {
+					rs = vp.rdRuns[id]
+				}
+				p.segs = append(p.segs, rs...)
+				p.offs = append(p.offs, int32(len(p.segs)))
+			}
+			var m map[readKey]struct{}
+			if len(vp.rdIdx) > 0 {
+				m = make(map[readKey]struct{}, len(vp.rdIdx))
+				for k := range vp.rdIdx {
+					m[k] = struct{}{}
+				}
+				p.runs += int64(len(m))
+			}
+			p.idx = append(p.idx, m)
 		}
 		for id, rs := range vp.rdRuns {
 			if len(rs) > 0 {
@@ -372,8 +416,21 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 			cached = true
 		}
 	}
+	if rec {
+		p.runs += int64(len(p.segs))
+		p.bytesSaved = int64(len(p.segs)) * 16
+	}
 	if !cached {
+		if rec {
+			p.valid = true // empty shape: replays as a no-op
+		}
 		return
+	}
+	// Merge target: the commit's counters directly, or the plan's delta
+	// slices on a recording pass (added into the counters below).
+	tElems, tBytes := rrElems, rrBytes
+	if rec {
+		tElems, tBytes = p.rrElems, p.rrBytes
 	}
 	for id := 0; id < na; id++ {
 		runs, idxs := d.mrRuns[id], d.mrIdx[id]
@@ -397,6 +454,9 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 				}
 			}
 			runs = runs[:m+1]
+			if rec {
+				p.allocsSaved += 2 // sort.Slice interface + closure
+			}
 		}
 		for _, r := range runs {
 			for s := r.lo; s < r.hi; {
@@ -405,13 +465,19 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 				if e > end {
 					e = end
 				}
-				rrElems[owner] += int64(e - s)
-				rrBytes[owner] += int64(e-s) * es
+				tElems[owner] += int64(e - s)
+				tBytes[owner] += int64(e-s) * es
+				if rec && p.fcov != nil && owner != d.node {
+					p.fcov[id] = append(p.fcov[id], intRun{lo: s, hi: e})
+				}
 				s = e
 			}
 		}
 		if len(idxs) > 0 {
 			sort.Ints(idxs)
+			if rec {
+				p.allocsSaved++ // sort.Ints interface conversion
+			}
 			ri, prev := 0, -1
 			for _, ix := range idxs {
 				if ix == prev {
@@ -425,13 +491,89 @@ func (d *doRun) mergeReadSets(rrElems, rrBytes []int64) {
 					continue // already covered by a block run
 				}
 				owner, _ := arr.ownerSpan(ix)
-				rrElems[owner]++
-				rrBytes[owner] += es
+				tElems[owner]++
+				tBytes[owner] += es
+				if rec && p.fcov != nil && owner != d.node {
+					p.fcov[id] = append(p.fcov[id], intRun{lo: ix, hi: ix + 1})
+				}
 			}
 		}
 		d.mrRuns[id] = runs[:0]
 		d.mrIdx[id] = idxs[:0]
 	}
+	if rec {
+		for n := range rrElems {
+			rrElems[n] += p.rrElems[n]
+			rrBytes[n] += p.rrBytes[n]
+		}
+		p.valid = true
+	}
+}
+
+// resetCommitScratch zeroes the doRun's reusable per-commit tallies,
+// reallocating only when the node count outgrows their capacity (it
+// never does after the first commit).
+func (d *doRun) resetCommitScratch(nodes int) {
+	d.ctally.elems = resetInt64(d.ctally.elems, nodes)
+	d.ctally.bytes = resetInt64(d.ctally.bytes, nodes)
+	d.ctally.localElems, d.ctally.localBytes = 0, 0
+	d.crrElems = resetInt64(d.crrElems, nodes)
+	d.crrBytes = resetInt64(d.crrBytes, nodes)
+	d.cinElems = resetInt64(d.cinElems, nodes)
+	d.cinBytes = resetInt64(d.cinBytes, nodes)
+}
+
+// drainGlobal drains every VP's write buffers in rank order into the
+// arrays' stages (fixing the merge order) and folds per-VP access
+// counters into the node's stats; traffic accumulates into d.ctally.
+// It is a method, not a closure, so the non-strict commit path carries
+// no captured variables and stays allocation-free.
+func (d *doRun) drainGlobal(seq int64) error {
+	st := d.rt.stats()
+	var firstErr error
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.reads, vp.writes = 0, 0
+		for _, b := range vp.bufs {
+			if err := b.flushGlobal(d, &d.ctally, seq); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		vp.charge = 0
+	}
+	return firstErr
+}
+
+// drainGlobalSerial is drainGlobal under the node's serial section:
+// node-array buffers apply immediately and feed the cross-node strict
+// trackers, so strict mode serializes the drain (see commitNode).
+func (d *doRun) drainGlobalSerial(seq int64) error {
+	var err error
+	d.rt.proc.Serial(func() { err = d.drainGlobal(seq) })
+	return err
+}
+
+// applyGlobalIncoming applies every array's staged incoming records (in
+// source order), accumulating per-source traffic into d.cinElems and
+// d.cinBytes.
+func (d *doRun) applyGlobalIncoming(seq int64) error {
+	gs := d.rt.gs
+	var firstErr error
+	for _, arr := range gs.arrays {
+		if err := arr.applyIncoming(d.node, gs.opt.StrictWrites, seq, d.cinElems, d.cinBytes); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// applyGlobalIncomingSerial is applyGlobalIncoming under the serial
+// section (strict applies touch cross-node conflict trackers).
+func (d *doRun) applyGlobalIncomingSerial(seq int64) error {
+	var err error
+	d.rt.proc.Serial(func() { err = d.applyGlobalIncoming(seq) })
+	return err
 }
 
 // commit finalizes one phase: merges VP accounting, models the bundled
@@ -445,6 +587,36 @@ func (d *doRun) commit(kind phaseKind) error {
 		return d.commitGlobal()
 	}
 	return d.commitNode()
+}
+
+// drainNode drains and applies every VP's write buffers in rank order
+// (node-phase commit: records apply immediately), returning the applied
+// payload bytes and the first strict error.
+func (d *doRun) drainNode(seq int64) (int64, error) {
+	st := d.rt.stats()
+	var applyBytes int64
+	var firstErr error
+	for _, vp := range d.vps {
+		st.SharedReads += vp.reads
+		st.SharedWrites += vp.writes
+		vp.reads, vp.writes, vp.charge = 0, 0, 0
+		for _, b := range vp.bufs {
+			bytes, err := b.flushNode(d, seq)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			applyBytes += bytes
+		}
+	}
+	return applyBytes, firstErr
+}
+
+// drainNodeSerial is drainNode under the node's serial section.
+func (d *doRun) drainNodeSerial(seq int64) (int64, error) {
+	var bytes int64
+	var err error
+	d.rt.proc.Serial(func() { bytes, err = d.drainNode(seq) })
+	return bytes, err
 }
 
 func (d *doRun) commitNode() error {
@@ -466,20 +638,6 @@ func (d *doRun) commitNode() error {
 
 	var firstErr error
 	var applyBytes int64
-	flush := func() {
-		for _, vp := range d.vps {
-			st.SharedReads += vp.reads
-			st.SharedWrites += vp.writes
-			vp.reads, vp.writes, vp.charge = 0, 0, 0
-			for _, b := range vp.bufs {
-				bytes, err := b.flushNode(d, seq)
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				applyBytes += bytes
-			}
-		}
-	}
 	if gs.opt.StrictWrites && rt.proc != nil {
 		// Strict-mode applies touch cross-node conflict trackers and the
 		// shared conflict log; the turn serializes them in sequential
@@ -487,9 +645,9 @@ func (d *doRun) commitNode() error {
 		// node-phase applies touch only node-owned state and stay
 		// concurrent under the parallel scheduler. (A distributed process
 		// owns its whole globalState, so no turn exists or is needed.)
-		rt.proc.Serial(flush)
+		applyBytes, firstErr = d.drainNodeSerial(seq)
 	} else {
-		flush()
+		applyBytes, firstErr = d.drainNode(seq)
 	}
 	if rt.proc != nil {
 		rt.proc.ChargeMem(applyBytes)
@@ -520,32 +678,20 @@ func (d *doRun) commitGlobal() error {
 
 	// 2. Drain VP write buffers in rank order (fixes merge order), then
 	// merge the per-VP read sets into the node-level traffic tallies.
-	tally := &sendTally{elems: make([]int64, nodes), bytes: make([]int64, nodes)}
-	rrElems := make([]int64, nodes)
-	rrBytes := make([]int64, nodes)
+	// All per-commit tallies live in reusable doRun scratch.
+	d.resetCommitScratch(nodes)
 	var firstErr error
-	drain := func() {
-		for _, vp := range d.vps {
-			st.SharedReads += vp.reads
-			st.SharedWrites += vp.writes
-			vp.reads, vp.writes = 0, 0
-			for _, b := range vp.bufs {
-				if err := b.flushGlobal(d, tally, seq); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
-			vp.charge = 0
-		}
-	}
 	if opt.StrictWrites {
 		// Node-array buffers apply here and feed the cross-node strict
 		// trackers; see commitNode. Global-array buffers only stage into
 		// this node's cells, which is safe either way.
-		rt.proc.Serial(drain)
+		firstErr = d.drainGlobalSerial(seq)
 	} else {
-		drain()
+		firstErr = d.drainGlobal(seq)
 	}
-	d.mergeReadSets(rrElems, rrBytes)
+	d.mergeReadSets(d.crrElems, d.crrBytes)
+	tally := &d.ctally
+	rrElems, rrBytes := d.crrElems, d.crrBytes
 
 	// 3. Model this node's outgoing bundled traffic: read request/reply
 	// round trips plus write pushes.
@@ -608,20 +754,6 @@ func (d *doRun) commitGlobal() error {
 
 	// 5. Apply incoming records (in source order), paying receive-side
 	// costs.
-	inElems := make([]int64, nodes)
-	inBytes := make([]int64, nodes)
-	apply := func() {
-		for _, arr := range gs.arrays {
-			perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			for n := range perElems {
-				inElems[n] += int64(perElems[n])
-				inBytes[n] += perBytes[n]
-			}
-		}
-	}
 	if opt.StrictWrites {
 		// Strict applies serialize (conflict trackers and the conflict
 		// log are cross-node); each node still applies only runs staged
@@ -629,10 +761,15 @@ func (d *doRun) commitGlobal() error {
 		// concurrently under the parallel scheduler — every node touches
 		// only its own partition and its own stage cells, and the phase's
 		// exchange barrier (step 4) ordered all staging before any apply.
-		rt.proc.Serial(apply)
+		if err := d.applyGlobalIncomingSerial(seq); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	} else {
-		apply()
+		if err := d.applyGlobalIncoming(seq); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	inElems, inBytes := d.cinElems, d.cinBytes
 	var inCPU vtime.Duration
 	var inBundles, inWire int64
 	var memBytes int64
@@ -657,8 +794,11 @@ func (d *doRun) commitGlobal() error {
 
 	if firstErr != nil {
 		// After the release the process may no longer hold the turn;
-		// "first violation wins" must follow sequential order.
-		rt.proc.Serial(func() { gs.noteStrict(firstErr) })
+		// "first violation wins" must follow sequential order. The err
+		// copy keeps the closure (and its captures) off the hot path:
+		// nothing heap-allocates unless a violation actually occurred.
+		err := firstErr
+		rt.proc.Serial(func() { gs.noteStrict(err) })
 	}
 	return nil
 }

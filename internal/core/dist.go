@@ -100,7 +100,10 @@ func RunDist(opt Options, eng DistEngine, prog func(rt *Runtime)) (*Report, erro
 		return gs.arrays[array].encodeRange(rt.node, lo, hi)
 	})
 
-	runErr := runRecovered(rt.node, func() { prog(rt) })
+	runErr := runRecovered(rt.node, func() {
+		defer rt.releaseWarm()
+		prog(rt)
+	})
 	if gs.memHeld {
 		gs.memMu.Unlock()
 		gs.memHeld = false
@@ -180,15 +183,32 @@ func (d *doRun) openPhaseDist() {
 		total += gs.doK[n]
 	}
 	d.rankBase, d.globalK, d.rankValid = base, total, true
+
+	// If this phase ordinal has a valid recorded plan, prefetch its
+	// remote cover now: the allgather is a full synchronization, so every
+	// peer has released its memory mutex and can serve reads. VPs then
+	// find every recorded range already cached and fetch nothing. A plan
+	// that later turns out not to match only prefetched ranges the phase
+	// was free to read anyway (begin-of-phase values are immutable), so
+	// a stale prefetch can cost time, never correctness.
+	if p := d.peekPlan(); p != nil && p.fcov != nil {
+		for id, runs := range p.fcov {
+			if len(runs) > 0 {
+				gs.arrays[id].prefetchCover(d.node, runs)
+			}
+		}
+	}
 }
 
 // commitCursor walks one peer's commit stream block by block during the
-// array-major apply.
+// array-major apply. Cursors are doRun-scratch values reused across
+// commits; live marks sources that sent a stream this commit.
 type commitCursor struct {
-	rd    *wire.CommitReader
+	rd    wire.CommitReader
 	array int
 	nRuns int
 	valid bool
+	live  bool
 }
 
 func (c *commitCursor) advance() error {
@@ -220,23 +240,13 @@ func (d *doRun) commitGlobalDist() error {
 	nodes := gs.nodes
 
 	// Drain VP write buffers in rank order (fixes the merge order, as in
-	// the simulator), then merge the per-VP read sets.
-	tally := &sendTally{elems: make([]int64, nodes), bytes: make([]int64, nodes)}
-	rrElems := make([]int64, nodes)
-	rrBytes := make([]int64, nodes)
-	var strictFirst error
-	for _, vp := range d.vps {
-		st.SharedReads += vp.reads
-		st.SharedWrites += vp.writes
-		vp.reads, vp.writes = 0, 0
-		for _, b := range vp.bufs {
-			if err := b.flushGlobal(d, tally, seq); err != nil && strictFirst == nil {
-				strictFirst = err
-			}
-		}
-		vp.charge = 0
-	}
-	d.mergeReadSets(rrElems, rrBytes)
+	// the simulator), then merge the per-VP read sets. Tallies live in
+	// the doRun's reusable commit scratch, exactly as in commitGlobal.
+	d.resetCommitScratch(nodes)
+	strictFirst := d.drainGlobal(seq)
+	d.mergeReadSets(d.crrElems, d.crrBytes)
+	tally := &d.ctally
+	rrElems, rrBytes := d.crrElems, d.crrBytes
 
 	// Model the outgoing bundled traffic with the simulator's formulas:
 	// the counter side of the Report stays bit-identical; only the
@@ -267,22 +277,35 @@ func (d *doRun) commitGlobalDist() error {
 	// Encode the remote-destined staged runs per destination (array
 	// order, VP/program order within each array — the stage cells were
 	// filled in that order) and exchange. Self-destined runs stay staged
-	// and apply below through the same path the simulator uses.
-	outgoing := make([][]byte, nodes)
+	// and apply below through the same path the simulator uses. The
+	// outgoing stream, per-destination encode buffers, decode buffers,
+	// and cursors are doRun scratch reused across commits (the engine
+	// copies frames before queueing, so reuse never races the wire).
+	if cap(d.cout) < nodes {
+		d.cout = make([][]byte, nodes)
+		d.coutRaw = make([][]byte, nodes)
+		d.coutEnc = make([][]byte, nodes)
+		d.cdec = make([][]byte, nodes)
+		d.ccurs = make([]commitCursor, nodes)
+	}
+	outgoing := d.cout[:nodes]
 	for dst := 0; dst < nodes; dst++ {
+		outgoing[dst] = nil
 		if dst == d.node {
 			continue
 		}
-		var buf []byte
+		buf := d.coutRaw[dst][:0]
 		for _, arr := range gs.arrays {
 			buf = arr.encodeStagedWire(d.node, dst, buf)
 		}
+		d.coutRaw[dst] = buf
 		gs.wireCommitRaw += int64(len(buf))
 		if len(buf) > 0 && gs.dist.CommitCodec(dst) == wire.CodecDelta {
-			enc, err := wire.AppendCommitDelta(nil, buf, gs.arrayElemBytes)
+			enc, err := wire.AppendCommitDelta(d.coutEnc[dst][:0], buf, gs.arrayElemBytes)
 			if err != nil {
 				return fmt.Errorf("core: node %d: delta-encoding commit for node %d: %w", d.node, dst, err)
 			}
+			d.coutEnc[dst] = enc
 			buf = enc
 		}
 		gs.wireCommitEnc += int64(len(buf))
@@ -297,10 +320,11 @@ func (d *doRun) commitGlobalDist() error {
 			continue
 		}
 		if gs.dist.PeerCommitCodec(src) == wire.CodecDelta {
-			raw, err := wire.DecodeCommitDelta(incoming[src], gs.arrayElemBytes)
+			raw, err := wire.DecodeCommitDeltaInto(d.cdec[src], incoming[src], gs.arrayElemBytes)
 			if err != nil {
 				return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
 			}
+			d.cdec[src] = raw
 			incoming[src] = raw
 		}
 	}
@@ -310,37 +334,33 @@ func (d *doRun) commitGlobalDist() error {
 	// memory mutex and mutate.
 	gs.memMu.Lock()
 	gs.memHeld = true
-	curs := make([]*commitCursor, nodes)
+	curs := d.ccurs[:nodes]
 	for src := 0; src < nodes; src++ {
+		c := &curs[src]
+		c.live, c.valid = false, false
 		if src == d.node || len(incoming[src]) == 0 {
 			continue
 		}
-		c := &commitCursor{rd: wire.NewCommitReader(incoming[src])}
+		c.rd.Reset(incoming[src])
+		c.live = true
 		if err := c.advance(); err != nil {
 			return fmt.Errorf("core: node %d: delta from node %d: %w", d.node, src, err)
 		}
-		curs[src] = c
 	}
-	inElems := make([]int64, nodes)
-	inBytes := make([]int64, nodes)
+	inElems, inBytes := d.cinElems, d.cinBytes
 	for id, arr := range gs.arrays {
 		for src := 0; src < nodes; src++ {
 			if src == d.node {
-				perElems, perBytes, err := arr.applyIncoming(d.node, opt.StrictWrites, seq)
-				if err != nil && strictFirst == nil {
+				if err := arr.applyIncoming(d.node, opt.StrictWrites, seq, inElems, inBytes); err != nil && strictFirst == nil {
 					strictFirst = err
 				}
-				for n := range perElems {
-					inElems[n] += int64(perElems[n])
-					inBytes[n] += perBytes[n]
-				}
 				continue
 			}
-			c := curs[src]
-			if c == nil || !c.valid || c.array != id {
+			c := &curs[src]
+			if !c.live || !c.valid || c.array != id {
 				continue
 			}
-			elems, sErr, err := arr.applyWireRuns(d.node, opt.StrictWrites, seq, c.rd, c.nRuns)
+			elems, sErr, err := arr.applyWireRuns(d.node, opt.StrictWrites, seq, &c.rd, c.nRuns)
 			if sErr != nil && strictFirst == nil {
 				strictFirst = sErr
 			}
@@ -354,8 +374,8 @@ func (d *doRun) commitGlobalDist() error {
 			}
 		}
 	}
-	for src, c := range curs {
-		if c != nil && c.valid {
+	for src := range curs {
+		if c := &curs[src]; c.live && c.valid {
 			return fmt.Errorf("core: node %d: delta from node %d addresses unknown array id %d", d.node, src, c.array)
 		}
 	}
@@ -449,9 +469,10 @@ func (g *Global[T]) encodeStagedWire(self, dst int, buf []byte) []byte {
 // applyWireRuns implements registeredArray: apply one block of a peer's
 // commit stream through the same applyRun the simulator uses. strictErr
 // carries strict-mode conflicts (noted, not fatal); err is protocol
-// corruption (fatal).
+// corruption (fatal). The element scratch persists on the array: the
+// apply is single-threaded per process (memory mutex held), so one
+// buffer serves every block of every commit without reallocating.
 func (g *Global[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (elems int, strictErr, err error) {
-	var scratch []T
 	for i := 0; i < nRuns; i++ {
 		h, raw, err := rd.Run(g.es)
 		if err != nil {
@@ -460,10 +481,10 @@ func (g *Global[T]) applyWireRuns(node int, strict bool, phaseSeq int64, rd *wir
 		if h.Lo < 0 || h.N < 0 || h.Lo+h.N > g.n {
 			return elems, strictErr, fmt.Errorf("core: commit run for %s[%d:%d) out of range [0,%d)", g.name, h.Lo, h.Lo+h.N, g.n)
 		}
-		if cap(scratch) < h.N {
-			scratch = make([]T, h.N)
+		if cap(g.wscratch) < h.N {
+			g.wscratch = make([]T, h.N)
 		}
-		vals := scratch[:h.N]
+		vals := g.wscratch[:h.N]
 		mp.DecodeElemsInto(vals, raw)
 		sr := stageRec[T]{lo: h.Lo, n: h.N, vals: vals, add: h.Add, writer: h.Writer}
 		if e := g.applyRun(node, strict, phaseSeq, &sr); e != nil && strictErr == nil {
@@ -493,6 +514,27 @@ func (g *Global[T]) encodeCheckpoint(node int, buf []byte) []byte {
 func (g *Global[T]) restoreCheckpoint(node int, rd *wire.CommitReader, nRuns int) error {
 	_, _, err := g.applyWireRuns(node, false, 0, rd, nRuns)
 	return err
+}
+
+// prefetchCover implements registeredArray: fetch a replayed plan's
+// recorded remote ranges before the phase's VPs run, so every one of
+// their reads is a cache hit. Called at phase open, after the open
+// allgather (all peers can serve reads) and before any VP resumes (no
+// concurrent cover mutation); the recorded runs are remote-owned, so
+// installRange writes only ranges disjoint from the partitions the
+// read server serves.
+func (g *Global[T]) prefetchCover(self int, runs []intRun) {
+	if g.gs.dist == nil {
+		return
+	}
+	if err := g.fetchRuns(self, runs); err != nil {
+		panic(AbortError{Err: err})
+	}
+	g.dmu.Lock()
+	for _, r := range runs {
+		g.dcov = coverAdd(g.dcov, r.lo, r.hi)
+	}
+	g.dmu.Unlock()
 }
 
 // distFetch ensures [lo, hi) of g is locally valid, fetching uncovered
@@ -679,6 +721,8 @@ func coverSub(cov []intRun, lo, hi int) []intRun {
 // protocol bug, not a user error).
 
 func (a *Node[T]) resetDistCache() {}
+
+func (a *Node[T]) prefetchCover(self int, runs []intRun) {}
 
 func (a *Node[T]) encodeRange(node, lo, hi int) ([]byte, error) {
 	return nil, fmt.Errorf("core: remote read of node-shared %q", a.name)

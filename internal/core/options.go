@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"ppm/internal/cluster"
 	"ppm/internal/machine"
@@ -63,6 +64,21 @@ type Options struct {
 	// writers Write (not Add) the same element of a shared array in one
 	// phase. Costs host time and memory; meant for debugging.
 	StrictWrites bool
+
+	// NoPlanCache disables the steady-state phase-plan cache. With the
+	// cache on (the default), each Do shape — keyed by (K, body code
+	// pointer) — keeps its VP workers warm between invocations and
+	// records a per-phase plan of the read-set merge (run lists, merged
+	// per-owner traffic, remote fetch cover); repeated phases validate
+	// the recorded shape against what the VPs actually accessed and
+	// replay the plan instead of re-sorting and re-merging, making warm
+	// iterations allocation-free. A mismatch (the program changed its
+	// access shape) falls back to the cold rebuild, so results never
+	// depend on the cache: modeled counters, outputs, and conflicts are
+	// bit-identical either way. Setting PPM_PLAN_CACHE=0 in the
+	// environment forces this off for every run; PPM_PLAN_CACHE=1
+	// forces it on (used by CI to run the suite both ways).
+	NoPlanCache bool
 
 	// Parallel runs the simulator under the cluster's conservative
 	// parallel scheduler: node compute sections (phase bodies, commit
@@ -136,6 +152,14 @@ func (o *Options) withDefaults() (Options, error) {
 		}
 		out.Checkpoint = &c
 	}
+	// PPM_PLAN_CACHE overrides the plan-cache switch for every run in
+	// the process (read per run, not at init, so tests can toggle it).
+	switch os.Getenv("PPM_PLAN_CACHE") {
+	case "0":
+		out.NoPlanCache = true
+	case "1":
+		out.NoPlanCache = false
+	}
 	return out, nil
 }
 
@@ -166,6 +190,37 @@ type NodeStats struct {
 	// the equivalence tests compare reports with Wire zeroed (like the
 	// vtime fields, it measures the substrate, not the program).
 	Wire WireStats
+
+	// PlanCache counts phase-plan cache activity (see Options.
+	// NoPlanCache). Like Wire it measures the host substrate, not the
+	// program, so the equivalence tests compare reports with it zeroed.
+	PlanCache PlanCacheStats
+}
+
+// PlanCacheStats counts steady-state phase-plan cache activity on one
+// node: how often a committed phase replayed a recorded plan (Hits),
+// had to build one cold (Misses), or found a previously valid plan no
+// longer matching the phase's access shape (Invalidations, a subset of
+// Misses). RunsReplayed totals the read-set runs whose sort/merge/
+// owner-split was skipped on hits; AllocsSaved and BytesSaved estimate
+// the host allocations and bytes of merge scratch those replays avoided
+// (modeled from the recorded plan's size, not measured).
+type PlanCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	RunsReplayed  int64
+	AllocsSaved   int64
+	BytesSaved    int64
+}
+
+func (p *PlanCacheStats) add(o PlanCacheStats) {
+	p.Hits += o.Hits
+	p.Misses += o.Misses
+	p.Invalidations += o.Invalidations
+	p.RunsReplayed += o.RunsReplayed
+	p.AllocsSaved += o.AllocsSaved
+	p.BytesSaved += o.BytesSaved
 }
 
 // WireStats counts one node process's real wire activity in a
@@ -219,6 +274,7 @@ func (s *NodeStats) add(o NodeStats) {
 	s.PhaseCommTime += o.PhaseCommTime
 	s.PhaseApplyTime += o.PhaseApplyTime
 	s.Wire.add(o.Wire)
+	s.PlanCache.add(o.PlanCache)
 }
 
 // Report summarizes a PPM run: the underlying cluster report plus PPM

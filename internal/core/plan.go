@@ -1,0 +1,290 @@
+package core
+
+import "unsafe"
+
+// Steady-state phase-plan cache.
+//
+// PPM programs are overwhelmingly iterative: the same Do/phase shape
+// runs hundreds of times per solve. The cache exploits that in two
+// layers, both free of any effect on modeled results:
+//
+//   - Warm doRuns: Do invocations are keyed by (K, body code pointer).
+//     The first invocation of a shape builds a doRun and starts its K
+//     VP goroutines; between invocations the workers park at a start
+//     gate instead of exiting, so warm Dos spawn no goroutines and
+//     allocate no coordinator state.
+//
+//   - Phase plans: at each global-phase commit the read-set merge
+//     (sort, dedup, owner split — the metadata-dominated part of the
+//     hot path) records its inputs and its result into the doRun's
+//     plan for that phase ordinal. The next time the same ordinal
+//     commits, the recorded inputs are compared element-wise against
+//     what the VPs actually accessed; on a match the merged per-owner
+//     traffic deltas are replayed and, in distributed runs, the
+//     recorded fetch cover is prefetched at phase open. On any
+//     mismatch the plan is invalidated and rebuilt cold.
+//
+// Validation is exact (run-by-run comparison, set equality for scalar
+// indices), never a hash: a collision would silently corrupt modeled
+// counters, and the comparison is linear in the data the cold path
+// would sort anyway. Correctness therefore never depends on the cache;
+// it only short-circuits recomputation of a result it has verified to
+// be identical.
+
+// doKey identifies a Do shape: the VP count and the body closure's code
+// pointer. Distinct source closures get distinct code pointers, so two
+// different Do call sites never share a plan; one call site re-entered
+// with different captured state shares the doRun (the body is re-bound
+// each invocation) and relies on plan validation to catch any resulting
+// access-shape change.
+type doKey struct {
+	k    int
+	body uintptr
+}
+
+// funcID returns the code pointer of body. A Go func value is a pointer
+// to a closure object whose first word is the code address (the funcval
+// layout in runtime/runtime2.go); body is never nil here (Do checks).
+func funcID(body func(*VP)) uintptr {
+	return **(**uintptr)(unsafe.Pointer(&body))
+}
+
+// warmCap bounds how many doRun shapes a Runtime keeps warm. Each warm
+// shape holds K parked goroutines and its plan scratch; programs with
+// more distinct shapes than this (none of the figure apps come close)
+// evict an arbitrary shape, which costs a rebuild, never correctness.
+const warmCap = 32
+
+// warmDoRun returns the cached doRun for (k, body), building and
+// caching one on first use, and resets it for a new invocation with its
+// workers released from the start gate.
+func (rt *Runtime) warmDoRun(k int, body func(*VP)) *doRun {
+	key := doKey{k: k, body: funcID(body)}
+	d := rt.warm[key]
+	if d != nil && d.broken {
+		delete(rt.warm, key)
+		d = nil
+	}
+	if d == nil {
+		if rt.warm == nil {
+			rt.warm = make(map[doKey]*doRun)
+		}
+		for len(rt.warm) >= warmCap {
+			for ek, ed := range rt.warm {
+				ed.shutdown()
+				delete(rt.warm, ek)
+				break
+			}
+		}
+		d = newDoRun(rt, k)
+		d.persistent = true
+		rt.warm[key] = d
+		for _, vp := range d.vps {
+			go d.vpWorker(vp)
+		}
+	}
+	d.body = body
+	d.phases = 0
+	d.openKind = phaseInvalid
+	d.rankValid = false
+	na := len(rt.gs.arrays)
+	for _, vp := range d.vps {
+		vp.status = stRunning
+		// Arrays may have been allocated since this shape last ran;
+		// regrow the per-array read tracking so ids stay in range.
+		if vp.rdRuns != nil && len(vp.rdRuns) < na {
+			vp.rdRuns = append(vp.rdRuns, make([][]intRun, na-len(vp.rdRuns))...)
+		}
+	}
+	for _, vp := range d.vps {
+		vp.resume <- true
+	}
+	return d
+}
+
+// releaseWarm retires every cached doRun's workers. It runs (deferred)
+// when a node's program returns or unwinds: all surviving workers are
+// parked at the start gate and exit on the false; workers that died on
+// an abort path have already retired, and the buffered send is simply
+// absorbed by their gate channel.
+func (rt *Runtime) releaseWarm() {
+	for _, d := range rt.warm {
+		d.shutdown()
+	}
+	rt.warm = nil
+}
+
+// shutdown retires this doRun's workers via the start gate.
+func (d *doRun) shutdown() {
+	for _, vp := range d.vps {
+		vp.resume <- false
+	}
+}
+
+// phasePlan is the recorded read-set merge of one phase ordinal of one
+// Do shape.
+type phasePlan struct {
+	valid bool
+	kind  phaseKind
+	na    int // len(gs.arrays) at record time
+
+	// Recorded per-(VP, array) read runs, flattened in VP-major order:
+	// VP v's runs for array a are segs[offs[v*na+a] : offs[v*na+a+1]].
+	segs []intRun
+	offs []int32
+	// Recorded per-VP scalar read keys (nil when that VP had none).
+	idx []map[readKey]struct{}
+
+	// The merge result: per-owner remote-read traffic deltas this
+	// phase contributes, replayed into the commit's counters on a hit.
+	rrElems []int64
+	rrBytes []int64
+
+	// Distributed runs only: the merged remote cover per array id,
+	// prefetched at the next phase open so VPs find every range already
+	// cached and fetch nothing.
+	fcov [][]intRun
+
+	// Replay savings accounting (PlanCacheStats).
+	runs        int64
+	allocsSaved int64
+	bytesSaved  int64
+}
+
+// planFor returns the plan slot for the phase being committed (the
+// ordinal was incremented at open), or nil when planning is off for
+// this doRun. The slot may be invalid (virgin or invalidated): the
+// caller records into it after a cold merge.
+func (d *doRun) planFor() *phasePlan {
+	if !d.persistent {
+		return nil
+	}
+	ord := int(d.phases - 1)
+	if ord < 0 {
+		return nil
+	}
+	for len(d.plans) <= ord {
+		d.plans = append(d.plans, phasePlan{})
+	}
+	return &d.plans[ord]
+}
+
+// peekPlan returns the plan of the phase about to open (ordinal
+// d.phases, pre-increment) if one is recorded and valid, else nil.
+func (d *doRun) peekPlan() *phasePlan {
+	if !d.persistent || int(d.phases) >= len(d.plans) {
+		return nil
+	}
+	p := &d.plans[int(d.phases)]
+	if !p.valid {
+		return nil
+	}
+	return p
+}
+
+// beginRecord resets p to record a fresh merge for k VPs over na
+// arrays, keeping slice capacity.
+func (p *phasePlan) beginRecord(kind phaseKind, k, na, nodes int, dist bool) {
+	p.valid = false
+	p.kind = kind
+	p.na = na
+	p.segs = p.segs[:0]
+	p.offs = append(p.offs[:0], 0)
+	p.idx = p.idx[:0]
+	p.rrElems = resetInt64(p.rrElems, nodes)
+	p.rrBytes = resetInt64(p.rrBytes, nodes)
+	p.runs = 0
+	if dist {
+		if cap(p.fcov) < na {
+			p.fcov = make([][]intRun, na)
+		}
+		p.fcov = p.fcov[:na]
+		for i := range p.fcov {
+			p.fcov[i] = p.fcov[i][:0]
+		}
+	} else {
+		p.fcov = nil
+	}
+}
+
+// matches reports whether the phase the VPs just finished has exactly
+// the access shape p recorded: same phase kind, same array count, the
+// same run lists per (VP, array) in recorded order (VP bodies are
+// deterministic, so a shape-stable program reproduces the order), and
+// the same scalar read-key sets (order-independent: map iteration is
+// not deterministic, so sets compare by size and membership).
+func (d *doRun) planMatches(p *phasePlan, na int) bool {
+	if p.kind != d.openKind || p.na != na {
+		return false
+	}
+	base := 0
+	for _, vp := range d.vps {
+		for id := 0; id < na; id++ {
+			var rs []intRun
+			if id < len(vp.rdRuns) {
+				rs = vp.rdRuns[id]
+			}
+			seg := p.segs[p.offs[base+id]:p.offs[base+id+1]]
+			if len(rs) != len(seg) {
+				return false
+			}
+			for i := range rs {
+				if rs[i] != seg[i] {
+					return false
+				}
+			}
+		}
+		base += na
+	}
+	for v, vp := range d.vps {
+		m := p.idx[v]
+		if len(vp.rdIdx) != len(m) {
+			return false
+		}
+		for k := range vp.rdIdx {
+			if _, ok := m[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// replay applies p's merge result: adds the recorded per-owner traffic
+// deltas and clears the VPs' read tracking exactly as the cold harvest
+// would have (truncating runs, clearing index sets), without sorting,
+// merging, or owner-splitting anything.
+func (d *doRun) replay(p *phasePlan, rrElems, rrBytes []int64) {
+	for n := range rrElems {
+		rrElems[n] += p.rrElems[n]
+		rrBytes[n] += p.rrBytes[n]
+	}
+	for _, vp := range d.vps {
+		for id := range vp.rdRuns {
+			if len(vp.rdRuns[id]) > 0 {
+				vp.rdRuns[id] = vp.rdRuns[id][:0]
+			}
+		}
+		if len(vp.rdIdx) > 0 {
+			clear(vp.rdIdx)
+		}
+	}
+	pc := &d.rt.stats().PlanCache
+	pc.Hits++
+	pc.RunsReplayed += p.runs
+	pc.AllocsSaved += p.allocsSaved
+	pc.BytesSaved += p.bytesSaved
+}
+
+// resetInt64 returns s resized to n and zeroed, reallocating only when
+// capacity is insufficient.
+func resetInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ppm/internal/machine"
+)
+
+// The phase-plan cache must be invisible in every modeled respect: a
+// shape-stable program replays its plans (and the counters say so), a
+// shape-shifting program falls back to the cold merge (and the counters
+// say so), and either way the committed data and modeled statistics are
+// bit-identical to a run with the cache disabled.
+
+// planRun executes iters global phases of `phase` over a shared array of
+// n elements at the given node count and returns the final array, the
+// per-node stats, and the totals. The body of every phase is a function
+// of (iteration, VP) only, so cache-on and cache-off runs perform
+// exactly the same accesses.
+func planRun(t *testing.T, nodes, k, iters, n int, noCache bool,
+	phase func(it int, vp *VP, g *Global[float64], buf []float64)) ([]float64, []NodeStats, NodeStats) {
+	t.Helper()
+	out := make([]float64, n)
+	o := Options{Nodes: nodes, Machine: machine.Generic(), NoPlanCache: noCache}
+	rep := mustRun(t, o, func(rt *Runtime) {
+		g := AllocGlobal[float64](rt, "plan.g", n)
+		lo, _ := g.OwnerRange(rt)
+		l := g.Local(rt)
+		for i := range l {
+			l[i] = float64(lo+i) * 0.25
+		}
+		for it := 0; it < iters; it++ {
+			it := it
+			rt.Do(k, func(vp *VP) {
+				buf := make([]float64, n)
+				vp.GlobalPhase(func() { phase(it, vp, g, buf) })
+			})
+		}
+		glo, _ := g.OwnerRange(rt)
+		copy(out[glo:], g.Local(rt))
+		rt.Barrier()
+	})
+	return out, rep.PerNode, rep.Totals
+}
+
+// samePlanOutcome fails the test unless the two runs committed identical
+// bits and identical modeled statistics (PlanCache excluded — it is the
+// host-side bookkeeping under test, not part of the model).
+func samePlanOutcome(t *testing.T, label string, gotV, wantV []float64, got, want []NodeStats) {
+	t.Helper()
+	for i := range wantV {
+		if math.Float64bits(gotV[i]) != math.Float64bits(wantV[i]) {
+			t.Fatalf("%s: element %d = %v (%#x), want %v (%#x)", label, i,
+				gotV[i], math.Float64bits(gotV[i]), wantV[i], math.Float64bits(wantV[i]))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d nodes of stats, want %d", label, len(got), len(want))
+	}
+	for nd := range want {
+		g, w := got[nd], want[nd]
+		g.PlanCache, w.PlanCache = PlanCacheStats{}, PlanCacheStats{}
+		if g != w {
+			t.Errorf("%s: node %d counters diverge:\n cache-on  %+v\n cache-off %+v", label, nd, g, w)
+		}
+	}
+}
+
+// TestPlanCacheStableShape: an iteration-invariant phase shape records
+// one plan per node on the first pass and replays it on every later one.
+func TestPlanCacheStableShape(t *testing.T) {
+	t.Setenv("PPM_PLAN_CACHE", "") // counters below assume Options wins
+	const nodes, k, iters, n = 2, 3, 6, 48
+	phase := func(it int, vp *VP, g *Global[float64], buf []float64) {
+		// Fixed remote block read plus one owned write per VP.
+		tgt := (vp.Node() + 1) % vp.Nodes()
+		rlo, rhi := ChunkRange(n, vp.Nodes(), tgt)
+		g.ReadBlock(vp, rlo, rhi, buf[:rhi-rlo])
+		var s float64
+		for _, v := range buf[:rhi-rlo] {
+			s += v
+		}
+		lo, _ := ChunkRange(n, vp.Nodes(), vp.Node())
+		g.Write(vp, lo+vp.NodeRank(), s+float64(it))
+	}
+	warmV, warmS, warmT := planRun(t, nodes, k, iters, n, false, phase)
+	coldV, coldS, coldT := planRun(t, nodes, k, iters, n, true, phase)
+	samePlanOutcome(t, "stable", warmV, coldV, warmS, coldS)
+
+	pc := warmT.PlanCache
+	if want := int64(nodes); pc.Misses != want {
+		t.Errorf("stable shape: Misses = %d, want %d (one cold build per node)", pc.Misses, want)
+	}
+	if want := int64(nodes * (iters - 1)); pc.Hits != want {
+		t.Errorf("stable shape: Hits = %d, want %d", pc.Hits, want)
+	}
+	if pc.Invalidations != 0 {
+		t.Errorf("stable shape: Invalidations = %d, want 0", pc.Invalidations)
+	}
+	if pc.Hits > 0 && pc.RunsReplayed == 0 {
+		t.Error("stable shape: hits replayed no runs")
+	}
+	if off := coldT.PlanCache; off != (PlanCacheStats{}) {
+		t.Errorf("NoPlanCache run still counted plan activity: %+v", off)
+	}
+}
+
+// TestPlanCacheGrowingReadSet: a read range that grows every iteration
+// invalidates the previous iteration's plan each time — all misses, no
+// hits, and still bit-identical to the uncached run.
+func TestPlanCacheGrowingReadSet(t *testing.T) {
+	t.Setenv("PPM_PLAN_CACHE", "")
+	const nodes, k, iters, n = 2, 2, 5, 64
+	phase := func(it int, vp *VP, g *Global[float64], buf []float64) {
+		// The shape-shifting read targets the neighbor's partition: only
+		// remote reads enter the merged read set (local reads cost no
+		// traffic and are not part of the plan signature).
+		tgt := (vp.Node() + 1) % vp.Nodes()
+		rlo, _ := ChunkRange(n, vp.Nodes(), tgt)
+		sz := 8 + 4*it
+		g.ReadBlock(vp, rlo, rlo+sz, buf[:sz])
+		var s float64
+		for _, v := range buf[:sz] {
+			s += v
+		}
+		lo, _ := ChunkRange(n, vp.Nodes(), vp.Node())
+		g.Write(vp, lo+vp.NodeRank(), s)
+	}
+	warmV, warmS, warmT := planRun(t, nodes, k, iters, n, false, phase)
+	coldV, coldS, _ := planRun(t, nodes, k, iters, n, true, phase)
+	samePlanOutcome(t, "growing", warmV, coldV, warmS, coldS)
+
+	pc := warmT.PlanCache
+	if pc.Hits != 0 {
+		t.Errorf("growing read set: Hits = %d, want 0", pc.Hits)
+	}
+	if want := int64(nodes * iters); pc.Misses != want {
+		t.Errorf("growing read set: Misses = %d, want %d", pc.Misses, want)
+	}
+	if want := int64(nodes * (iters - 1)); pc.Invalidations != want {
+		t.Errorf("growing read set: Invalidations = %d, want %d", pc.Invalidations, want)
+	}
+}
+
+// TestPlanCacheWriteToAddSwitch: halfway through, the kernel switches
+// from blind writes to read-modify-add — the scalar read joining the
+// access shape invalidates the recorded plan exactly once per node,
+// after which the new shape becomes hot again.
+func TestPlanCacheWriteToAddSwitch(t *testing.T) {
+	t.Setenv("PPM_PLAN_CACHE", "")
+	const nodes, k, iters, n = 2, 2, 6, 48
+	phase := func(it int, vp *VP, g *Global[float64], buf []float64) {
+		tgt := (vp.Node() + 1) % vp.Nodes()
+		rlo, rhi := ChunkRange(n, vp.Nodes(), tgt)
+		g.ReadBlock(vp, rlo, rhi, buf[:rhi-rlo])
+		var s float64
+		for _, v := range buf[:rhi-rlo] {
+			s += v
+		}
+		lo, _ := ChunkRange(n, vp.Nodes(), vp.Node())
+		i := lo + vp.NodeRank()
+		if it < iters/2 {
+			g.Write(vp, i, s*1e-3+float64(it))
+		} else {
+			// The switch: accumulate against a remote sample instead of
+			// overwriting. The new scalar remote read changes the access
+			// shape, so the recorded plan must be invalidated.
+			old := g.Read(vp, rlo+vp.NodeRank())
+			g.Add(vp, i, old*1e-6+s*1e-3)
+		}
+	}
+	warmV, warmS, warmT := planRun(t, nodes, k, iters, n, false, phase)
+	coldV, coldS, _ := planRun(t, nodes, k, iters, n, true, phase)
+	samePlanOutcome(t, "write-to-add", warmV, coldV, warmS, coldS)
+
+	pc := warmT.PlanCache
+	if want := int64(nodes); pc.Invalidations != want {
+		t.Errorf("write-to-add switch: Invalidations = %d, want %d (one per node at the switch)",
+			pc.Invalidations, want)
+	}
+	if want := int64(nodes * (iters - 2)); pc.Hits != want {
+		t.Errorf("write-to-add switch: Hits = %d, want %d (both halves hot after their first pass)",
+			pc.Hits, want)
+	}
+}
+
+// TestPlanCacheNodeCountRanges: a kernel whose read ranges are derived
+// from the node layout must stay bit-identical with the cache on and off
+// at every node count (plans are per-runtime, so layouts can never share
+// one — this pins the observable consequence).
+func TestPlanCacheNodeCountRanges(t *testing.T) {
+	t.Setenv("PPM_PLAN_CACHE", "")
+	const k, iters, n = 3, 4, 60
+	for _, nodes := range []int{1, 2, 3} {
+		phase := func(it int, vp *VP, g *Global[float64], buf []float64) {
+			// Neighbor partition: both the range bounds and the owner
+			// split depend on the node count.
+			tgt := (vp.Node() + 1) % vp.Nodes()
+			rlo, rhi := ChunkRange(n, vp.Nodes(), tgt)
+			g.ReadBlock(vp, rlo, rhi, buf[:rhi-rlo])
+			var s float64
+			for _, v := range buf[:rhi-rlo] {
+				s += v
+			}
+			g.Add(vp, rlo+vp.NodeRank(), s*1e-6)
+		}
+		warmV, warmS, warmT := planRun(t, nodes, k, iters, n, false, phase)
+		coldV, coldS, _ := planRun(t, nodes, k, iters, n, true, phase)
+		label := "node-count"
+		samePlanOutcome(t, label, warmV, coldV, warmS, coldS)
+		if want := int64(nodes * (iters - 1)); warmT.PlanCache.Hits != want {
+			t.Errorf("nodes=%d: Hits = %d, want %d", nodes, warmT.PlanCache.Hits, want)
+		}
+	}
+}

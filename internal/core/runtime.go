@@ -76,8 +76,9 @@ func (gs *globalState) arrayElemBytes(id int) int {
 // implements.
 type registeredArray interface {
 	// applyIncoming applies all records staged for node (in source
-	// order), clears the stage, and reports per-source incoming traffic.
-	applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error)
+	// order), clears the stage, and accumulates per-source incoming
+	// traffic into the caller's reusable tallies.
+	applyIncoming(node int, strict bool, phaseSeq int64, inElems, inBytes []int64) error
 	// elemBytes returns the modeled element size.
 	elemBytes() int
 	// ownerSpan returns the node owning element i and the end of that
@@ -92,6 +93,9 @@ type registeredArray interface {
 	resetDistCache()
 	encodeRange(node, lo, hi int) ([]byte, error)
 	installRange(lo, hi int, data []byte) error
+	// prefetchCover fetches the recorded remote cover of a replayed
+	// phase plan before VPs run, so their reads hit the local cache.
+	prefetchCover(self int, runs []intRun)
 	encodeStagedWire(self, dst int, buf []byte) []byte
 	applyWireRuns(node int, strict bool, phaseSeq int64, rd *wire.CommitReader, nRuns int) (elems int, strictErr, err error)
 
@@ -112,6 +116,10 @@ type Runtime struct {
 	node int
 
 	inDo bool
+	// warm caches doRuns by Do shape so repeated Dos reuse their VP
+	// workers and recorded phase plans (see plan.go); nil when the plan
+	// cache is off. Released when the node's program finishes.
+	warm map[doKey]*doRun
 	// serialMu orders Serial sections in distributed runs, where the
 	// simulator's cooperative turn discipline is unavailable.
 	serialMu sync.Mutex
@@ -149,6 +157,7 @@ func Run(opt Options, prog func(rt *Runtime)) (*Report, error) {
 		Parallel:     o.Parallel,
 	}, func(p *cluster.Proc) {
 		rt := &Runtime{gs: gs, proc: p, comm: mp.New(p), node: p.Rank()}
+		defer rt.releaseWarm()
 		prog(rt)
 	})
 	rep := &Report{

@@ -192,6 +192,9 @@ type Global[T Elem] struct {
 	dcov  []intRun
 	dpend []intRun
 	dcnd  *sync.Cond
+	// wscratch is the commit-apply element scratch (see applyWireRuns);
+	// single-threaded use under the memory mutex.
+	wscratch []T
 }
 
 // AllocGlobal allocates a globally shared array of n elements, block-
@@ -416,11 +419,11 @@ func (g *Global[T]) ownerSpan(i int) (owner, end int) {
 }
 
 // applyIncoming applies all staged runs destined for node, in
-// (source node, VP, program) order, and reports per-source traffic.
-func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrcElems []int, perSrcBytes []int64, err error) {
+// (source node, VP, program) order, accumulating per-source traffic
+// into the caller's tallies (reused across commits, so the apply path
+// allocates nothing).
+func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64, inElems, inBytes []int64) (err error) {
 	nodes := g.gs.nodes
-	perSrcElems = make([]int, nodes)
-	perSrcBytes = make([]int64, nodes)
 	for src := 0; src < nodes; src++ {
 		recs := g.stage[node][src]
 		if len(recs) == 0 {
@@ -434,10 +437,10 @@ func (g *Global[T]) applyIncoming(node int, strict bool, phaseSeq int64) (perSrc
 				err = e
 			}
 		}
-		perSrcElems[src] = elems
-		perSrcBytes[src] = int64(elems) * int64(g.es+8)
+		inElems[src] += int64(elems)
+		inBytes[src] += int64(elems) * int64(g.es+8)
 	}
-	return perSrcElems, perSrcBytes, err
+	return err
 }
 
 // applyRun applies one resolved run to the node's base image.
@@ -607,8 +610,8 @@ func (a *Node[T]) ownerSpan(i int) (owner, end int) { return 0, a.n }
 
 // applyIncoming implements registeredArray; node arrays stage nothing, so
 // it is a no-op (their records apply at flush).
-func (a *Node[T]) applyIncoming(node int, strict bool, phaseSeq int64) ([]int, []int64, error) {
-	return nil, nil, nil
+func (a *Node[T]) applyIncoming(node int, strict bool, phaseSeq int64, inElems, inBytes []int64) error {
+	return nil
 }
 
 // applyRun applies one resolved run to the node's instance.

@@ -251,13 +251,30 @@ func (vp *VP) countRemote(owner int, elems, bytes int64) {
 	vp.rrBytes[owner] += bytes
 }
 
-// doRun coordinates one Do invocation on one node.
+// doRun coordinates one Do invocation on one node. With the plan cache
+// on it is reused across Do invocations of the same shape (see plan.go):
+// its VP goroutines stay parked at a start gate between Dos, and its
+// scratch and recorded phase plans carry over, which is what makes warm
+// iterations allocation-free.
 type doRun struct {
 	rt     *Runtime
 	node   int
 	k      int
 	vps    []*VP
 	events chan vpEvent
+
+	// Warm-cache state (plan.go). persistent marks a cached doRun whose
+	// workers park at the start gate between Dos; body is the current
+	// invocation's body (re-set per Do: closures with the same code
+	// pointer may capture different state); broken marks a doRun whose
+	// workers died on an error path and must not be reused.
+	persistent bool
+	broken     bool
+	body       func(*VP)
+
+	// plans[i] is the recorded plan of the i-th phase of this Do shape
+	// (node phases occupy slots but are never consulted).
+	plans []phasePlan
 
 	phases     int64
 	phaseStart vtime.Time
@@ -273,6 +290,24 @@ type doRun struct {
 	// Commit-time scratch for merging the per-VP read sets (per array id).
 	mrRuns [][]intRun
 	mrIdx  [][]int
+
+	// Commit-time scratch reused across phases (and, for a persistent
+	// doRun, across Dos): the per-peer send tally, the merged per-owner
+	// remote-read counters, and the per-source incoming counters.
+	ctally   sendTally
+	crrElems []int64
+	crrBytes []int64
+	cinElems []int64
+	cinBytes []int64
+
+	// Distributed commit scratch (see commitGlobalDist): the outgoing
+	// stream slice, per-destination raw and delta-encode buffers,
+	// per-source decode buffers, and the stream cursors.
+	cout    [][]byte
+	coutRaw [][]byte
+	coutEnc [][]byte
+	cdec    [][]byte
+	ccurs   []commitCursor
 
 	sharedReadCost  vtime.Duration
 	sharedWriteCost vtime.Duration
@@ -301,6 +336,19 @@ func (rt *Runtime) Do(k int, body func(vp *VP)) {
 	st.VPsStarted += int64(k)
 	rt.gs.doK[rt.node] = k
 
+	if !rt.gs.opt.NoPlanCache {
+		rt.warmDoRun(k, body).coordinate()
+		return
+	}
+	d := newDoRun(rt, k)
+	for _, vp := range d.vps {
+		go d.vpMain(vp, body)
+	}
+	d.coordinate()
+}
+
+// newDoRun builds a doRun with its K VPs (goroutines not yet started).
+func newDoRun(rt *Runtime, k int) *doRun {
 	d := &doRun{
 		rt:              rt,
 		node:            rt.node,
@@ -315,13 +363,11 @@ func (rt *Runtime) Do(k int, body func(vp *VP)) {
 		vp := &VP{d: d, nodeRank: i, wid: widBase | int64(i), resume: make(chan bool, 1)}
 		d.vps[i] = vp
 	}
-	for _, vp := range d.vps {
-		go d.vpMain(vp, body)
-	}
-	d.coordinate()
+	return d
 }
 
-// vpMain is the goroutine body of one VP.
+// vpMain is the goroutine body of one VP in a one-shot (plan cache off)
+// doRun: run the body once, report, exit.
 func (d *doRun) vpMain(vp *VP, body func(*VP)) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -336,6 +382,41 @@ func (d *doRun) vpMain(vp *VP, body func(*VP)) {
 		d.events <- vpEvent{vp: vp, kind: evExit}
 	}()
 	body(vp)
+}
+
+// vpWorker is the goroutine body of one VP in a persistent (warm)
+// doRun: it parks at the start gate between Dos and runs d.body once
+// per true it receives. A false at the gate — sent by releaseWarm at
+// run end or doRun teardown — retires the worker; so does any abort or
+// panic inside the body, since both only happen while the run is dying
+// and the doRun is then marked broken.
+func (d *doRun) vpWorker(vp *VP) {
+	for <-vp.resume {
+		if !d.runBody(vp) {
+			return
+		}
+	}
+}
+
+// runBody executes one Do invocation's body on a warm worker and
+// reports the exit event. It returns whether the worker survives for
+// another invocation.
+func (d *doRun) runBody(vp *VP) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(vpAbort); isAbort {
+				d.events <- vpEvent{vp: vp, kind: evExit}
+				return
+			}
+			d.events <- vpEvent{vp: vp, kind: evPanic,
+				err: fmt.Errorf("core: VP %d on node %d panicked: %v", vp.nodeRank, d.node, r)}
+			return
+		}
+		ok = true
+		d.events <- vpEvent{vp: vp, kind: evExit}
+	}()
+	d.body(vp)
+	return
 }
 
 // coordinate runs on the node's proc goroutine: it alternates between
@@ -419,7 +500,12 @@ func (d *doRun) coordinate() {
 			break
 		}
 	}
-	// Teardown: abort all parked VPs and drain their exits.
+	// Teardown: abort all parked VPs and drain their exits. A warm
+	// doRun's workers retire on abort, so the doRun cannot serve another
+	// invocation; mark it broken so the cache rebuilds instead of
+	// reusing dead workers (only reachable if user code swallows the
+	// panic below).
+	d.broken = true
 	for _, vp := range d.vps {
 		if vp.status == stAtBoundary || vp.status == stAtPhaseEnd {
 			vp.resume <- false
@@ -494,6 +580,13 @@ func (d *doRun) finish() {
 		st.SharedReads += vp.reads
 		st.SharedWrites += vp.writes
 		vp.charge, vp.reads, vp.writes = 0, 0, 0
+		if d.persistent {
+			// Keep the write buffers attached: the next warm invocation
+			// of this Do shape reuses them (same VP, same writer id)
+			// with their record and arena capacity intact, instead of
+			// round-tripping through the pool.
+			continue
+		}
 		for _, b := range vp.bufs {
 			b.release()
 		}

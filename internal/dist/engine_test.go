@@ -63,12 +63,15 @@ func sameF64(t *testing.T, label string, got, want []float64) {
 }
 
 // stripTimes zeroes the substrate-measurement fields — virtual time
-// (which a real run does not model) and the real-wire counters (which
+// (which a real run does not model), the real-wire counters (which
 // the simulator does not have, and which legitimately vary with codec
-// and bundling configuration). Everything else must match exactly.
+// and bundling configuration), and the plan-cache counters (host-side
+// memoization bookkeeping that varies with restarts and cache setting).
+// Everything else must match exactly.
 func stripTimes(s core.NodeStats) core.NodeStats {
 	s.PhaseComputeTime, s.PhaseCommTime, s.PhaseApplyTime = 0, 0, 0
 	s.Wire = core.WireStats{}
+	s.PlanCache = core.PlanCacheStats{}
 	return s
 }
 

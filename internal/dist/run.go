@@ -8,6 +8,7 @@ import (
 	"ppm/internal/apps/colloc"
 	"ppm/internal/apps/jacobi"
 	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/scatter"
 	"ppm/internal/apps/search"
 	"ppm/internal/core"
 	"ppm/internal/partition"
@@ -16,12 +17,13 @@ import (
 // AppSpec names one of the repository's figure apps and its parameters.
 // Only the parameter set matching App is consulted.
 type AppSpec struct {
-	App    string
-	CG     cg.Params
-	Colloc colloc.Params
-	Nbody  nbody.Params
-	Jacobi jacobi.Params
-	Search search.Params
+	App     string
+	CG      cg.Params
+	Colloc  colloc.Params
+	Nbody   nbody.Params
+	Jacobi  jacobi.Params
+	Search  search.Params
+	Scatter scatter.Params
 }
 
 // RowFrag is one matrix row owned by a node (colloc deals rows
@@ -55,6 +57,7 @@ type NodeResult struct {
 	CollocRows []RowFrag  `json:",omitempty"`
 	Nbody      *NbodyFrag `json:",omitempty"`
 	Search     []int64    `json:",omitempty"`
+	Scatter    []float64  `json:",omitempty"` // this rank's accumulator partition
 }
 
 // RunApp executes this process's share of the named app over the engine
@@ -111,8 +114,14 @@ func RunApp(eng core.DistEngine, opt core.Options, spec AppSpec) *NodeResult {
 		if err == nil {
 			res.Search = out[eng.Rank()]
 		}
+	case "scatter":
+		var out [][]float64
+		out, rep, err = scatter.RunPPMOn(runner, opt, spec.Scatter)
+		if err == nil {
+			res.Scatter = out[eng.Rank()]
+		}
 	default:
-		err = fmt.Errorf("dist: unknown app %q (want cg, colloc, nbody, jacobi, or search)", spec.App)
+		err = fmt.Errorf("dist: unknown app %q (want cg, colloc, nbody, jacobi, search, or scatter)", spec.App)
 	}
 	if rep != nil && eng.Rank() < len(rep.PerNode) {
 		res.Stats = rep.PerNode[eng.Rank()]
@@ -126,11 +135,12 @@ func RunApp(eng core.DistEngine, opt core.Options, spec AppSpec) *NodeResult {
 // Merged is the reassembled cross-node result of a distributed run,
 // shaped exactly like the corresponding RunPPM output.
 type Merged struct {
-	CG     *cg.Result
-	Jacobi []float64
-	Colloc *colloc.Matrix
-	Nbody  *nbody.State
-	Search [][]int64
+	CG      *cg.Result
+	Jacobi  []float64
+	Colloc  *colloc.Matrix
+	Nbody   *nbody.State
+	Search  [][]int64
+	Scatter [][]float64
 
 	PerNode []core.NodeStats
 	Totals  core.NodeStats
@@ -206,6 +216,11 @@ func Merge(spec AppSpec, results []NodeResult) (*Merged, error) {
 		m.Search = make([][]int64, len(results))
 		for i, r := range results {
 			m.Search[i] = r.Search
+		}
+	case "scatter":
+		m.Scatter = make([][]float64, len(results))
+		for i, r := range results {
+			m.Scatter[i] = r.Scatter
 		}
 	default:
 		return nil, fmt.Errorf("dist: unknown app %q", spec.App)

@@ -7,79 +7,46 @@ import (
 	"time"
 
 	"ppm/internal/apps/cg"
+	"ppm/internal/apps/scatter"
 	"ppm/internal/core"
-	"ppm/internal/rng"
 	"ppm/internal/wire"
 )
 
 // The figure apps write owner-locally, so their remote commit streams
-// are empty and all their wire traffic is fetches. scatterProg is the
-// opposite shape — a CG-transpose-style scatter-add whose VPs write
-// short, near-monotone single-element Add runs into a neighbor node's
-// partition — so it drives CommitData frames (and hence the commit
-// codec) end to end. Every VP also reads the same remote block each
-// phase, which is the fleet-wide read-coalescing pattern.
+// are empty and all their wire traffic is fetches. The scatter app
+// (internal/apps/scatter) is the opposite shape — a CG-transpose-style
+// scatter-add whose VPs write short, near-monotone single-element Add
+// runs into a neighbor node's partition — so it drives CommitData
+// frames (and hence the commit codec) end to end. Every VP also reads
+// the same remote block each phase, which is the fleet-wide
+// read-coalescing pattern.
 
-const (
-	scatterN     = 3000
-	scatterVPs   = 6
-	scatterIters = 4
-)
-
-// scatterProg returns a Runner program writing each node's final
-// partition into out[node]. Reads feed the written values, so a wrong
-// byte anywhere on the wire path diverges the output bits.
-func scatterProg(out [][]float64) func(rt *core.Runtime) {
-	return func(rt *core.Runtime) {
-		g := core.AllocGlobal[float64](rt, "acc", scatterN)
-		for it := 0; it < scatterIters; it++ {
-			iter := it
-			rt.Do(scatterVPs, func(vp *core.VP) {
-				vp.GlobalPhase(func() {
-					nodes := vp.Nodes()
-					tgt := (vp.Node() + 1) % nodes
-					rlo, rhi := core.ChunkRange(scatterN, nodes, tgt)
-					buf := make([]float64, rhi-rlo)
-					g.ReadBlock(vp, rlo, rhi, buf)
-					var sum float64
-					for _, v := range buf {
-						sum += v
-					}
-					r := rng.New(7).Split(uint64(iter*1024 + vp.GlobalRank()))
-					for j, i := 0, rlo; j < 40 && i < rhi; j++ {
-						g.Add(vp, i, sum*1e-6+r.NormFloat64())
-						i += 1 + int(r.Uint64()%4)
-					}
-				})
-			})
-		}
-		out[rt.NodeID()] = append([]float64(nil), g.Local(rt)...)
-	}
-}
-
-// runScatterSim runs scatterProg under the in-process simulator.
+// runScatterSim runs the default scatter workload under the in-process
+// simulator.
 func runScatterSim(t *testing.T, nodes int) ([][]float64, *core.Report) {
 	t.Helper()
-	out := make([][]float64, nodes)
-	rep, err := core.Run(distOpt(nodes), scatterProg(out))
+	out, rep, err := scatter.RunPPM(distOpt(nodes), scatter.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return out, rep
 }
 
-// runScatterMesh runs scatterProg over a loopback mesh with a per-rank
-// Config hook and returns each node's partition and full NodeStats
-// (Wire counters included).
+// runScatterMesh runs the same workload over a loopback mesh with a
+// per-rank Config hook and returns each node's partition and full
+// NodeStats (Wire counters included).
 func runScatterMesh(t *testing.T, nodes int, mod func(rank int, cfg *Config)) ([][]float64, []core.NodeStats) {
 	t.Helper()
 	out := make([][]float64, nodes)
 	stats := make([]core.NodeStats, nodes)
 	runMeshWith(t, nodes, mod, func(rank int, eng *Engine) error {
-		rep, err := core.RunDist(distOpt(nodes), eng, scatterProg(out))
+		frag, rep, err := scatter.RunPPMOn(func(o core.Options, prog func(rt *core.Runtime)) (*core.Report, error) {
+			return core.RunDist(o, eng, prog)
+		}, distOpt(nodes), scatter.Params{})
 		if err != nil {
 			return err
 		}
+		out[rank] = frag[rank]
 		stats[rank] = rep.PerNode[rank]
 		return nil
 	})

@@ -147,7 +147,18 @@ func AppendCommitDelta(dst, raw []byte, elemBytes func(array int) int) ([]byte, 
 // must lie inside the stream, so corrupt or truncated input produces an
 // error, never a panic or a desynced parse.
 func DecodeCommitDelta(enc []byte, elemBytes func(array int) int) ([]byte, error) {
-	dst := make([]byte, 0, len(enc)+len(enc)/2)
+	return DecodeCommitDeltaInto(nil, enc, elemBytes)
+}
+
+// DecodeCommitDeltaInto is DecodeCommitDelta appending into dst
+// (truncated first), so steady-state callers can reuse one decode
+// buffer per peer instead of allocating a fresh stream every commit.
+func DecodeCommitDeltaInto(dst, enc []byte, elemBytes func(array int) int) ([]byte, error) {
+	if need := len(enc) + len(enc)/2; cap(dst) < need {
+		dst = make([]byte, 0, need)
+	} else {
+		dst = dst[:0]
+	}
 	off := 0
 	uvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(enc[off:])

@@ -300,6 +300,13 @@ type CommitReader struct {
 // NewCommitReader wraps a complete commit stream.
 func NewCommitReader(data []byte) *CommitReader { return &CommitReader{data: data} }
 
+// Reset repoints the reader at a new stream, allowing value reuse
+// without reallocating the reader.
+func (r *CommitReader) Reset(data []byte) {
+	r.data = data
+	r.off = 0
+}
+
 // More reports whether another block follows.
 func (r *CommitReader) More() bool { return r.off < len(r.data) }
 
