@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire bench-steady plancache-equiv dist-smoke chaos figures
+.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire bench-steady plancache-equiv dist-smoke server-smoke chaos figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends, gated by the
@@ -94,6 +94,16 @@ dist-smoke:
 	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6
 	./bin/ppm-run -distributed -app cg -nodes 2 -cores 2 -cg-grid 8x8x8 -cg-iters 6 -wire-codec delta
 	./bin/ppm-run -distributed -app jacobi -nodes 2 -cores 2 -jacobi-grid 10x6x4 -jacobi-sweeps 6 -bundle-adaptive -flush-stagger 100us
+
+## server-smoke: the full-binary serving path — a real ppm-server
+## process fronting warm serve-mode ppm-node fleets, driven over HTTP:
+## cg + jacobi + scatter submitted concurrently, a duplicate served
+## from the content-addressed cache, every Series diffed bit-for-bit
+## against direct `ppm-run -spec -json`, and a SIGTERM drain. Writes
+## the /metrics snapshot to server-metrics.json (CI artifact).
+server-smoke:
+	PPM_SERVER_SMOKE=1 PPM_SERVER_METRICS_OUT=$(CURDIR)/server-metrics.json \
+		$(GO) test -count=1 -run TestServerSmoke -v ./internal/server/
 
 ## chaos: the seeded fault matrix under the race detector — injected
 ## drop/delay/dup/trunc/partition/kill faults against real ppm-node

@@ -26,6 +26,21 @@
 // machinery and aborts the run with an error naming the rank, rather than
 // hanging. The PPM_FAULT environment variable injects deterministic
 // faults for chaos testing (see internal/faultinject).
+//
+// Two spec-driven modes complement the flag-driven one-shot run:
+//
+//   - -spec-json JSON runs a single jobspec.Spec (app, params, preset,
+//     ablations) instead of the app flags; ppm-run -spec uses it.
+//   - -serve turns the process into a long-lived worker: it reads
+//     jobspec.NodeJob lines from stdin, runs each under the shared
+//     engine with a keyed plan-cache session, and writes
+//     jobspec.NodeReply lines to stdout (rank 0 also streams phase
+//     progress). EOF on stdin drains and exits 0; ppm-server's fleet
+//     pool speaks this protocol.
+//
+// SIGINT/SIGTERM request an operator stop: the process finishes (or
+// aborts) the job in flight and exits with dist.StopExitCode so the
+// supervisor knows not to count the stop as a crash.
 package main
 
 import (
@@ -33,6 +48,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ppm/internal/apps/cg"
@@ -44,6 +63,7 @@ import (
 	"ppm/internal/core"
 	"ppm/internal/dist"
 	"ppm/internal/faultinject"
+	"ppm/internal/jobspec"
 	"ppm/internal/machine"
 	"ppm/internal/wire"
 )
@@ -66,6 +86,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write phase-boundary checkpoints into this directory")
 	ckptEvery := flag.Int("checkpoint-every", 0, "minimum committed global phases between checkpoints (default 1)")
 	restore := flag.Bool("restore", false, "resume from the newest checkpoint all ranks hold in -checkpoint-dir")
+
+	serve := flag.Bool("serve", false, "serve mode: run jobspec jobs from stdin until EOF or an operator stop")
+	specJSON := flag.String("spec-json", "", "run one job described by this jobspec JSON instead of the app flags")
+	jobDeadline := flag.Duration("job-deadline", 0, "abort the run if it exceeds this wall-clock bound (0 disables)")
 
 	app := flag.String("app", "cg", "application: cg, colloc, nbody, jacobi, search, scatter")
 	cores := flag.Int("cores", 4, "cores per node (VP scheduling width)")
@@ -134,6 +158,27 @@ func main() {
 		NoReadCache:    *noReadCache,
 		StaticSchedule: *static,
 	}
+	if *specJSON != "" {
+		var js jobspec.Spec
+		if err := json.Unmarshal([]byte(*specJSON), &js); err != nil {
+			fail(fmt.Errorf("-spec-json: %v", err))
+		}
+		js.Normalize()
+		if err := js.Validate(); err != nil {
+			fail(err)
+		}
+		if js.Nodes != *nodes {
+			fail(fmt.Errorf("-spec-json wants %d nodes but this fleet has %d", js.Nodes, *nodes))
+		}
+		spec = js.AppSpec()
+		opt = js.Options()
+		// The node always runs the distributed runtime, whatever backend
+		// the spec names for local execution.
+		opt.Parallel = false
+		if *jobDeadline == 0 && js.DeadlineMS > 0 {
+			*jobDeadline = time.Duration(js.DeadlineMS) * time.Millisecond
+		}
+	}
 	if *ckptDir != "" {
 		opt.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, EveryPhases: *ckptEvery, Restore: *restore}
 	}
@@ -170,7 +215,26 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	if *serve {
+		serveJobs(eng, *rank, *nodes)
+		return // unreachable; serveJobs exits
+	}
+
+	// One-shot run. An operator signal aborts the engine (so every rank
+	// unblocks with an error naming the stop) and turns the exit status
+	// into StopExitCode so the supervisor does not spend a restart on it.
+	var stopReq atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		stopReq.Store(true)
+		eng.Abort(fmt.Errorf("operator stop (%v)", s))
+	}()
+	cancelDeadline := eng.StartJobDeadline(*jobDeadline)
 	res := dist.RunApp(eng, opt, spec)
+	cancelDeadline()
 	if err := eng.Close(); err != nil && res.Err == "" {
 		res.Err = err.Error()
 	}
@@ -179,8 +243,107 @@ func main() {
 		fail(fmt.Errorf("encoding result: %v", err))
 	}
 	fmt.Println(string(out))
+	if stopReq.Load() {
+		fmt.Fprintf(os.Stderr, "ppm-node[%d]: stopped by operator\n", *rank)
+		os.Exit(dist.StopExitCode)
+	}
 	if res.Err != "" {
 		fmt.Fprintf(os.Stderr, "ppm-node[%d]: %s\n", *rank, res.Err)
 		os.Exit(1)
 	}
+}
+
+// serveJobs is the long-lived worker loop behind -serve. Jobs arrive as
+// jobspec.NodeJob lines on stdin and are run one at a time on the shared
+// engine; every reply (rank-0 phase progress and each rank's terminal
+// result) leaves as one jobspec.NodeReply line on stdout. A WarmSession
+// keyed by the job's canonical spec hash carries the plan cache and
+// parked VP workers across identical submissions, so repeat jobs skip
+// the cold start. stdin EOF means the operator (the fleet pool) is done
+// with this fleet: drain and exit 0. SIGINT/SIGTERM finish the job in
+// flight and exit StopExitCode.
+func serveJobs(eng *dist.Engine, rank, nodes int) {
+	enc := json.NewEncoder(os.Stdout)
+	var outMu sync.Mutex
+	reply := func(r jobspec.NodeReply) {
+		outMu.Lock()
+		enc.Encode(r)
+		outMu.Unlock()
+	}
+
+	jobs := make(chan jobspec.NodeJob)
+	go func() {
+		dec := json.NewDecoder(os.Stdin)
+		for {
+			var j jobspec.NodeJob
+			if err := dec.Decode(&j); err != nil {
+				close(jobs)
+				return
+			}
+			jobs <- j
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	session := core.NewWarmSession()
+	exit := func(code int) {
+		session.Discard()
+		if err := eng.Close(); err != nil && code == 0 {
+			fmt.Fprintf(os.Stderr, "ppm-node[%d]: close: %v\n", rank, err)
+			code = 1
+		}
+		os.Exit(code)
+	}
+	for {
+		select {
+		case <-sigCh:
+			fmt.Fprintf(os.Stderr, "ppm-node[%d]: stopped by operator\n", rank)
+			exit(dist.StopExitCode)
+		case j, ok := <-jobs:
+			if !ok {
+				exit(0) // stdin EOF: orderly drain
+			}
+			if fatal := runServeJob(eng, session, rank, nodes, j, reply); fatal {
+				// The engine is (or may be) fatally wounded; every
+				// further job would fail. Exit non-zero so the pool
+				// discards the fleet.
+				fmt.Fprintf(os.Stderr, "ppm-node[%d]: job %s failed; retiring\n", rank, j.ID)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// runServeJob runs one queued job and reports whether the fleet must be
+// retired. Spec problems are job-local (the engine was never touched);
+// run errors are treated as fatal because a distributed abort poisons
+// the engine permanently.
+func runServeJob(eng *dist.Engine, session *core.WarmSession, rank, nodes int, j jobspec.NodeJob, reply func(jobspec.NodeReply)) (fatal bool) {
+	spec := j.Spec
+	spec.Normalize()
+	err := spec.Validate()
+	if err == nil && spec.Nodes != nodes {
+		err = fmt.Errorf("job wants %d nodes but this fleet has %d", spec.Nodes, nodes)
+	}
+	if err != nil {
+		reply(jobspec.NodeReply{ID: j.ID, Done: true, Result: &dist.NodeResult{Rank: rank, Err: err.Error()}})
+		return false
+	}
+	opt := spec.Options()
+	opt.Parallel = false
+	session.SetKey(spec.Hash())
+	opt.Warm = session
+	if rank == 0 {
+		id := j.ID
+		opt.OnPhase = func(ph int64) {
+			reply(jobspec.NodeReply{ID: id, Phase: ph})
+		}
+	}
+	cancel := eng.StartJobDeadline(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	res := dist.RunApp(eng, opt, spec.AppSpec())
+	cancel()
+	reply(jobspec.NodeReply{ID: j.ID, Done: true, Result: res})
+	return res.Err != ""
 }

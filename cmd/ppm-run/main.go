@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +45,7 @@ import (
 	"ppm/internal/apps/search"
 	"ppm/internal/core"
 	"ppm/internal/dist"
+	"ppm/internal/jobspec"
 	"ppm/internal/machine"
 	"ppm/internal/trace"
 )
@@ -111,6 +113,9 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", 0, "distributed: deadline for one remote read or commit wait (node default 60s)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	specPath := flag.String("spec", "", "run the job described by this jobspec JSON file (app/model flags are ignored)")
+	jsonOut := flag.Bool("json", false, "with -spec: print the flattened jobspec result as one JSON line")
+	timeout := flag.Duration("timeout", 0, "abort the run past this wall-clock bound (distributed: the engine deadline names the rank and in-flight operation)")
 
 	cgGrid := flag.String("cg-grid", "24x24x48", "cg: grid NXxNYxNZ")
 	cgIters := flag.Int("cg-iters", 20, "cg: iterations (tol=0)")
@@ -126,6 +131,22 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
+
+	if *specPath != "" {
+		runSpec(*specPath, *jsonOut, *nodeBin, launchCfg{
+			maxRestarts: *maxRestarts, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+		}, *timeout)
+		return
+	}
+	if *timeout > 0 && !*distributed {
+		// Simulator watchdog. Distributed runs instead forward a
+		// per-rank engine deadline, whose abort names the rank and the
+		// in-flight operation.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "ppm-run: run exceeded -timeout %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	if *distributed {
 		if *model != "ppm" {
@@ -159,7 +180,7 @@ func main() {
 			v    time.Duration
 			name string
 		}{{*hbInterval, "-hb-interval"}, {*hbTimeout, "-hb-timeout"}, {*opTimeout, "-op-timeout"},
-			{*flushStagger, "-flush-stagger"}} {
+			{*flushStagger, "-flush-stagger"}, {*timeout, "-job-deadline"}} {
 			if d.v != 0 {
 				args = append(args, d.name, d.v.String())
 			}
@@ -380,6 +401,63 @@ func runDistributed(app string, nodes int, nodeBin string, nodeArgs []string, lc
 	case "search":
 		fmt.Printf("search/ppm-dist: %d keys/node in array of %d\n%v\n", spec.Search.K, spec.Search.N, rep)
 	}
+}
+
+// runSpec executes a jobspec file: sim and parallel backends run
+// in-process, the dist backend launches a loopback fleet whose nodes run
+// the same spec via -spec-json. The flattened result prints as one JSON
+// line with -json (the server and the equivalence harness diff that
+// form), else as the usual human summary. A -timeout without a spec
+// deadline becomes the job's deadline_ms, so distributed overruns tear
+// the fleet down with the rank and in-flight operation named.
+func runSpec(path string, jsonOut bool, nodeBin string, lc launchCfg, timeout time.Duration) {
+	data, err := os.ReadFile(path)
+	exitOn(err)
+	var s jobspec.Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		exitOn(fmt.Errorf("parsing -spec %s: %v", path, err))
+	}
+	s.Normalize()
+	exitOn(s.Validate())
+	if timeout > 0 && s.DeadlineMS == 0 {
+		s.DeadlineMS = timeout.Milliseconds()
+	}
+	var res *jobspec.Result
+	if s.Backend == jobspec.BackendDist {
+		bin, err := findNodeBin(nodeBin)
+		exitOn(err)
+		payload, err := json.Marshal(&s)
+		exitOn(err)
+		results, err := dist.LaunchLocal(dist.LaunchOpts{
+			Nodes: s.Nodes, NodeBin: bin,
+			NodeArgs:    []string{"-spec-json", string(payload)},
+			MaxRestarts: lc.maxRestarts, CheckpointDir: lc.ckptDir, CheckpointEvery: lc.ckptEvery,
+			OnRestart: func(attempt int, cause error) {
+				fmt.Fprintf(os.Stderr, "ppm-run: supervisor: relaunching fleet (attempt %d) after: %v\n", attempt, cause)
+			},
+		})
+		exitOn(err)
+		m, err := dist.Merge(s.AppSpec(), results)
+		exitOn(err)
+		res, err = jobspec.FromMerged(&s, m)
+		exitOn(err)
+	} else {
+		if timeout > 0 {
+			time.AfterFunc(timeout, func() {
+				fmt.Fprintf(os.Stderr, "ppm-run: run exceeded -timeout %v\n", timeout)
+				os.Exit(1)
+			})
+		}
+		res, err = jobspec.RunLocal(&s)
+		exitOn(err)
+	}
+	if jsonOut {
+		out, err := json.Marshal(res)
+		exitOn(err)
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("%s [job %s]\n%v\n", res.Summary, res.Hash, &core.Report{PerNode: res.PerNode, Totals: res.Totals})
 }
 
 // exitOn reports a failed run on stderr — including the scheduler's full

@@ -100,10 +100,35 @@ func RunDist(opt Options, eng DistEngine, prog func(rt *Runtime)) (*Report, erro
 		return gs.arrays[array].encodeRange(rt.node, lo, hi)
 	})
 
+	// The engine's transport counters are cumulative over its lifetime;
+	// on a reused engine this run's share is the delta from here.
+	wsBase := eng.WireStats()
+
+	// A warm session hands the previous run's parked workers and
+	// recorded plans to this one (or is discarded if its key changed);
+	// without one, warm state is torn down when the program ends, as
+	// always.
+	warm := o.Warm
+	if o.NoPlanCache {
+		warm = nil
+	}
+	if warm != nil {
+		warm.adopt(rt)
+	}
 	runErr := runRecovered(rt.node, func() {
-		defer rt.releaseWarm()
+		if warm == nil {
+			defer rt.releaseWarm()
+		}
 		prog(rt)
 	})
+	if warm != nil {
+		if runErr != nil {
+			rt.releaseWarm()
+			warm.Discard()
+		} else {
+			warm.stash(rt)
+		}
+	}
 	if gs.memHeld {
 		gs.memMu.Unlock()
 		gs.memHeld = false
@@ -118,6 +143,7 @@ func RunDist(opt Options, eng DistEngine, prog func(rt *Runtime)) (*Report, erro
 	// stats (each process is authoritative for its own rank only, like
 	// every other per-node entry).
 	ws := eng.WireStats()
+	ws.sub(wsBase)
 	ws.ReadsCoalesced = gs.wireCoalesced.Load()
 	ws.CommitBytesRaw = gs.wireCommitRaw
 	ws.CommitBytesEnc = gs.wireCommitEnc
@@ -191,7 +217,9 @@ func (d *doRun) openPhaseDist() {
 	// that later turns out not to match only prefetched ranges the phase
 	// was free to read anyway (begin-of-phase values are immutable), so
 	// a stale prefetch can cost time, never correctness.
-	if p := d.peekPlan(); p != nil && p.fcov != nil {
+	// (The array-count guard is belt and braces: a plan recorded over a
+	// different array population must not drive prefetches.)
+	if p := d.peekPlan(); p != nil && p.fcov != nil && p.na == len(gs.arrays) {
 		for id, runs := range p.fcov {
 			if len(runs) > 0 {
 				gs.arrays[id].prefetchCover(d.node, runs)
@@ -403,6 +431,9 @@ func (d *doRun) commitGlobalDist() error {
 
 	if strictFirst != nil {
 		gs.noteStrict(strictFirst)
+	}
+	if opt.OnPhase != nil {
+		opt.OnPhase(seq)
 	}
 	return nil
 }

@@ -80,6 +80,23 @@ type Options struct {
 	// forces it on (used by CI to run the suite both ways).
 	NoPlanCache bool
 
+	// Warm, if non-nil, carries the plan cache across RunDist calls on
+	// one engine: warm Do workers, their arenas, and recorded phase
+	// plans survive the end of the run and are re-adopted by the next
+	// RunDist handed the same session — provided the session's key (set
+	// with WarmSession.SetKey) is unchanged, which callers use to scope
+	// reuse to identical job specs. This is what lets a long-lived
+	// serving fleet run repeated jobs at steady-state speed instead of
+	// rebuilding the cache per job. Ignored by the simulator and when
+	// the plan cache is off.
+	Warm *WarmSession
+
+	// OnPhase, if non-nil, is called after each committed global phase
+	// in a distributed run with the number of phases this rank has
+	// committed. It runs on the node's coordination goroutine — keep it
+	// fast and never let it panic. Progress streaming hooks in here.
+	OnPhase func(phases int64)
+
 	// Parallel runs the simulator under the cluster's conservative
 	// parallel scheduler: node compute sections (phase bodies, commit
 	// application) execute concurrently on host cores while every
@@ -251,6 +268,20 @@ func (w *WireStats) add(o WireStats) {
 	w.ReadsCoalesced += o.ReadsCoalesced
 	w.CommitBytesRaw += o.CommitBytesRaw
 	w.CommitBytesEnc += o.CommitBytesEnc
+}
+
+// sub subtracts a baseline snapshot, turning an engine's cumulative
+// lifetime counters into one run's share (reused engines serve many
+// runs; each run reports only its own traffic).
+func (w *WireStats) sub(o WireStats) {
+	w.FramesOut -= o.FramesOut
+	w.Flushes -= o.Flushes
+	w.ForcedFlushes -= o.ForcedFlushes
+	w.BytesOnWire -= o.BytesOnWire
+	w.ReadReqsSent -= o.ReadReqsSent
+	w.ReadsCoalesced -= o.ReadsCoalesced
+	w.CommitBytesRaw -= o.CommitBytesRaw
+	w.CommitBytesEnc -= o.CommitBytesEnc
 }
 
 // Add accumulates o into s field by field (used by the distributed

@@ -1,6 +1,10 @@
 package core
 
-import "unsafe"
+import (
+	"unsafe"
+
+	"ppm/internal/vtime"
+)
 
 // Steady-state phase-plan cache.
 //
@@ -100,6 +104,85 @@ func (rt *Runtime) warmDoRun(k int, body func(*VP)) *doRun {
 		vp.resume <- true
 	}
 	return d
+}
+
+// WarmSession carries a Runtime's warm doRun cache across RunDist calls
+// on one engine, so a long-lived fleet serves repeated jobs with its VP
+// workers parked and its phase plans recorded instead of cold-starting
+// every submission. It is single-run-at-a-time state (the engine runs
+// one job at a time), not a concurrent structure.
+//
+// Reuse is scoped by key: the caller sets the key describing the next
+// job (a canonical spec hash) before RunDist; a session stashed under a
+// different key is discarded — its workers retired — and the new run
+// starts cold. Keyed reuse is what keeps adoption safe without any
+// cross-job validation subtleties: an identical spec re-registers the
+// same arrays, with the same ids, lengths, and partitions, in the same
+// order, so every recorded plan's ids, ranges, and per-owner deltas
+// mean exactly what they meant when recorded (and the usual exact
+// validation still guards each phase).
+type WarmSession struct {
+	key   string // key the next run adopts under (SetKey)
+	owner string // key warm was stashed under
+	warm  map[doKey]*doRun
+}
+
+// NewWarmSession returns an empty session.
+func NewWarmSession() *WarmSession { return &WarmSession{} }
+
+// SetKey declares the identity of the next job. Reuse happens only when
+// it matches the key the cached state was stashed under.
+func (ws *WarmSession) SetKey(key string) { ws.key = key }
+
+// Discard retires any cached workers and empties the session.
+func (ws *WarmSession) Discard() {
+	for _, d := range ws.warm {
+		d.shutdown()
+	}
+	ws.warm = nil
+	ws.owner = ""
+}
+
+// adopt hands the session's cached doRuns to rt at run start. State
+// recorded under a different key is discarded. Adopted doRuns are
+// re-bound to the new run: the Runtime (and through it the new
+// globalState), the machine-derived access costs, and every per-array
+// or per-arena reference into the previous run's memory are dropped —
+// write buffers and read tracking are rebuilt on first use, while the
+// recorded phase plans (the expensive part) carry over.
+func (ws *WarmSession) adopt(rt *Runtime) {
+	if ws.owner != ws.key || ws.key == "" {
+		ws.Discard()
+		return
+	}
+	for key, d := range ws.warm {
+		if d.broken {
+			d.shutdown()
+			delete(ws.warm, key)
+			continue
+		}
+		d.rt = rt
+		d.sharedReadCost = vtime.Duration(rt.gs.mach.SharedReadCost)
+		d.sharedWriteCost = vtime.Duration(rt.gs.mach.SharedWriteCost)
+		d.mrRuns, d.mrIdx = nil, nil
+		for _, vp := range d.vps {
+			vp.bufs = nil
+			vp.rdRuns = nil
+			vp.rdIdx = nil
+			vp.rrElems, vp.rrBytes = nil, nil
+		}
+	}
+	rt.warm = ws.warm
+	ws.warm = nil
+	ws.owner = ""
+}
+
+// stash takes rt's warm cache back into the session at successful run
+// end, recording the key it is now valid for.
+func (ws *WarmSession) stash(rt *Runtime) {
+	ws.warm = rt.warm
+	ws.owner = ws.key
+	rt.warm = nil
 }
 
 // releaseWarm retires every cached doRun's workers. It runs (deferred)

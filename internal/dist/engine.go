@@ -222,8 +222,15 @@ type Engine struct {
 	pendMu sync.Mutex
 	pend   map[uint64]chan []byte
 
-	serveCh     chan serveReq
+	serveCh chan serveReq
+	// server is installed by core.RunDist — once per run, so on a
+	// reused engine it is replaced between jobs. serverMu orders the
+	// swap against in-flight serves; serverOnce closes serverReady on
+	// the first installation (the serve loop starts then and never
+	// stops between jobs).
+	serverMu    sync.RWMutex
 	server      func(array, lo, hi int) ([]byte, error)
+	serverOnce  sync.Once
 	serverReady chan struct{}
 
 	byeCh chan int // peer ids that announced orderly shutdown
@@ -803,7 +810,10 @@ func (e *Engine) serveLoop() {
 	for {
 		select {
 		case req := <-e.serveCh:
-			data, err := e.server(req.array, req.lo, req.hi)
+			e.serverMu.RLock()
+			server := e.server
+			e.serverMu.RUnlock()
+			data, err := server(req.array, req.lo, req.hi)
 			if err != nil {
 				e.Abort(fmt.Errorf("dist: rank %d: serving read for rank %d: %w", e.rank, req.dst, err))
 				return
@@ -887,10 +897,17 @@ func (e *Engine) ChargeFlops(n int64) {}
 
 // --- core.DistEngine ----------------------------------------------------
 
-// SetReadServer implements core.DistEngine.
+// SetReadServer implements core.DistEngine. Each RunDist installs its
+// own server (a closure over that run's state); on a reused engine the
+// new installation replaces the old. The swap cannot race a peer's read
+// of the previous job's data: fetches only happen inside open global
+// phases, every phase open starts with a full allgather, and all ranks
+// install their new server before entering the next run's first phase.
 func (e *Engine) SetReadServer(fn func(array, lo, hi int) ([]byte, error)) {
+	e.serverMu.Lock()
 	e.server = fn
-	close(e.serverReady)
+	e.serverMu.Unlock()
+	e.serverOnce.Do(func() { close(e.serverReady) })
 }
 
 // CommitCodec implements core.DistEngine: the handshake-negotiated
@@ -1027,6 +1044,22 @@ func (e *Engine) Abort(err error) {
 		p.tryEnqueue(outFrame{kind: wire.KindAbort, payload: payload})
 	}
 	e.setFatal(err)
+}
+
+// StartJobDeadline arms a whole-job wall-clock deadline: if it expires
+// before the returned cancel function runs, the engine aborts the fleet
+// with an error naming this rank, the deadline, and the mesh operation
+// in flight (the same curOp attribution the failure detector uses), so
+// a wedged or overlong job tears down with a diagnosis instead of
+// hanging until an operator kills it. d <= 0 arms nothing.
+func (e *Engine) StartJobDeadline(d time.Duration) (cancel func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	t := time.AfterFunc(d, func() {
+		e.Abort(fmt.Errorf("dist: rank %d: job deadline %v exceeded during %s", e.rank, d, e.currentOp()))
+	})
+	return func() { t.Stop() }
 }
 
 // Close tears the mesh down: announce shutdown to every peer, flush,

@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,18 @@ import (
 	"strings"
 	"time"
 )
+
+// StopExitCode is the exit status of a node or server process stopped
+// by an operator signal (SIGINT/SIGTERM) after draining its in-flight
+// work. The supervisor treats it as a requested shutdown, not a crash:
+// a rank exiting with it is never restarted. Distinct from
+// faultinject.KillExitCode (37), which marks an injected crash.
+const StopExitCode = 86
+
+// ErrOperatorStop marks a launch attempt that ended because a rank was
+// stopped by an operator request rather than a failure; LaunchLocal
+// returns it (wrapped, with per-rank detail) without spending restarts.
+var ErrOperatorStop = errors.New("fleet stopped by operator request")
 
 // LaunchOpts configures a localhost multi-process launch.
 type LaunchOpts struct {
@@ -101,7 +114,7 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
 		}
 		results, lastErr = launchOnce(&o, dir, attempt)
-		if lastErr == nil || attempt >= o.MaxRestarts {
+		if lastErr == nil || attempt >= o.MaxRestarts || errors.Is(lastErr, ErrOperatorStop) {
 			return results, lastErr
 		}
 	}
@@ -188,8 +201,15 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 
 	results := make([]NodeResult, o.Nodes)
 	var errs []string
+	var stopped bool
 	for r := 0; r < o.Nodes; r++ {
 		results[r].Rank = r
+		var ee *exec.ExitError
+		if errors.As(waitErrs[r], &ee) && ee.ExitCode() == StopExitCode {
+			stopped = true
+			errs = append(errs, fmt.Sprintf("rank %d: stopped by operator (exit %d)", r, StopExitCode))
+			continue
+		}
 		if err := json.Unmarshal(bytes.TrimSpace(outs[r].Bytes()), &results[r]); err != nil {
 			detail := strings.TrimSpace(outs[r].String())
 			if len(detail) > 200 {
@@ -212,6 +232,9 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 		errs = append(errs, fmt.Sprintf("supervisor killed surviving ranks %v after the first rank failed", o.DetectGrace))
 	}
 	if len(errs) > 0 {
+		if stopped {
+			return results, fmt.Errorf("dist: %w:\n  %s", ErrOperatorStop, strings.Join(errs, "\n  "))
+		}
 		return results, fmt.Errorf("dist: launch failed:\n  %s", strings.Join(errs, "\n  "))
 	}
 	return results, nil

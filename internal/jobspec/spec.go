@@ -1,0 +1,333 @@
+// Package jobspec defines the serialized description of one PPM job —
+// application, parameters, cluster shape, backend — shared by the
+// ppm-run CLI (-spec job.json) and the ppm-server control plane, so both
+// submit exactly the same object and produce bit-identical results.
+//
+// The package also defines the canonical byte encoding of a normalized
+// spec and its SHA-256 content hash, which keys the server's
+// content-addressed result cache: two submissions hash equal exactly
+// when the runtime would produce Float64bits-identical Series for them.
+// Fields that cannot change the result (the job deadline) are excluded
+// from the hash; everything else — including the backend, which changes
+// which counters are populated — is included.
+package jobspec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"ppm/internal/apps/cg"
+	"ppm/internal/apps/colloc"
+	"ppm/internal/apps/jacobi"
+	"ppm/internal/apps/nbody"
+	"ppm/internal/apps/scatter"
+	"ppm/internal/apps/search"
+	"ppm/internal/core"
+	"ppm/internal/dist"
+	"ppm/internal/machine"
+)
+
+// Backend names for Spec.Backend.
+const (
+	BackendSim      = "sim"      // sequential simulator (core.Run)
+	BackendParallel = "parallel" // simulator on the parallel host scheduler
+	BackendDist     = "dist"     // real node processes over TCP (core.RunDist)
+)
+
+// Spec describes one job. The zero value is not runnable; Normalize
+// fills defaults (the same defaults the ppm-run flags use, so a spec
+// submitted over HTTP and the equivalent CLI invocation hash equal).
+type Spec struct {
+	// App selects the application: cg, colloc, nbody, jacobi, search,
+	// or scatter. Exactly one of the parameter blocks below is consulted.
+	App string `json:"app"`
+	// Backend selects the execution substrate: sim (default), parallel,
+	// or dist.
+	Backend string `json:"backend,omitempty"`
+	// Nodes and Cores shape the cluster (defaults 2 and 4).
+	Nodes int `json:"nodes,omitempty"`
+	Cores int `json:"cores,omitempty"`
+	// Preset names the machine cost model: franklin (default) or generic.
+	Preset string `json:"preset,omitempty"`
+
+	// Ablation switches, mirroring the ppm-run flags.
+	NoBundling  bool `json:"no_bundling,omitempty"`
+	NoOverlap   bool `json:"no_overlap,omitempty"`
+	NoReadCache bool `json:"no_readcache,omitempty"`
+	Static      bool `json:"static,omitempty"`
+
+	// Per-app parameters; only the block matching App is used.
+	CG      *cg.Params      `json:"cg,omitempty"`
+	Colloc  *colloc.Params  `json:"colloc,omitempty"`
+	Nbody   *nbody.Params   `json:"nbody,omitempty"`
+	Jacobi  *jacobi.Params  `json:"jacobi,omitempty"`
+	Search  *search.Params  `json:"search,omitempty"`
+	Scatter *scatter.Params `json:"scatter,omitempty"`
+
+	// DeadlineMS bounds the whole job in wall-clock milliseconds (0: no
+	// deadline). Excluded from the canonical hash: it cannot change the
+	// result, only whether one is produced.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Normalize fills defaults in place — the same values the ppm-run and
+// ppm-node flag defaults would supply — and returns the spec. Callers
+// must normalize before hashing or running, so equivalent submissions
+// canonicalize identically.
+func (s *Spec) Normalize() *Spec {
+	if s.Backend == "" {
+		s.Backend = BackendSim
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 2
+	}
+	if s.Cores == 0 {
+		s.Cores = 4
+	}
+	if s.Preset == "" {
+		s.Preset = "franklin"
+	}
+	switch s.App {
+	case "cg":
+		if s.CG == nil {
+			s.CG = &cg.Params{}
+		}
+		if s.CG.NX == 0 && s.CG.NY == 0 && s.CG.NZ == 0 {
+			s.CG.NX, s.CG.NY, s.CG.NZ = 24, 24, 48
+		}
+		if s.CG.MaxIter == 0 {
+			s.CG.MaxIter = 20
+		}
+	case "colloc":
+		if s.Colloc == nil {
+			s.Colloc = &colloc.Params{}
+		}
+		if s.Colloc.Levels == 0 {
+			s.Colloc.Levels = 7
+		}
+		if s.Colloc.M0 == 0 {
+			s.Colloc.M0 = 12
+		}
+		if s.Colloc.Delta == 0 {
+			s.Colloc.Delta = 3
+		}
+	case "nbody":
+		if s.Nbody == nil {
+			s.Nbody = &nbody.Params{}
+		}
+		if s.Nbody.N == 0 {
+			s.Nbody.N = 3000
+		}
+		if s.Nbody.Steps == 0 {
+			s.Nbody.Steps = 2
+		}
+		if s.Nbody.Theta == 0 {
+			s.Nbody.Theta = 0.5
+		}
+		if s.Nbody.Eps == 0 {
+			s.Nbody.Eps = 0.05
+		}
+		if s.Nbody.DT == 0 {
+			s.Nbody.DT = 0.01
+		}
+		if s.Nbody.Seed == 0 {
+			s.Nbody.Seed = 42
+		}
+	case "jacobi":
+		if s.Jacobi == nil {
+			s.Jacobi = &jacobi.Params{}
+		}
+		if s.Jacobi.NX == 0 && s.Jacobi.NY == 0 && s.Jacobi.NZ == 0 {
+			s.Jacobi.NX, s.Jacobi.NY, s.Jacobi.NZ = 24, 24, 48
+		}
+		if s.Jacobi.Sweeps == 0 {
+			s.Jacobi.Sweeps = 10
+		}
+	case "search":
+		if s.Search == nil {
+			s.Search = &search.Params{}
+		}
+		if s.Search.N == 0 {
+			s.Search.N = 1 << 20
+		}
+		if s.Search.K == 0 {
+			s.Search.K = 1 << 14
+		}
+		if s.Search.Seed == 0 {
+			s.Search.Seed = 42
+		}
+	case "scatter":
+		if s.Scatter == nil {
+			s.Scatter = &scatter.Params{}
+		}
+		p := s.Scatter.WithDefaults()
+		*s.Scatter = p
+	}
+	return s
+}
+
+// Validate reports the first structural problem with a normalized spec.
+func (s *Spec) Validate() error {
+	switch s.App {
+	case "cg", "colloc", "nbody", "jacobi", "search", "scatter":
+	default:
+		return fmt.Errorf("jobspec: unknown app %q (want cg, colloc, nbody, jacobi, search, or scatter)", s.App)
+	}
+	switch s.Backend {
+	case BackendSim, BackendParallel, BackendDist:
+	default:
+		return fmt.Errorf("jobspec: unknown backend %q (want sim, parallel, or dist)", s.Backend)
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("jobspec: nodes must be positive, got %d", s.Nodes)
+	}
+	if s.Cores <= 0 {
+		return fmt.Errorf("jobspec: cores must be positive, got %d", s.Cores)
+	}
+	if _, err := s.Machine(); err != nil {
+		return err
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("jobspec: deadline_ms must be non-negative, got %d", s.DeadlineMS)
+	}
+	return nil
+}
+
+// Machine resolves the preset name into a cost model.
+func (s *Spec) Machine() (*machine.Machine, error) {
+	switch s.Preset {
+	case "franklin", "":
+		return machine.Franklin(), nil
+	case "generic":
+		return machine.Generic(), nil
+	default:
+		return nil, fmt.Errorf("jobspec: unknown machine preset %q (want franklin or generic)", s.Preset)
+	}
+}
+
+// Options builds the core.Options this spec runs under. The caller has
+// normalized and validated the spec.
+func (s *Spec) Options() core.Options {
+	mach, _ := s.Machine()
+	return core.Options{
+		Nodes:          s.Nodes,
+		CoresPerNode:   s.Cores,
+		Machine:        mach,
+		NoBundling:     s.NoBundling,
+		NoOverlap:      s.NoOverlap,
+		NoReadCache:    s.NoReadCache,
+		StaticSchedule: s.Static,
+		Parallel:       s.Backend == BackendParallel,
+	}
+}
+
+// AppSpec converts the per-app parameter block into the distributed
+// runtime's AppSpec (value semantics; nil blocks become zero params).
+func (s *Spec) AppSpec() dist.AppSpec {
+	out := dist.AppSpec{App: s.App}
+	if s.CG != nil {
+		out.CG = *s.CG
+	}
+	if s.Colloc != nil {
+		out.Colloc = *s.Colloc
+	}
+	if s.Nbody != nil {
+		out.Nbody = *s.Nbody
+	}
+	if s.Jacobi != nil {
+		out.Jacobi = *s.Jacobi
+	}
+	if s.Search != nil {
+		out.Search = *s.Search
+	}
+	if s.Scatter != nil {
+		out.Scatter = *s.Scatter
+	}
+	return out
+}
+
+// Canonical returns the canonical byte encoding of a normalized spec: a
+// versioned, explicit-field-order serialization in which every integer
+// is fixed-width little-endian and every float is its IEEE-754 bit
+// pattern. JSON field order, whitespace, float formatting, and absent-
+// vs-zero distinctions therefore cannot perturb the hash; only values
+// that can change the result do. DeadlineMS is deliberately excluded.
+func (s *Spec) Canonical() []byte {
+	var c canon
+	c.str("ppm-jobspec-v1")
+	c.str(s.App)
+	c.str(s.Backend)
+	c.i64(int64(s.Nodes))
+	c.i64(int64(s.Cores))
+	c.str(s.Preset)
+	c.bools(s.NoBundling, s.NoOverlap, s.NoReadCache, s.Static)
+	switch s.App {
+	case "cg":
+		p := s.CG
+		c.i64(int64(p.NX), int64(p.NY), int64(p.NZ), int64(p.MaxIter))
+		c.f64(p.Tol)
+	case "colloc":
+		p := s.Colloc
+		c.i64(int64(p.Levels), int64(p.M0), int64(p.Delta))
+	case "nbody":
+		p := s.Nbody
+		c.i64(int64(p.N), int64(p.Steps))
+		c.f64(p.Theta, p.Eps, p.DT)
+		c.u64(p.Seed)
+	case "jacobi":
+		p := s.Jacobi
+		c.i64(int64(p.NX), int64(p.NY), int64(p.NZ), int64(p.Sweeps))
+	case "search":
+		p := s.Search
+		c.i64(int64(p.N), int64(p.K))
+		c.u64(p.Seed)
+	case "scatter":
+		p := s.Scatter
+		c.i64(int64(p.N), int64(p.VPs), int64(p.Iters))
+		c.u64(p.Seed)
+	}
+	return c.buf
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding: the job's
+// content address.
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// canon accumulates the canonical encoding. Strings are length-prefixed
+// so field boundaries can never alias across values.
+type canon struct{ buf []byte }
+
+func (c *canon) str(s string) {
+	c.i64(int64(len(s)))
+	c.buf = append(c.buf, s...)
+}
+
+func (c *canon) i64(vs ...int64) {
+	for _, v := range vs {
+		c.buf = binary.LittleEndian.AppendUint64(c.buf, uint64(v))
+	}
+}
+
+func (c *canon) u64(v uint64) { c.buf = binary.LittleEndian.AppendUint64(c.buf, v) }
+
+func (c *canon) f64(vs ...float64) {
+	for _, v := range vs {
+		c.buf = binary.LittleEndian.AppendUint64(c.buf, math.Float64bits(v))
+	}
+}
+
+func (c *canon) bools(vs ...bool) {
+	for _, v := range vs {
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		c.buf = append(c.buf, b)
+	}
+}

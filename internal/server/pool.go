@@ -1,0 +1,344 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"ppm/internal/dist"
+	"ppm/internal/jobspec"
+)
+
+// fleetKey identifies a reusable fleet shape. Jobs only share a fleet
+// when node count, machine preset, and core width all match: the serve
+// protocol would run any spec on any fleet of the right node count, but
+// keeping shapes apart keeps a fleet's plan-cache session relevant to
+// the jobs routed at it.
+type fleetKey struct {
+	nodes  int
+	cores  int
+	preset string
+}
+
+// nodeProc is one serve-mode ppm-node process of a fleet.
+type nodeProc struct {
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+	replies chan jobspec.NodeReply // decoded stdout lines; closed on EOF
+	dead    chan struct{}          // closed when the process exits
+}
+
+// fleet is a connected set of serve-mode node processes. One job runs
+// at a time (the pool hands a fleet to exactly one worker); between
+// jobs the processes idle with their TCP mesh up and their plan-cache
+// sessions parked, which is the whole point of pooling them.
+type fleet struct {
+	key    fleetKey
+	procs  []*nodeProc
+	dir    string // rendezvous dir, removed at stop
+	served int    // jobs completed on this fleet
+	broken bool   // a run errored; the engines may be poisoned
+}
+
+// run submits one job to every rank and gathers the per-rank terminal
+// replies. Rank 0's phase-progress replies stream through onPhase as
+// they arrive. Any rank dying mid-job or replying with an error marks
+// the fleet broken; the caller must discard it.
+func (f *fleet) run(id string, spec *jobspec.Spec, onPhase func(int64)) ([]dist.NodeResult, error) {
+	line, err := json.Marshal(jobspec.NodeJob{ID: id, Spec: *spec})
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding job %s: %v", id, err)
+	}
+	line = append(line, '\n')
+	for r, p := range f.procs {
+		if _, err := p.stdin.Write(line); err != nil {
+			f.broken = true
+			return nil, fmt.Errorf("server: fleet write to rank %d: %v", r, err)
+		}
+	}
+	results := make([]dist.NodeResult, len(f.procs))
+	errs := make([]error, len(f.procs))
+	var wg sync.WaitGroup
+	for r, p := range f.procs {
+		wg.Add(1)
+		go func(r int, p *nodeProc) {
+			defer wg.Done()
+			for rep := range p.replies {
+				if rep.ID != id {
+					continue // stale line from an aborted predecessor
+				}
+				if !rep.Done {
+					if r == 0 && onPhase != nil {
+						onPhase(rep.Phase)
+					}
+					continue
+				}
+				if rep.Result == nil {
+					errs[r] = fmt.Errorf("rank %d: terminal reply without a result", r)
+				} else {
+					results[r] = *rep.Result
+				}
+				return
+			}
+			errs[r] = fmt.Errorf("rank %d: exited mid-job", r)
+		}(r, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			f.broken = true
+			return nil, fmt.Errorf("server: fleet failed job %s: %v", id, err)
+		}
+	}
+	for _, res := range results {
+		if res.Err != "" {
+			f.broken = true
+		}
+	}
+	f.served++
+	return results, nil
+}
+
+// healthy reports whether every rank is still running.
+func (f *fleet) healthy() bool {
+	if f.broken {
+		return false
+	}
+	for _, p := range f.procs {
+		select {
+		case <-p.dead:
+			return false
+		default:
+		}
+	}
+	return true
+}
+
+// stop retires the fleet: closing stdin is the drain signal (serve mode
+// exits 0 on EOF); ranks that linger past the grace are killed. Broken
+// fleets skip the grace — their engines are wedged or dead already.
+func (f *fleet) stop() {
+	for _, p := range f.procs {
+		p.stdin.Close()
+	}
+	grace := 5 * time.Second
+	if f.broken {
+		grace = 100 * time.Millisecond
+	}
+	deadline := time.After(grace)
+	for _, p := range f.procs {
+		select {
+		case <-p.dead:
+		case <-deadline:
+			p.cmd.Process.Kill()
+			<-p.dead
+		}
+	}
+	os.RemoveAll(f.dir)
+}
+
+// idleFleet is a pooled fleet with its park timestamp.
+type idleFleet struct {
+	f     *fleet
+	since time.Time
+}
+
+// pool keeps warm fleets between jobs. acquire prefers the most
+// recently parked fleet of the right shape (its plan cache is most
+// likely to still match); release parks a healthy fleet, discard kills
+// a broken one; reap retires fleets idle past the configured timeout.
+type pool struct {
+	nodeBin string
+	stderr  io.Writer
+
+	mu     sync.Mutex
+	idle   map[fleetKey][]idleFleet
+	seq    int
+	closed bool
+
+	spawned, reused, reaped, discarded int64
+}
+
+func newPool(nodeBin string, stderr io.Writer) *pool {
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	return &pool{nodeBin: nodeBin, stderr: stderr, idle: make(map[fleetKey][]idleFleet)}
+}
+
+// acquire returns a warm fleet for key, or spawns one. reused reports
+// whether the fleet had served before (the e2e tests assert warm-path
+// behavior through it).
+func (p *pool) acquire(key fleetKey) (f *fleet, reusedFleet bool, err error) {
+	p.mu.Lock()
+	for {
+		fleets := p.idle[key]
+		if len(fleets) == 0 {
+			break
+		}
+		cand := fleets[len(fleets)-1].f
+		p.idle[key] = fleets[:len(fleets)-1]
+		if !cand.healthy() {
+			p.discarded++
+			p.mu.Unlock()
+			cand.stop()
+			p.mu.Lock()
+			continue
+		}
+		p.reused++
+		p.mu.Unlock()
+		return cand, true, nil
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("server: pool closed")
+	}
+	p.seq++
+	seq := p.seq
+	p.spawned++
+	p.mu.Unlock()
+	f, err = p.spawn(key, seq)
+	return f, false, err
+}
+
+// release parks a fleet for reuse; broken or dead fleets are retired
+// instead.
+func (p *pool) release(f *fleet) {
+	if !f.healthy() {
+		p.discard(f)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		f.stop()
+		return
+	}
+	p.idle[f.key] = append(p.idle[f.key], idleFleet{f: f, since: time.Now()})
+	p.mu.Unlock()
+}
+
+// discard retires a fleet without pooling it.
+func (p *pool) discard(f *fleet) {
+	p.mu.Lock()
+	p.discarded++
+	p.mu.Unlock()
+	f.stop()
+}
+
+// reap retires every fleet idle since before cutoff.
+func (p *pool) reap(cutoff time.Time) {
+	p.mu.Lock()
+	var victims []*fleet
+	for key, fleets := range p.idle {
+		keep := fleets[:0]
+		for _, idf := range fleets {
+			if idf.since.Before(cutoff) {
+				victims = append(victims, idf.f)
+			} else {
+				keep = append(keep, idf)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.idle, key)
+		} else {
+			p.idle[key] = keep
+		}
+	}
+	p.reaped += int64(len(victims))
+	p.mu.Unlock()
+	for _, f := range victims {
+		f.stop()
+	}
+}
+
+// closeAll drains every idle fleet and refuses new spawns. Fleets
+// currently running jobs are retired by their workers via release.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	var victims []*fleet
+	for _, fleets := range p.idle {
+		for _, idf := range fleets {
+			victims = append(victims, idf.f)
+		}
+	}
+	p.idle = make(map[fleetKey][]idleFleet)
+	p.mu.Unlock()
+	for _, f := range victims {
+		f.stop()
+	}
+}
+
+// stats snapshots the pool counters and current idle fleet count.
+func (p *pool) stats() (spawned, reused, reaped, discarded int64, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fleets := range p.idle {
+		idle += len(fleets)
+	}
+	return p.spawned, p.reused, p.reaped, p.discarded, idle
+}
+
+// spawn forks and connects one serve-mode fleet.
+func (p *pool) spawn(key fleetKey, seq int) (*fleet, error) {
+	dir, err := os.MkdirTemp("", "ppm-serve-")
+	if err != nil {
+		return nil, fmt.Errorf("server: rendezvous dir: %w", err)
+	}
+	runID := fmt.Sprintf("serve-%d-%d", os.Getpid(), seq)
+	f := &fleet{key: key, dir: dir}
+	for r := 0; r < key.nodes; r++ {
+		cmd := exec.Command(p.nodeBin,
+			"-serve",
+			"-rank", strconv.Itoa(r),
+			"-nodes", strconv.Itoa(key.nodes),
+			"-rendezvous", dir,
+			"-run-id", runID,
+		)
+		stdin, err := cmd.StdinPipe()
+		if err == nil {
+			var stdout io.ReadCloser
+			stdout, err = cmd.StdoutPipe()
+			if err == nil {
+				cmd.Stderr = p.stderr
+				if err = cmd.Start(); err == nil {
+					proc := &nodeProc{
+						cmd:   cmd,
+						stdin: stdin,
+						// Buffered so a fleet killed mid-job cannot wedge
+						// its reader goroutine on a send nobody drains.
+						replies: make(chan jobspec.NodeReply, 1024),
+						dead:    make(chan struct{}),
+					}
+					go func() {
+						dec := json.NewDecoder(stdout)
+						for {
+							var rep jobspec.NodeReply
+							if err := dec.Decode(&rep); err != nil {
+								close(proc.replies)
+								return
+							}
+							proc.replies <- rep
+						}
+					}()
+					go func() {
+						cmd.Wait()
+						close(proc.dead)
+					}()
+					f.procs = append(f.procs, proc)
+					continue
+				}
+			}
+		}
+		f.broken = true
+		f.stop()
+		return nil, fmt.Errorf("server: spawning rank %d of fleet %v: %v", r, key, err)
+	}
+	return f, nil
+}

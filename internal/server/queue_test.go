@@ -1,0 +1,202 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func qjob(id, tenant string, prio int) *Job {
+	j := NewJob(id)
+	j.Tenant = tenant
+	j.Priority = prio
+	return j
+}
+
+// Pop must drain by descending priority, FIFO within one.
+func TestQueuePriorityOrder(t *testing.T) {
+	q := NewQueue(16, 0)
+	for i, p := range []int{0, 5, 1, 5, -2, 3} {
+		if err := q.Push(qjob(fmt.Sprintf("j%d", i), "t", p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"j1", "j3", "j5", "j2", "j0", "j4"}
+	for _, id := range want {
+		j, ok := q.Pop()
+		if !ok || j.ID != id {
+			t.Fatalf("popped %v (ok=%v), want %s", j, ok, id)
+		}
+	}
+}
+
+// A tenant at quota is rejected with a Retry-After; releasing a slot
+// readmits them. Other tenants are unaffected.
+func TestQueueTenantQuota(t *testing.T) {
+	q := NewQueue(16, 2)
+	if err := q.Push(qjob("a1", "alice", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qjob("a2", "alice", 0)); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Push(qjob("a3", "alice", 0))
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third push: %v, want QuotaError", err)
+	}
+	if qe.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", qe.RetryAfter)
+	}
+	if qe.InFlight != 2 || qe.Quota != 2 {
+		t.Fatalf("QuotaError = %+v", qe)
+	}
+	// Bob is not throttled by Alice's backlog.
+	if err := q.Push(qjob("b1", "bob", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The quota covers queued + running: popping alone frees nothing.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(qjob("a4", "alice", 0)); !errors.As(err, &qe) {
+		t.Fatalf("popped-but-not-released push: %v, want QuotaError", err)
+	}
+	q.Release("alice")
+	if err := q.Push(qjob("a5", "alice", 0)); err != nil {
+		t.Fatalf("post-release push: %v", err)
+	}
+}
+
+// The queue bound rejects cleanly and never half-admits.
+func TestQueueFull(t *testing.T) {
+	q := NewQueue(2, 0)
+	q.Push(qjob("1", "t", 0))
+	q.Push(qjob("2", "t", 0))
+	if err := q.Push(qjob("3", "t", 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push: %v, want ErrQueueFull", err)
+	}
+	if got := q.InFlight()["t"]; got != 2 {
+		t.Fatalf("rejected push leaked a quota slot: inFlight = %d", got)
+	}
+}
+
+// Expire removes exactly the deadline-passed jobs, preserving heap
+// order among the survivors.
+func TestQueueDeadlineExpiryWhileQueued(t *testing.T) {
+	q := NewQueue(16, 0)
+	now := time.Now()
+	late := qjob("late", "t", 9)
+	late.Deadline = now.Add(-time.Second)
+	ok1 := qjob("ok1", "t", 5)
+	ok1.Deadline = now.Add(time.Hour)
+	ok2 := qjob("ok2", "t", 7) // no deadline
+	for _, j := range []*Job{late, ok1, ok2} {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expired := q.Expire(now)
+	if len(expired) != 1 || expired[0].ID != "late" {
+		t.Fatalf("expired = %v, want [late]", expired)
+	}
+	if j, _ := q.Pop(); j.ID != "ok2" {
+		t.Fatalf("first survivor = %s, want ok2", j.ID)
+	}
+	if j, _ := q.Pop(); j.ID != "ok1" {
+		t.Fatalf("second survivor = %s, want ok1", j.ID)
+	}
+}
+
+// Position reports drain order among queued jobs.
+func TestQueuePosition(t *testing.T) {
+	q := NewQueue(16, 0)
+	q.Push(qjob("lo", "t", 0))
+	q.Push(qjob("hi", "t", 9))
+	q.Push(qjob("mid", "t", 5))
+	for id, want := range map[string]int{"hi": 1, "mid": 2, "lo": 3, "ghost": 0} {
+		if got := q.Position(id); got != want {
+			t.Errorf("Position(%s) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// Seeded concurrent stress: producers hammer Push across tenants while
+// workers Pop; under -race this doubles as the data-race check. Every
+// admitted job must be popped exactly once — none lost, none duplicated
+// — and quota rejections must always be retryable to completion.
+func TestQueueConcurrentStress(t *testing.T) {
+	const (
+		tenants   = 2
+		producers = 4
+		perProd   = 50
+		workers   = 3
+		quota     = 8
+	)
+	q := NewQueue(tenants*producers*perProd, quota)
+
+	var popped sync.Map // id -> pop count
+	var done sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for {
+				j, ok := q.Pop()
+				if !ok {
+					return
+				}
+				n, _ := popped.LoadOrStore(j.ID, new(int))
+				*(n.(*int))++
+				// Simulate a short run before releasing the quota slot.
+				time.Sleep(time.Duration(j.Priority%3) * 100 * time.Microsecond)
+				q.Release(j.Tenant)
+			}
+		}()
+	}
+
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prod.Add(1)
+		go func(p int) {
+			defer prod.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + p)))
+			for i := 0; i < perProd; i++ {
+				j := qjob(fmt.Sprintf("p%d-%d", p, i), fmt.Sprintf("tenant%d", p%tenants), rng.Intn(10))
+				for {
+					err := q.Push(j)
+					if err == nil {
+						break
+					}
+					var qe *QuotaError
+					if !errors.As(err, &qe) {
+						t.Errorf("push %s: %v", j.ID, err)
+						return
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	prod.Wait()
+	q.Close()
+	done.Wait()
+
+	got := 0
+	popped.Range(func(_, v any) bool {
+		if *(v.(*int)) != 1 {
+			t.Errorf("a job popped %d times", *(v.(*int)))
+		}
+		got++
+		return true
+	})
+	if want := producers * perProd; got != want {
+		t.Fatalf("popped %d distinct jobs, want %d", got, want)
+	}
+	if fl := q.InFlight(); len(fl) != 0 {
+		t.Fatalf("quota slots leaked: %v", fl)
+	}
+}
