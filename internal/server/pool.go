@@ -130,11 +130,11 @@ func (f *fleet) stop() {
 	if f.broken {
 		grace = 100 * time.Millisecond
 	}
-	deadline := time.After(grace)
+	deadline := time.Now().Add(grace)
 	for _, p := range f.procs {
 		select {
 		case <-p.dead:
-		case <-deadline:
+		case <-time.After(time.Until(deadline)):
 			p.cmd.Process.Kill()
 			<-p.dead
 		}

@@ -66,6 +66,7 @@ type Job struct {
 	phases int64
 	result *jobspec.Result
 	errMsg string
+	doneAt time.Time     // when the job reached a terminal status
 	done   chan struct{} // closed on any terminal status
 	subs   []chan int64  // phase-progress subscribers
 }
@@ -118,6 +119,7 @@ func (j *Job) finish(status string, result *jobspec.Result, errMsg string) {
 	j.status = status
 	j.result = result
 	j.errMsg = errMsg
+	j.doneAt = time.Now()
 	for _, ch := range j.subs {
 		close(ch)
 	}
@@ -142,7 +144,7 @@ func (j *Job) notifyPhase(ph int64) {
 
 // subscribe registers a phase-progress channel; it is closed when the
 // job finishes. A job already terminal returns a closed channel.
-func (j *Job) subscribe() <-chan int64 {
+func (j *Job) subscribe() chan int64 {
 	ch := make(chan int64, 16)
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -153,6 +155,28 @@ func (j *Job) subscribe() <-chan int64 {
 		j.subs = append(j.subs, ch)
 	}
 	return ch
+}
+
+// unsubscribe drops a subscriber that stopped listening (stream client
+// disconnect) so notifyPhase stops poking its dead channel. A channel
+// already removed by finish is a no-op.
+func (j *Job) unsubscribe(ch chan int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, sub := range j.subs {
+		if sub == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// terminalBefore reports whether the job reached a terminal state
+// before cutoff; the server's janitor uses it to evict old jobs.
+func (j *Job) terminalBefore(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.doneAt.IsZero() && j.doneAt.Before(cutoff)
 }
 
 // Queue is the bounded priority queue with per-tenant quotas. A

@@ -200,3 +200,52 @@ func TestQueueConcurrentStress(t *testing.T) {
 		t.Fatalf("quota slots leaked: %v", fl)
 	}
 }
+
+// A subscriber whose client went away must be removable so notifyPhase
+// stops fanning out to it; channels finish already closed stay closed.
+func TestJobUnsubscribe(t *testing.T) {
+	j := NewJob("j1")
+	a := j.subscribe()
+	b := j.subscribe()
+	j.unsubscribe(a)
+	j.notifyPhase(7)
+	select {
+	case ph := <-b:
+		if ph != 7 {
+			t.Fatalf("subscriber got phase %d, want 7", ph)
+		}
+	default:
+		t.Fatal("remaining subscriber missed the phase notification")
+	}
+	select {
+	case <-a:
+		t.Fatal("unsubscribed channel still receives")
+	default:
+	}
+	j.finish(StatusDone, nil, "")
+	if _, open := <-b; open {
+		t.Fatal("finish did not close the remaining subscriber")
+	}
+	j.unsubscribe(b) // after finish: must be a harmless no-op
+}
+
+// Terminal jobs age out of the server's job map; live ones never do.
+func TestServerEvictsTerminalJobs(t *testing.T) {
+	s := New(Config{})
+	done := s.registerJob(SubmitRequest{Tenant: "t"}, "h1")
+	done.finish(StatusDone, nil, "")
+	live := s.registerJob(SubmitRequest{Tenant: "t"}, "h2")
+	if !done.terminalBefore(time.Now().Add(time.Second)) {
+		t.Fatal("finished job not reported terminal")
+	}
+	if live.terminalBefore(time.Now().Add(time.Second)) {
+		t.Fatal("queued job reported terminal")
+	}
+	s.evictJobs(time.Now().Add(time.Second))
+	if s.lookup(done.ID) != nil {
+		t.Fatal("terminal job survived eviction past retention")
+	}
+	if s.lookup(live.ID) == nil {
+		t.Fatal("live job was evicted")
+	}
+}

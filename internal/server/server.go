@@ -36,6 +36,10 @@ type Config struct {
 	// IdleTimeout reaps warm fleets parked longer than this (default
 	// 2m).
 	IdleTimeout time.Duration
+	// JobRetention is how long terminal jobs stay queryable via
+	// GET /v1/jobs/{id} before the janitor evicts them (default 10m).
+	// Cached results outlive the job record via GET /v1/results/{hash}.
+	JobRetention time.Duration
 	// Stderr receives fleet stderr (default os.Stderr).
 	Stderr io.Writer
 }
@@ -78,6 +82,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 10 * time.Minute
 	}
 	return &Server{
 		cfg:         cfg,
@@ -349,6 +356,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			emit("phase", map[string]int64{"phase": ph})
 		case <-r.Context().Done():
+			j.unsubscribe(ch)
 			return
 		}
 	}
@@ -464,8 +472,8 @@ func (s *Server) runDist(j *Job) (*jobspec.Result, error) {
 	return jobspec.FromMerged(&j.Spec, m)
 }
 
-// janitor expires queued jobs past their deadline and reaps idle
-// fleets.
+// janitor expires queued jobs past their deadline, reaps idle fleets,
+// and evicts terminal job records past the retention window.
 func (s *Server) janitor() {
 	t := time.NewTicker(500 * time.Millisecond)
 	defer t.Stop()
@@ -480,6 +488,20 @@ func (s *Server) janitor() {
 				s.q.Release(j.Tenant)
 			}
 			s.pool.reap(now.Add(-s.cfg.IdleTimeout))
+			s.evictJobs(now.Add(-s.cfg.JobRetention))
+		}
+	}
+}
+
+// evictJobs drops terminal jobs that finished before cutoff so s.jobs
+// stays bounded on a long-lived server. Queued and running jobs are
+// never touched; their records go terminal first.
+func (s *Server) evictJobs(cutoff time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		if j.terminalBefore(cutoff) {
+			delete(s.jobs, id)
 		}
 	}
 }
