@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire bench-steady plancache-equiv dist-smoke server-smoke chaos figures
+.PHONY: check build vet ppmvet ppmvet-examples vet-all vet-report langcheck test race race-parallel bench-hotpath bench-parallel bench-wire bench-steady plancache-equiv dist-smoke server-smoke chaos rescale-smoke figures
 
 ## check: the tier-1 gate — build, static analysis (go vet + the
 ## phase-semantics analyzers over both front ends, gated by the
@@ -111,6 +111,16 @@ server-smoke:
 ## Deterministic (seeded rng streams), so a failure replays exactly.
 chaos:
 	PPM_CHAOS=1 $(GO) test -race -run 'TestChaosMatrix|TestSubprocessKillRecovery|TestSubprocessPartitionAborts|TestHeartbeat|TestFetchTimeout|TestCommitWaitTimeout' -v ./internal/dist/
+
+## rescale-smoke: elastic-rescale recovery under the race detector — a
+## 3-process fleet loses host 2 permanently (killhost re-arms on every
+## relaunch), the supervisor exhausts the per-host restart budget,
+## rescales to 2 host processes (rank 2 restored from its checkpoint
+## onto host 1), and cg/jacobi/scatter finish bit-identical to an
+## uninterrupted 3-rank run. Also pins the MinNodes floor error and the
+## in-process rescaled-restore identity.
+rescale-smoke:
+	$(GO) test -race -count=1 -run 'TestSubprocessRescale|TestRescaled' -v ./internal/dist/
 
 ## figures: print the paper's figure sweeps.
 figures:

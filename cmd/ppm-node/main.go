@@ -15,6 +15,7 @@
 // Usage:
 //
 //	ppm-node -rank R -nodes N -rendezvous DIR [-listen 127.0.0.1:0]
+//	         [-procs P -proc J [-restore-rescale]]
 //	         [-run-id ID] [-hb-interval 500ms] [-hb-timeout 5s]
 //	         [-op-timeout 60s] [-checkpoint-dir DIR [-checkpoint-every K] [-restore]]
 //	         [-bundle-adaptive] [-wire-codec raw|delta] [-flush-stagger 0]
@@ -26,6 +27,15 @@
 // machinery and aborts the run with an error naming the rank, rather than
 // hanging. The PPM_FAULT environment variable injects deterministic
 // faults for chaos testing (see internal/faultinject).
+//
+// Elastic hosting: with -procs P (< -nodes N) and -proc J, this process
+// hosts the block of logical ranks partition.NewBlock(N, P).Range(J) —
+// one engine, fault plan, and result line per hosted rank, with -rank
+// naming the first of them. The logical N-rank mesh is unchanged (some
+// links are loopback), so results are bit-identical to native hosting;
+// -restore-rescale additionally restores each hosted rank's own
+// checkpoint from a full fleet's set, which is how the supervisor
+// finishes a run after permanently losing a host.
 //
 // Two spec-driven modes complement the flag-driven one-shot run:
 //
@@ -65,6 +75,7 @@ import (
 	"ppm/internal/faultinject"
 	"ppm/internal/jobspec"
 	"ppm/internal/machine"
+	"ppm/internal/partition"
 	"ppm/internal/wire"
 )
 
@@ -86,6 +97,9 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write phase-boundary checkpoints into this directory")
 	ckptEvery := flag.Int("checkpoint-every", 0, "minimum committed global phases between checkpoints (default 1)")
 	restore := flag.Bool("restore", false, "resume from the newest checkpoint all ranks hold in -checkpoint-dir")
+	procs := flag.Int("procs", 0, "host processes in the fleet (default nodes; fewer procs host several logical ranks each)")
+	proc := flag.Int("proc", -1, "this process's host index in [0, procs) (default rank)")
+	restoreRescale := flag.Bool("restore-rescale", false, "restore the full fleet's checkpoints into this rescaled hosting (implies -restore)")
 
 	serve := flag.Bool("serve", false, "serve mode: run jobspec jobs from stdin until EOF or an operator stop")
 	specJSON := flag.String("spec-json", "", "run one job described by this jobspec JSON instead of the app flags")
@@ -123,6 +137,30 @@ func main() {
 
 	if *nodes <= 0 || *rank < 0 || *rank >= *nodes {
 		fail(fmt.Errorf("need -rank in [0, nodes) and -nodes > 0, got rank=%d nodes=%d", *rank, *nodes))
+	}
+	// Elastic hosting: a fleet of -nodes logical ranks squeezed onto
+	// -procs host processes, block-partitioned so host J runs ranks
+	// NewBlock(nodes, procs).Range(J). Native 1:1 hosting is the
+	// degenerate case procs == nodes, proc == rank.
+	if *procs <= 0 {
+		*procs = *nodes
+	}
+	if *proc < 0 {
+		*proc = *rank
+	}
+	if *procs > *nodes || *proc >= *procs {
+		fail(fmt.Errorf("need -proc in [0, procs) and -procs in [1, nodes], got proc=%d procs=%d nodes=%d", *proc, *procs, *nodes))
+	}
+	hostLo, hostHi := partition.NewBlock(*nodes, *procs).Range(*proc)
+	if *rank != hostLo {
+		fail(fmt.Errorf("-rank %d is not host %d's first hosted rank (%d)", *rank, *proc, hostLo))
+	}
+	hostedRanks := make([]int, 0, hostHi-hostLo)
+	for r := hostLo; r < hostHi; r++ {
+		hostedRanks = append(hostedRanks, r)
+	}
+	if *restoreRescale {
+		*restore = true
 	}
 	spec := dist.AppSpec{App: *app}
 	switch *app {
@@ -180,14 +218,12 @@ func main() {
 		}
 	}
 	if *ckptDir != "" {
-		opt.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, EveryPhases: *ckptEvery, Restore: *restore}
-	}
-
-	// Fault injection (chaos testing): PPM_FAULT carries the spec,
-	// PPM_FAULT_ATTEMPT the supervisor's relaunch count.
-	plan, err := faultinject.FromEnv(*rank)
-	if err != nil {
-		fail(err)
+		cc := &core.CheckpointConfig{Dir: *ckptDir, EveryPhases: *ckptEvery, Restore: *restore}
+		if *procs < *nodes {
+			cc.HostProcs = *procs
+			cc.HostProc = *proc
+		}
+		opt.Checkpoint = cc
 	}
 
 	codec, err := wire.ParseCodec(*wireCodec)
@@ -195,74 +231,123 @@ func main() {
 		fail(fmt.Errorf("-wire-codec: %v", err))
 	}
 
-	eng, err := dist.Connect(dist.Config{
-		Rank:              *rank,
-		Nodes:             *nodes,
-		RendezvousDir:     *rendezvous,
-		ListenAddr:        *listen,
-		BundleBytes:       *bundleBytes,
-		BundleAdaptive:    *bundleAdaptive,
-		Codec:             codec,
-		FlushStagger:      *flushStagger,
-		ConnectTimeout:    *connectTimeout,
-		RunID:             *runID,
-		HeartbeatInterval: *hbInterval,
-		HeartbeatTimeout:  *hbTimeout,
-		OpTimeout:         *opTimeout,
-		DrainTimeout:      *drainTimeout,
-		Faults:            plan,
-	})
-	if err != nil {
-		fail(err)
+	// Connect every hosted rank's engine concurrently: mesh formation
+	// needs all N listeners up, including the ones that live in this
+	// process. Each rank gets its own fault plan (PPM_FAULT carries the
+	// spec, PPM_FAULT_ATTEMPT the supervisor's relaunch count; killhost=
+	// items key on this process's -proc index).
+	engs := make([]*dist.Engine, len(hostedRanks))
+	{
+		connErrs := make([]error, len(hostedRanks))
+		var wg sync.WaitGroup
+		for i, r := range hostedRanks {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				plan, err := faultinject.FromEnvHost(r, *proc)
+				if err != nil {
+					connErrs[i] = err
+					return
+				}
+				engs[i], connErrs[i] = dist.Connect(dist.Config{
+					Rank:              r,
+					Nodes:             *nodes,
+					RendezvousDir:     *rendezvous,
+					ListenAddr:        *listen,
+					BundleBytes:       *bundleBytes,
+					BundleAdaptive:    *bundleAdaptive,
+					Codec:             codec,
+					FlushStagger:      *flushStagger,
+					ConnectTimeout:    *connectTimeout,
+					RunID:             *runID,
+					HeartbeatInterval: *hbInterval,
+					HeartbeatTimeout:  *hbTimeout,
+					OpTimeout:         *opTimeout,
+					DrainTimeout:      *drainTimeout,
+					Faults:            plan,
+				})
+			}(i, r)
+		}
+		wg.Wait()
+		for _, err := range connErrs {
+			if err != nil {
+				fail(err)
+			}
+		}
 	}
 
 	if *serve {
-		serveJobs(eng, *rank, *nodes)
+		serveJobs(engs, hostedRanks, *nodes)
 		return // unreachable; serveJobs exits
 	}
 
-	// One-shot run. An operator signal aborts the engine (so every rank
-	// unblocks with an error naming the stop) and turns the exit status
-	// into StopExitCode so the supervisor does not spend a restart on it.
+	// One-shot run. An operator signal aborts every hosted engine (so
+	// every rank unblocks with an error naming the stop) and turns the
+	// exit status into StopExitCode so the supervisor does not spend a
+	// restart on it.
 	var stopReq atomic.Bool
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigCh
 		stopReq.Store(true)
-		eng.Abort(fmt.Errorf("operator stop (%v)", s))
+		for _, eng := range engs {
+			eng.Abort(fmt.Errorf("operator stop (%v)", s))
+		}
 	}()
-	cancelDeadline := eng.StartJobDeadline(*jobDeadline)
-	res := dist.RunApp(eng, opt, spec)
-	cancelDeadline()
-	if err := eng.Close(); err != nil && res.Err == "" {
-		res.Err = err.Error()
+	results := make([]*dist.NodeResult, len(hostedRanks))
+	var wg sync.WaitGroup
+	for i := range hostedRanks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := engs[i]
+			cancelDeadline := eng.StartJobDeadline(*jobDeadline)
+			res := dist.RunApp(eng, opt, spec)
+			cancelDeadline()
+			if err := eng.Close(); err != nil && res.Err == "" {
+				res.Err = err.Error()
+			}
+			results[i] = res
+		}(i)
 	}
-	out, err := json.Marshal(res)
-	if err != nil {
-		fail(fmt.Errorf("encoding result: %v", err))
+	wg.Wait()
+	// One NodeResult line per hosted rank, rank order: the supervisor
+	// decodes the stream and routes each result by its Rank field.
+	failed := false
+	for _, res := range results {
+		out, err := json.Marshal(res)
+		if err != nil {
+			fail(fmt.Errorf("encoding result: %v", err))
+		}
+		fmt.Println(string(out))
+		if res.Err != "" {
+			fmt.Fprintf(os.Stderr, "ppm-node[%d]: %s\n", res.Rank, res.Err)
+			failed = true
+		}
 	}
-	fmt.Println(string(out))
 	if stopReq.Load() {
 		fmt.Fprintf(os.Stderr, "ppm-node[%d]: stopped by operator\n", *rank)
 		os.Exit(dist.StopExitCode)
 	}
-	if res.Err != "" {
-		fmt.Fprintf(os.Stderr, "ppm-node[%d]: %s\n", *rank, res.Err)
+	if failed {
 		os.Exit(1)
 	}
 }
 
 // serveJobs is the long-lived worker loop behind -serve. Jobs arrive as
-// jobspec.NodeJob lines on stdin and are run one at a time on the shared
-// engine; every reply (rank-0 phase progress and each rank's terminal
-// result) leaves as one jobspec.NodeReply line on stdout. A WarmSession
-// keyed by the job's canonical spec hash carries the plan cache and
-// parked VP workers across identical submissions, so repeat jobs skip
-// the cold start. stdin EOF means the operator (the fleet pool) is done
-// with this fleet: drain and exit 0. SIGINT/SIGTERM finish the job in
-// flight and exit StopExitCode.
-func serveJobs(eng *dist.Engine, rank, nodes int) {
+// jobspec.NodeJob lines on stdin and are run one at a time across every
+// engine this process hosts (one per hosted rank); every reply (rank-0
+// phase progress and each rank's terminal result) leaves as one
+// jobspec.NodeReply line on stdout, routed downstream by Result.Rank.
+// Each hosted rank keeps its own WarmSession keyed by the job's
+// canonical spec hash, carrying the plan cache and parked VP workers
+// across identical submissions so repeat jobs skip the cold start.
+// stdin EOF means the operator (the fleet pool) is done with this
+// fleet: drain and exit 0. SIGINT/SIGTERM finish the job in flight and
+// exit StopExitCode.
+func serveJobs(engs []*dist.Engine, ranks []int, nodes int) {
+	self := ranks[0]
 	enc := json.NewEncoder(os.Stdout)
 	var outMu sync.Mutex
 	reply := func(r jobspec.NodeReply) {
@@ -287,30 +372,50 @@ func serveJobs(eng *dist.Engine, rank, nodes int) {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
-	session := core.NewWarmSession()
+	sessions := make([]*core.WarmSession, len(engs))
+	for i := range sessions {
+		sessions[i] = core.NewWarmSession()
+	}
 	exit := func(code int) {
-		session.Discard()
-		if err := eng.Close(); err != nil && code == 0 {
-			fmt.Fprintf(os.Stderr, "ppm-node[%d]: close: %v\n", rank, err)
-			code = 1
+		for i, eng := range engs {
+			sessions[i].Discard()
+			if err := eng.Close(); err != nil && code == 0 {
+				fmt.Fprintf(os.Stderr, "ppm-node[%d]: close: %v\n", ranks[i], err)
+				code = 1
+			}
 		}
 		os.Exit(code)
 	}
 	for {
 		select {
 		case <-sigCh:
-			fmt.Fprintf(os.Stderr, "ppm-node[%d]: stopped by operator\n", rank)
+			fmt.Fprintf(os.Stderr, "ppm-node[%d]: stopped by operator\n", self)
 			exit(dist.StopExitCode)
 		case j, ok := <-jobs:
 			if !ok {
 				exit(0) // stdin EOF: orderly drain
 			}
-			if fatal := runServeJob(eng, session, rank, nodes, j, reply); fatal {
-				// The engine is (or may be) fatally wounded; every
-				// further job would fail. Exit non-zero so the pool
-				// discards the fleet.
-				fmt.Fprintf(os.Stderr, "ppm-node[%d]: job %s failed; retiring\n", rank, j.ID)
-				os.Exit(1)
+			// All hosted ranks run the job together — they are peers in
+			// the same phase-synchronized mesh, so they must advance
+			// concurrently, not in sequence.
+			fatals := make([]bool, len(engs))
+			var wg sync.WaitGroup
+			for i := range engs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					fatals[i] = runServeJob(engs[i], sessions[i], ranks[i], nodes, j, reply)
+				}(i)
+			}
+			wg.Wait()
+			for _, fatal := range fatals {
+				if fatal {
+					// An engine is (or may be) fatally wounded; every
+					// further job would fail. Exit non-zero so the pool
+					// discards the fleet.
+					fmt.Fprintf(os.Stderr, "ppm-node[%d]: job %s failed; retiring\n", self, j.ID)
+					os.Exit(1)
+				}
 			}
 		}
 	}

@@ -105,6 +105,8 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 0, "distributed: relaunch the fleet up to this many times after a rank failure")
 	ckptDir := flag.String("checkpoint-dir", "", "distributed: write phase-boundary checkpoints here; restarts resume from them")
 	ckptEvery := flag.Int("checkpoint-every", 0, "distributed: minimum committed global phases between checkpoints (default 1)")
+	perRankRestarts := flag.Int("per-rank-restarts", 0, "distributed: declare a host permanently dead after it is blamed for this many consecutive failed attempts (default 2)")
+	minNodes := flag.Int("min-nodes", 0, "distributed: never rescale the fleet below this many host processes (default 1)")
 	bundleAdaptive := flag.Bool("bundle-adaptive", false, "distributed: adaptive wire bundling (immediate critical-path flushes, growing commit bundles)")
 	wireCodec := flag.String("wire-codec", "", "distributed: commit-stream encoding to offer peers (raw or delta; node default raw)")
 	flushStagger := flag.Duration("flush-stagger", 0, "distributed: minimum spacing between one process's per-peer flushes (0 disables)")
@@ -135,6 +137,7 @@ func main() {
 	if *specPath != "" {
 		runSpec(*specPath, *jsonOut, *nodeBin, launchCfg{
 			maxRestarts: *maxRestarts, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+			perRankRestarts: *perRankRestarts, minNodes: *minNodes,
 		}, *timeout)
 		return
 	}
@@ -187,6 +190,7 @@ func main() {
 		}
 		runDistributed(*app, *nodes, *nodeBin, args, launchCfg{
 			maxRestarts: *maxRestarts, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+			perRankRestarts: *perRankRestarts, minNodes: *minNodes,
 		}, distParams{
 			cgGrid: *cgGrid, cgIters: *cgIters,
 			collocLevels: *collocLevels, collocM0: *collocM0,
@@ -362,9 +366,26 @@ func findNodeBin(explicit string) (string, error) {
 
 // launchCfg carries the supervision flags into the distributed path.
 type launchCfg struct {
-	maxRestarts int
-	ckptDir     string
-	ckptEvery   int
+	maxRestarts     int
+	ckptDir         string
+	ckptEvery       int
+	perRankRestarts int
+	minNodes        int
+}
+
+// launchOpts builds the shared supervision options, including the
+// elastic-rescale callbacks that narrate restarts and shrinks.
+func (lc launchCfg) launchOpts() dist.LaunchOpts {
+	return dist.LaunchOpts{
+		MaxRestarts: lc.maxRestarts, CheckpointDir: lc.ckptDir, CheckpointEvery: lc.ckptEvery,
+		PerRankRestarts: lc.perRankRestarts, MinNodes: lc.minNodes,
+		OnRestart: func(attempt int, cause error) {
+			fmt.Fprintf(os.Stderr, "ppm-run: supervisor: relaunching fleet (attempt %d) after: %v\n", attempt, cause)
+		},
+		OnRescale: func(procs int, cause error) {
+			fmt.Fprintf(os.Stderr, "ppm-run: supervisor: host permanently dead; rescaling fleet to %d host processes after: %v\n", procs, cause)
+		},
+	}
 }
 
 // runDistributed forks one ppm-node per node over loopback TCP, merges
@@ -377,13 +398,9 @@ func runDistributed(app string, nodes int, nodeBin string, nodeArgs []string, lc
 	exitOn(err)
 	bin, err := findNodeBin(nodeBin)
 	exitOn(err)
-	results, err := dist.LaunchLocal(dist.LaunchOpts{
-		Nodes: nodes, NodeBin: bin, NodeArgs: nodeArgs,
-		MaxRestarts: lc.maxRestarts, CheckpointDir: lc.ckptDir, CheckpointEvery: lc.ckptEvery,
-		OnRestart: func(attempt int, cause error) {
-			fmt.Fprintf(os.Stderr, "ppm-run: supervisor: relaunching fleet (attempt %d) after: %v\n", attempt, cause)
-		},
-	})
+	lo := lc.launchOpts()
+	lo.Nodes, lo.NodeBin, lo.NodeArgs = nodes, bin, nodeArgs
+	results, err := dist.LaunchLocal(lo)
 	exitOn(err)
 	m, err := dist.Merge(spec, results)
 	exitOn(err)
@@ -428,14 +445,10 @@ func runSpec(path string, jsonOut bool, nodeBin string, lc launchCfg, timeout ti
 		exitOn(err)
 		payload, err := json.Marshal(&s)
 		exitOn(err)
-		results, err := dist.LaunchLocal(dist.LaunchOpts{
-			Nodes: s.Nodes, NodeBin: bin,
-			NodeArgs:    []string{"-spec-json", string(payload)},
-			MaxRestarts: lc.maxRestarts, CheckpointDir: lc.ckptDir, CheckpointEvery: lc.ckptEvery,
-			OnRestart: func(attempt int, cause error) {
-				fmt.Fprintf(os.Stderr, "ppm-run: supervisor: relaunching fleet (attempt %d) after: %v\n", attempt, cause)
-			},
-		})
+		lo := lc.launchOpts()
+		lo.Nodes, lo.NodeBin = s.Nodes, bin
+		lo.NodeArgs = []string{"-spec-json", string(payload)}
+		results, err := dist.LaunchLocal(lo)
 		exitOn(err)
 		m, err := dist.Merge(s.AppSpec(), results)
 		exitOn(err)

@@ -41,8 +41,13 @@ func RunPPMOn(run core.Runner, opt core.Options, prm Params) (*Result, *core.Rep
 
 		b := rhsRows(a)
 		rt.ChargeFlops(int64(a.NNZ()))
-		x := make([]float64, nLocal)
-		r := append([]float64(nil), b...)
+		// x and r live in shared arrays (x doubles as the published
+		// solution) so the iteration state is covered by phase-boundary
+		// checkpoints and a restored run resumes mid-solve.
+		rvec := core.AllocGlobal[float64](rt, "cg.r", n)
+		x := xOut.Local(rt)
+		r := rvec.Local(rt)
+		copy(r, b)
 		linalg.Copy(p.Local(rt), r)
 		rt.ChargeMem(int64(8 * nLocal))
 
@@ -53,9 +58,21 @@ func RunPPMOn(run core.Runner, opt core.Options, prm Params) (*Result, *core.Rep
 		rt.ChargeFlops(fl)
 		rs := rt.AllReduce(rsLocal, core.OpSum)
 
+		// A checkpoint tagged T holds x, r, and p as of the end of
+		// iteration T-1; resume recomputes rs from the restored residual
+		// (Dot and the AllReduce grouping are deterministic, so the value
+		// is bit-equal to the rsNew the checkpointed iteration saw).
+		start := 0
+		if tag, ok := rt.RestoreCheckpoint(); ok {
+			start = int(tag)
+			rsLocal, fl = linalg.Dot(r, r)
+			rt.ChargeFlops(fl)
+			rs = rt.AllReduce(rsLocal, core.OpSum)
+		}
+
 		k := rt.CoresPerNode() * 4
-		iters, finalRes := 0, math.Sqrt(rs)
-		for it := 0; it < prm.MaxIter; it++ {
+		iters, finalRes := start, math.Sqrt(rs)
+		for it := start; it < prm.MaxIter; it++ {
 			acc.Local(rt)[0] = 0
 			// One global phase: w = A p on local rows, with the search
 			// direction read through the globally shared array — remote
@@ -104,9 +121,10 @@ func RunPPMOn(run core.Runner, opt core.Options, prm Params) (*Result, *core.Rep
 			}
 			rt.ChargeFlops(int64(2 * nLocal))
 			rs = rsNew
+			rt.MaybeCheckpoint(int64(it + 1))
 		}
-		// Publish the solution and let node 0 collect it.
-		linalg.Copy(xOut.Local(rt), x)
+		// x already is xOut's local block; charge the publish traffic the
+		// copy used to model and let node 0 collect it.
 		rt.ChargeMem(int64(8 * nLocal))
 		rt.Barrier()
 		if rt.NodeID() == 0 {

@@ -56,7 +56,14 @@ func (p Params) validate() error {
 func Prog(p Params, out [][]float64) func(rt *core.Runtime) {
 	return func(rt *core.Runtime) {
 		g := core.AllocGlobal[float64](rt, "acc", p.N)
-		for it := 0; it < p.Iters; it++ {
+		// A checkpoint tagged T holds the accumulator after iteration
+		// T-1; the per-phase scatter pattern is keyed by (iter, rank), so
+		// a restored run replays the remaining iterations bit-exactly.
+		start := 0
+		if tag, ok := rt.RestoreCheckpoint(); ok {
+			start = int(tag)
+		}
+		for it := start; it < p.Iters; it++ {
 			iter := it
 			rt.Do(p.VPs, func(vp *core.VP) {
 				vp.GlobalPhase(func() {
@@ -76,6 +83,7 @@ func Prog(p Params, out [][]float64) func(rt *core.Runtime) {
 					}
 				})
 			})
+			rt.MaybeCheckpoint(int64(it + 1))
 		}
 		out[rt.NodeID()] = append([]float64(nil), g.Local(rt)...)
 	}

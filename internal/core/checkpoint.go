@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"ppm/internal/mp"
+	"ppm/internal/partition"
 	"ppm/internal/wire"
 )
 
@@ -123,7 +124,31 @@ func (rt *Runtime) RestoreCheckpoint() (tag int64, ok bool) {
 	if err := loadCheckpoint(gs, rt.node, c.Dir, chosen); err != nil {
 		panic(AbortError{Err: fmt.Errorf("core: node %d: restore of tag %d: %w", rt.node, chosen, err)})
 	}
+	recordRescale(gs, rt.node, c)
 	return chosen, true
+}
+
+// recordRescale notes in NodeStats.Rescale that this restore landed in
+// an elastically rescaled fleet: the checkpoint was written by one host
+// process per rank, and the rank now runs inside one of c.HostProcs <
+// nodes processes. A rank is "moved" when block-hosting places it on a
+// process other than the one matching its own index — its restored
+// partitions and node arrays had to be re-homed to a surviving host.
+func recordRescale(gs *globalState, node int, c *CheckpointConfig) {
+	if c.HostProcs <= 0 || c.HostProcs >= gs.nodes {
+		return
+	}
+	rs := &gs.stats[node].Rescale
+	rs.FromProcs = int64(gs.nodes)
+	rs.ToProcs = int64(c.HostProcs)
+	rs.Restores++
+	if partition.NewBlock(gs.nodes, c.HostProcs).Owner(node) == node {
+		return
+	}
+	rs.RanksMoved++
+	for _, a := range gs.arrays {
+		rs.ElemsMoved += int64(a.localElems(node))
+	}
 }
 
 func ckptPath(dir string, rank int, tag int64) string {

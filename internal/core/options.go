@@ -134,6 +134,17 @@ type CheckpointConfig struct {
 	// Restore makes Runtime.RestoreCheckpoint load the newest checkpoint
 	// present on every rank; without it the marker is a no-op.
 	Restore bool
+
+	// HostProcs and HostProc describe elastic-rescale hosting: when a
+	// fleet of Nodes logical ranks is re-homed onto HostProcs < Nodes
+	// host processes (each process hosting a contiguous block of ranks,
+	// partition.NewBlock(Nodes, HostProcs)), this rank runs inside host
+	// process HostProc. The logical mesh is unchanged — every rank still
+	// restores its own per-rank checkpoint — so results stay bit-
+	// identical; the fields only let RestoreCheckpoint record the
+	// re-homing in NodeStats.Rescale. Zero means native 1:1 hosting.
+	HostProcs int
+	HostProc  int
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -166,6 +177,12 @@ func (o *Options) withDefaults() (Options, error) {
 		}
 		if c.EveryPhases <= 0 {
 			c.EveryPhases = 1
+		}
+		if c.HostProcs < 0 || c.HostProcs > out.Nodes {
+			return out, fmt.Errorf("core: Checkpoint.HostProcs must be in [0, Nodes], got %d", c.HostProcs)
+		}
+		if c.HostProcs > 0 && (c.HostProc < 0 || c.HostProc >= c.HostProcs) {
+			return out, fmt.Errorf("core: Checkpoint.HostProc must be in [0, HostProcs), got %d", c.HostProc)
 		}
 		out.Checkpoint = &c
 	}
@@ -212,6 +229,44 @@ type NodeStats struct {
 	// NoPlanCache). Like Wire it measures the host substrate, not the
 	// program, so the equivalence tests compare reports with it zeroed.
 	PlanCache PlanCacheStats
+
+	// Rescale records elastic-rescale recoveries on this rank (see
+	// CheckpointConfig.HostProcs). Like Wire and PlanCache it measures
+	// the substrate — where the rank physically ran, not what the
+	// program computed — so the equivalence tests compare reports with
+	// it zeroed.
+	Rescale RescaleStats
+}
+
+// RescaleStats records rescaled checkpoint restores on one rank: a
+// checkpoint written by FromProcs host processes (one per rank) was
+// restored into a fleet squeezed onto ToProcs processes. RanksMoved
+// counts the restores in which this rank landed on a host process other
+// than its own (i.e. it was re-homed), and ElemsMoved totals the shared-
+// array elements that moved with it — its Global partitions plus its
+// Node arrays. Totals over PerNode therefore give the fleet-wide ranks
+// and elements re-homed by the rescale.
+type RescaleStats struct {
+	FromProcs  int64
+	ToProcs    int64
+	Restores   int64
+	RanksMoved int64
+	ElemsMoved int64
+}
+
+func (r *RescaleStats) add(o RescaleStats) {
+	// FromProcs/ToProcs describe a topology, not a count: keep the
+	// widest from/narrowest to across ranks so Totals still reads as
+	// "an N-proc fleet's state now lives on M procs".
+	if o.FromProcs > r.FromProcs {
+		r.FromProcs = o.FromProcs
+	}
+	if r.ToProcs == 0 || (o.ToProcs > 0 && o.ToProcs < r.ToProcs) {
+		r.ToProcs = o.ToProcs
+	}
+	r.Restores += o.Restores
+	r.RanksMoved += o.RanksMoved
+	r.ElemsMoved += o.ElemsMoved
 }
 
 // PlanCacheStats counts steady-state phase-plan cache activity on one
@@ -306,6 +361,7 @@ func (s *NodeStats) add(o NodeStats) {
 	s.PhaseApplyTime += o.PhaseApplyTime
 	s.Wire.add(o.Wire)
 	s.PlanCache.add(o.PlanCache)
+	s.Rescale.add(o.Rescale)
 }
 
 // Report summarizes a PPM run: the underlying cluster report plus PPM

@@ -85,6 +85,10 @@ type registeredArray interface {
 	// node's partition (for splitting interval runs by owner at the
 	// read-set merge); node arrays are always local.
 	ownerSpan(i int) (owner, end int)
+	// localElems returns how many elements node holds authoritatively
+	// (a global array's partition size, a node array's full length);
+	// rescaled restores use it to account elements moved between hosts.
+	localElems(node int) int
 	// label returns a diagnostic name.
 	label() string
 

@@ -407,6 +407,9 @@ func (g *Global[T]) putBlock(vp *VP, lo int, src []T, add bool, op string) {
 // label implements registeredArray.
 func (g *Global[T]) label() string { return g.name }
 
+// localElems implements registeredArray: the size of node's partition.
+func (g *Global[T]) localElems(node int) int { return g.part.Size(node) }
+
 // elemBytes implements registeredArray.
 func (g *Global[T]) elemBytes() int { return g.es }
 
@@ -601,6 +604,9 @@ func (a *Node[T]) putBlock(vp *VP, lo int, src []T, add bool, op string) {
 
 // label implements registeredArray.
 func (a *Node[T]) label() string { return a.name }
+
+// localElems implements registeredArray: node arrays are whole per node.
+func (a *Node[T]) localElems(node int) int { return a.n }
 
 // elemBytes implements registeredArray.
 func (a *Node[T]) elemBytes() int { return a.es }

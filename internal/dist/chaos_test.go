@@ -95,12 +95,13 @@ func TestSubprocessPartitionAbortsFast(t *testing.T) {
 }
 
 // TestChaosMatrix is the seeded fault matrix behind `make chaos`
-// (PPM_CHAOS=1): every fault class against both a checkpoint-aware app
-// (jacobi) and a checkpoint-oblivious one (cg, whose kill recovery is the
-// degenerate from-scratch rerun). Benign faults (delay, dup) and
-// recoverable ones (kill) must end bit-identical to the simulator; lossy
-// ones (drop, partition) must end in a clean, attributed error well
-// before the watchdog.
+// (PPM_CHAOS=1): every fault class against two checkpoint-aware apps
+// (jacobi, whose tag is the sweep count, and cg, whose tag is the
+// iteration count — a kill recovery resumes both from the last common
+// checkpoint). Benign faults (delay, dup) and recoverable ones (kill,
+// and killhost once the supervisor rescales the dead host away) must
+// end bit-identical to the simulator; lossy ones (drop, partition)
+// must end in a clean, attributed error well before the watchdog.
 func TestChaosMatrix(t *testing.T) {
 	if os.Getenv("PPM_CHAOS") == "" {
 		t.Skip("set PPM_CHAOS=1 (or run `make chaos`) for the full fault matrix")
@@ -112,32 +113,39 @@ func TestChaosMatrix(t *testing.T) {
 		name    string
 		spec    string
 		recover bool     // expect bit-identical completion (possibly via restart)
+		rescale bool     // give the supervisor a per-rank budget and a floor below Nodes
 		args    []string // extra per-node flags (wire tuning)
 	}{
-		{"delay", "seed=3; delay=0.2:2ms", true, nil},
-		{"dup", "seed=5; dup=0.3", true, nil},
-		{"drop", "seed=7; drop=0.4", false, nil},
-		{"trunc", "seed=9; trunc=0.5", false, nil},
-		{"partition", "partition=0|1@phase:2", false, nil},
-		{"kill", "kill=1@phase:3", true, nil},
+		{"delay", "seed=3; delay=0.2:2ms", true, false, nil},
+		{"dup", "seed=5; dup=0.3", true, false, nil},
+		{"drop", "seed=7; drop=0.4", false, false, nil},
+		{"trunc", "seed=9; trunc=0.5", false, false, nil},
+		{"partition", "partition=0|1@phase:2", false, false, nil},
+		{"kill", "kill=1@phase:3", true, false, nil},
+		// Permanent host death: the one-shot relaunch dies the same way,
+		// so recovery REQUIRES the rescale path — both ranks finish on
+		// the surviving host process.
+		{"killhost-rescale", "killhost=1@phase:3", true, true, nil},
+		{"killhost-early-rescale", "killhost=1@phase:1", true, true, nil},
 		// Wire-tuning interactions: truncation hits post-codec frames, so
 		// a delta-encoded fleet must fail just as cleanly (a corrupt
 		// delta stream is a decode error, never a wrong answer); benign
 		// faults under adaptive bundling must stay bit-identical.
-		{"trunc-delta", "seed=9; trunc=0.5", false, []string{"-wire-codec", "delta"}},
-		{"dup-delta", "seed=5; dup=0.3", true, []string{"-wire-codec", "delta"}},
-		{"delay-adaptive", "seed=3; delay=0.2:2ms", true, []string{"-bundle-adaptive", "-flush-stagger", "100us"}},
+		{"trunc-delta", "seed=9; trunc=0.5", false, false, []string{"-wire-codec", "delta"}},
+		{"dup-delta", "seed=5; dup=0.3", true, false, []string{"-wire-codec", "delta"}},
+		{"delay-adaptive", "seed=3; delay=0.2:2ms", true, false, []string{"-bundle-adaptive", "-flush-stagger", "100us"}},
+		{"killhost-rescale-delta", "killhost=1@phase:3", true, true, []string{"-wire-codec", "delta"}},
 	}
 	for _, app := range []string{"jacobi", "cg"} {
 		for _, f := range faults {
 			t.Run(app+"/"+f.name, func(t *testing.T) {
-				runChaosCase(t, app, f.spec, f.recover, f.args)
+				runChaosCase(t, app, f.spec, f.recover, f.rescale, f.args)
 			})
 		}
 	}
 }
 
-func runChaosCase(t *testing.T, app, spec string, expectRecover bool, extraArgs []string) {
+func runChaosCase(t *testing.T, app, spec string, expectRecover, rescale bool, extraArgs []string) {
 	t.Helper()
 	opts := LaunchOpts{
 		Nodes:   2,
@@ -163,6 +171,14 @@ func runChaosCase(t *testing.T, app, spec string, expectRecover bool, extraArgs 
 		opts.MaxRestarts = 2
 		opts.CheckpointDir = t.TempDir()
 		opts.CheckpointEvery = 2
+	}
+	if rescale {
+		// A permanently dead host needs one more attempt (die, die
+		// again, finish rescaled) and permission to shrink to one host
+		// process carrying both ranks.
+		opts.MaxRestarts = 3
+		opts.PerRankRestarts = 2
+		opts.MinNodes = 1
 	}
 
 	start := time.Now()

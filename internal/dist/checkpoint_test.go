@@ -152,3 +152,31 @@ func globCkpts(t *testing.T, dir string, rank int) []string {
 	}
 	return g
 }
+
+func TestRestoreFallsBackPastTruncatedCheckpoint(t *testing.T) {
+	// A host that dies mid-write leaves a TRUNCATED file, not a
+	// bit-flipped one — the header parse or the payload read fails before
+	// any CRC runs. The fallback contract is the same: drop to the newest
+	// tag whole on every rank and replay from there.
+	dir := t.TempDir()
+	prm := jacobi.Params{NX: 10, NY: 6, NZ: 4, Sweeps: 4}
+	want, wrep, err := jacobi.RunPPM(distOpt(2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AppSpec{App: "jacobi", Jacobi: prm}
+	runAppMesh(t, 2, ckptOpt(2, dir, 1, false), spec)
+
+	path := filepath.Join(dir, ckptName(1, 4))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+
+	m := runAppMesh(t, 2, ckptOpt(2, dir, 1, true), spec)
+	sameF64(t, "u (truncation fallback)", m.Jacobi, want)
+	samePerNode(t, m.PerNode, wrep.PerNode)
+}

@@ -11,6 +11,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ppm/internal/faultinject"
+	"ppm/internal/partition"
 )
 
 // StopExitCode is the exit status of a node or server process stopped
@@ -70,6 +73,24 @@ type LaunchOpts struct {
 	// OnRestart, if non-nil, is called before each relaunch with the new
 	// attempt number (1-based) and the failure that caused it.
 	OnRestart func(attempt int, cause error)
+
+	// PerRankRestarts is the per-host failure-attribution budget behind
+	// elastic rescale (default 2): a host process blamed for that many
+	// consecutive failed attempts — it exited with KillExitCode, or died
+	// without reporting any result while its peers self-aborted cleanly
+	// — is declared permanently dead rather than transiently unlucky.
+	// The supervisor then relaunches the fleet on one fewer host
+	// process, with -restore-rescale when CheckpointDir is set so the
+	// shrunk fleet resumes every logical rank from the last checkpoint.
+	PerRankRestarts int
+	// MinNodes floors the rescale ladder (default 1): the supervisor
+	// never shrinks the fleet below this many host processes; a dead
+	// host at the floor surfaces the error instead.
+	MinNodes int
+	// OnRescale, if non-nil, is called before each shrunken relaunch
+	// with the new host-process count and the failure that exhausted
+	// the dead host's budget.
+	OnRescale func(procs int, cause error)
 }
 
 // LaunchLocal forks Nodes ppm-node processes wired together through a
@@ -80,7 +101,11 @@ type LaunchOpts struct {
 // supervises: a failed attempt is relaunched (all ranks, fresh run-id,
 // -restore when checkpointing) until an attempt succeeds or the restart
 // budget is spent, in which case the last attempt's results and error
-// are returned.
+// are returned. The supervisor also attributes failures per host: a
+// host blamed PerRankRestarts times in a row is permanently dead, and
+// the fleet is relaunched on one fewer host process (each surviving
+// process block-hosting several logical ranks, restoring their
+// checkpoints via -restore-rescale), down to the MinNodes floor.
 func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 	if o.Nodes <= 0 {
 		return nil, fmt.Errorf("dist: LaunchLocal with %d nodes", o.Nodes)
@@ -97,6 +122,15 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 	if o.Stderr == nil {
 		o.Stderr = os.Stderr
 	}
+	if o.PerRankRestarts <= 0 {
+		o.PerRankRestarts = 2
+	}
+	if o.MinNodes <= 0 {
+		o.MinNodes = 1
+	}
+	if o.MinNodes > o.Nodes {
+		o.MinNodes = o.Nodes
+	}
 	dir, err := os.MkdirTemp("", "ppm-dist-")
 	if err != nil {
 		return nil, fmt.Errorf("dist: rendezvous dir: %w", err)
@@ -105,6 +139,8 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 
 	var results []NodeResult
 	var lastErr error
+	procs := o.Nodes
+	failCounts := make([]int, procs)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if o.OnRestart != nil {
@@ -113,27 +149,61 @@ func LaunchLocal(o LaunchOpts) ([]NodeResult, error) {
 			// Brief backoff so a crash loop does not hammer the host.
 			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
 		}
-		results, lastErr = launchOnce(&o, dir, attempt)
+		var suspects []int
+		results, suspects, lastErr = launchOnce(&o, dir, attempt, procs)
 		if lastErr == nil || attempt >= o.MaxRestarts || errors.Is(lastErr, ErrOperatorStop) {
 			return results, lastErr
+		}
+		// Per-host failure attribution: a host blamed for PerRankRestarts
+		// consecutive failed attempts is permanently dead — shrink the
+		// fleet by one host process and start the ladder over (host
+		// indexes re-map under the new block hosting, so stale blame
+		// would land on the wrong process).
+		for _, p := range suspects {
+			if p < len(failCounts) {
+				failCounts[p]++
+			}
+		}
+		for p, n := range failCounts {
+			if n < o.PerRankRestarts {
+				continue
+			}
+			if procs-1 < o.MinNodes {
+				return results, fmt.Errorf("dist: host %d is permanently dead and the fleet is at the MinNodes floor (%d): %w", p, o.MinNodes, lastErr)
+			}
+			procs--
+			failCounts = make([]int, procs)
+			if o.OnRescale != nil {
+				o.OnRescale(procs, lastErr)
+			}
+			break
 		}
 	}
 }
 
-// launchOnce runs one fleet attempt. The rendezvous dir is reused across
-// attempts: the per-attempt run-id in the address files keeps a restarted
-// fleet from dialing a dead predecessor's addresses.
-func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
+// launchOnce runs one fleet attempt on procs host processes (procs <
+// Nodes block-hosts several logical ranks per process). The rendezvous
+// dir is reused across attempts: the per-attempt run-id in the address
+// files keeps a restarted fleet from dialing a dead predecessor's
+// addresses. suspects lists the host processes whose death looks like
+// the attempt's root cause (injected kill, or dying resultless while
+// peers self-aborted with precise errors) for per-host attribution.
+func launchOnce(o *LaunchOpts, dir string, attempt, procs int) (results []NodeResult, suspects []int, err error) {
 	runID := fmt.Sprintf("ppm-%d-a%d", os.Getpid(), attempt)
-	cmds := make([]*exec.Cmd, o.Nodes)
-	outs := make([]bytes.Buffer, o.Nodes)
-	waitErrs := make([]error, o.Nodes)
-	for r := 0; r < o.Nodes; r++ {
+	hosts := partition.NewBlock(o.Nodes, procs)
+	cmds := make([]*exec.Cmd, procs)
+	outs := make([]bytes.Buffer, procs)
+	waitErrs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		lo, _ := hosts.Range(p)
 		args := []string{
-			"-rank", strconv.Itoa(r),
+			"-rank", strconv.Itoa(lo),
 			"-nodes", strconv.Itoa(o.Nodes),
 			"-rendezvous", dir,
 			"-run-id", runID,
+		}
+		if procs < o.Nodes {
+			args = append(args, "-procs", strconv.Itoa(procs), "-proc", strconv.Itoa(p))
 		}
 		if o.CheckpointDir != "" {
 			args = append(args, "-checkpoint-dir", o.CheckpointDir)
@@ -141,39 +211,50 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 				args = append(args, "-checkpoint-every", strconv.Itoa(o.CheckpointEvery))
 			}
 			if attempt > 0 {
-				args = append(args, "-restore")
+				if procs < o.Nodes {
+					args = append(args, "-restore-rescale")
+				} else {
+					args = append(args, "-restore")
+				}
 			}
 		}
 		args = append(args, o.NodeArgs...)
 		cmd := exec.Command(o.NodeBin, args...)
-		cmd.Stdout = &outs[r]
+		cmd.Stdout = &outs[p]
 		cmd.Stderr = o.Stderr
 		cmd.Env = append(os.Environ(), o.Env...)
 		cmd.Env = append(cmd.Env, fmt.Sprintf("PPM_FAULT_ATTEMPT=%d", attempt))
 		if err := cmd.Start(); err != nil {
-			for _, c := range cmds[:r] {
+			for _, c := range cmds[:p] {
 				c.Process.Kill()
 				c.Wait()
 			}
-			return nil, fmt.Errorf("dist: start node %d: %w", r, err)
+			return nil, nil, fmt.Errorf("dist: start host %d: %w", p, err)
 		}
-		cmds[r] = cmd
+		cmds[p] = cmd
 	}
 
 	// Supervise the attempt: the watchdog backstops a fully hung fleet,
 	// and the grace timer bounds how long survivors may outlive the first
 	// failed rank (they normally self-abort via the failure detector with
-	// a much better error than a kill).
+	// a much better error than a kill). Processes still alive at a
+	// supervisor kill are victims, not suspects: their silence was
+	// imposed, not evidence.
 	type exitEv struct {
-		rank int
+		proc int
 		err  error
 	}
-	exits := make(chan exitEv, o.Nodes)
-	for r, c := range cmds {
-		go func(r int, c *exec.Cmd) { exits <- exitEv{rank: r, err: c.Wait()} }(r, c)
+	exits := make(chan exitEv, procs)
+	for p, c := range cmds {
+		go func(p int, c *exec.Cmd) { exits <- exitEv{proc: p, err: c.Wait()} }(p, c)
 	}
+	exited := make([]bool, procs)
+	victim := make([]bool, procs)
 	killAll := func() {
-		for _, c := range cmds {
+		for p, c := range cmds {
+			if !exited[p] {
+				victim[p] = true
+			}
 			c.Process.Kill()
 		}
 	}
@@ -181,12 +262,13 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 	watchdog := time.NewTimer(o.Timeout)
 	defer watchdog.Stop()
 	var grace <-chan time.Time
-	for got := 0; got < o.Nodes; {
+	for got := 0; got < procs; {
 		select {
 		case ev := <-exits:
-			waitErrs[ev.rank] = ev.err
+			waitErrs[ev.proc] = ev.err
+			exited[ev.proc] = true
 			got++
-			if ev.err != nil && grace == nil && got < o.Nodes {
+			if ev.err != nil && grace == nil && got < procs {
 				grace = time.After(o.DetectGrace)
 			}
 		case <-watchdog.C:
@@ -199,31 +281,67 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 		}
 	}
 
-	results := make([]NodeResult, o.Nodes)
+	// Decode each host's stdout: one NodeResult line per hosted rank,
+	// routed by the reported Rank field.
+	results = make([]NodeResult, o.Nodes)
+	seen := make([]bool, o.Nodes)
+	parsed := make([]int, procs)
+	for r := range results {
+		results[r].Rank = r
+	}
+	for p := 0; p < procs; p++ {
+		dec := json.NewDecoder(bytes.NewReader(outs[p].Bytes()))
+		for {
+			var res NodeResult
+			if err := dec.Decode(&res); err != nil {
+				break
+			}
+			if res.Rank >= 0 && res.Rank < o.Nodes && !seen[res.Rank] {
+				results[res.Rank] = res
+				seen[res.Rank] = true
+				parsed[p]++
+			}
+		}
+	}
+
 	var errs []string
 	var stopped bool
-	for r := 0; r < o.Nodes; r++ {
-		results[r].Rank = r
+	stoppedProc := make([]bool, procs)
+	for p := 0; p < procs; p++ {
+		exitCode := 0
 		var ee *exec.ExitError
-		if errors.As(waitErrs[r], &ee) && ee.ExitCode() == StopExitCode {
+		if errors.As(waitErrs[p], &ee) {
+			exitCode = ee.ExitCode()
+		}
+		switch {
+		case exitCode == StopExitCode:
 			stopped = true
-			errs = append(errs, fmt.Sprintf("rank %d: stopped by operator (exit %d)", r, StopExitCode))
-			continue
+			stoppedProc[p] = true
+			errs = append(errs, fmt.Sprintf("host %d: stopped by operator (exit %d)", p, StopExitCode))
+		case exitCode == faultinject.KillExitCode:
+			suspects = append(suspects, p)
+		case waitErrs[p] != nil && !victim[p] && parsed[p] == 0:
+			// Died without managing to report anything — root-cause
+			// behavior, unlike peers that self-abort with a NodeResult.
+			suspects = append(suspects, p)
 		}
-		if err := json.Unmarshal(bytes.TrimSpace(outs[r].Bytes()), &results[r]); err != nil {
-			detail := strings.TrimSpace(outs[r].String())
-			if len(detail) > 200 {
-				detail = detail[:200] + "..."
+	}
+	for r := 0; r < o.Nodes; r++ {
+		p := hosts.Owner(r)
+		if seen[r] {
+			if results[r].Err != "" {
+				errs = append(errs, fmt.Sprintf("rank %d: %s", r, results[r].Err))
 			}
-			errs = append(errs, fmt.Sprintf("rank %d: no result (%v; exit: %v; stdout: %q)", r, err, waitErrs[r], detail))
 			continue
 		}
-		if results[r].Rank != r {
-			errs = append(errs, fmt.Sprintf("rank %d: reported rank %d", r, results[r].Rank))
+		if stoppedProc[p] {
+			continue // the stop message already covers this host
 		}
-		if results[r].Err != "" {
-			errs = append(errs, fmt.Sprintf("rank %d: %s", r, results[r].Err))
+		detail := strings.TrimSpace(outs[p].String())
+		if len(detail) > 200 {
+			detail = detail[:200] + "..."
 		}
+		errs = append(errs, fmt.Sprintf("rank %d: no result (host %d exit: %v; stdout: %q)", r, p, waitErrs[p], detail))
 	}
 	if timedOut {
 		errs = append([]string{fmt.Sprintf("run exceeded %v and was killed", o.Timeout)}, errs...)
@@ -233,9 +351,9 @@ func launchOnce(o *LaunchOpts, dir string, attempt int) ([]NodeResult, error) {
 	}
 	if len(errs) > 0 {
 		if stopped {
-			return results, fmt.Errorf("dist: %w:\n  %s", ErrOperatorStop, strings.Join(errs, "\n  "))
+			return results, suspects, fmt.Errorf("dist: %w:\n  %s", ErrOperatorStop, strings.Join(errs, "\n  "))
 		}
-		return results, fmt.Errorf("dist: launch failed:\n  %s", strings.Join(errs, "\n  "))
+		return results, suspects, fmt.Errorf("dist: launch failed:\n  %s", strings.Join(errs, "\n  "))
 	}
-	return results, nil
+	return results, suspects, nil
 }

@@ -27,12 +27,18 @@
 //	                          sets A and B (comma-separated rank lists)
 //	kill=R[@phase:K]          rank R exits (code KillExitCode) on entering
 //	                          the commit of global phase K
+//	killhost=J[@phase:K]      host process J exits (code KillExitCode) on
+//	                          entering the commit of global phase K
 //
 // @phase:K arms the item from global phase K on (probabilistic items) or
-// exactly at phase K (sever, kill); the default is 0, i.e. immediately.
-// One-shot items (sever, partition, kill) arm only on launch attempt 0
-// (PPM_FAULT_ATTEMPT, set by the supervisor), so a relaunched fleet can
-// actually recover from the fault that killed the first one.
+// exactly at phase K (sever, kill, killhost); the default is 0, i.e.
+// immediately. One-shot items (sever, partition, kill) arm only on launch
+// attempt 0 (PPM_FAULT_ATTEMPT, set by the supervisor), so a relaunched
+// fleet can actually recover from the fault that killed the first one.
+// killhost is the exception: it arms on every attempt, modeling a host
+// that is permanently dead — the fault only stops firing once the
+// supervisor rescales the fleet below J+1 host processes, which is what
+// the elastic-recovery tests exercise.
 package faultinject
 
 import (
@@ -79,6 +85,7 @@ type frameRule struct {
 // nothing; a nil *Plan is the usual "no faults" configuration.
 type Plan struct {
 	rank    int
+	proc    int // host process index (== rank under native 1:1 hosting)
 	attempt int
 	seed    uint64
 
@@ -95,8 +102,16 @@ type Plan struct {
 }
 
 // FromEnv builds the Plan for this rank from PPM_FAULT and
-// PPM_FAULT_ATTEMPT. It returns (nil, nil) when PPM_FAULT is unset.
+// PPM_FAULT_ATTEMPT, assuming native hosting (the rank's host process
+// index equals its rank). It returns (nil, nil) when PPM_FAULT is unset.
 func FromEnv(rank int) (*Plan, error) {
+	return FromEnvHost(rank, rank)
+}
+
+// FromEnvHost is FromEnv for a rank hosted inside host process proc (a
+// rescaled fleet runs several ranks per process; killhost= items key on
+// the process index, not the rank).
+func FromEnvHost(rank, proc int) (*Plan, error) {
 	spec := os.Getenv("PPM_FAULT")
 	if spec == "" {
 		return nil, nil
@@ -109,14 +124,20 @@ func FromEnv(rank int) (*Plan, error) {
 		}
 		attempt = n
 	}
-	return Parse(spec, rank, attempt)
+	return ParseHost(spec, rank, proc, attempt)
 }
 
 // Parse builds the Plan one rank derives from spec on the given launch
-// attempt.
+// attempt, assuming native hosting (proc == rank).
 func Parse(spec string, rank, attempt int) (*Plan, error) {
+	return ParseHost(spec, rank, rank, attempt)
+}
+
+// ParseHost builds the Plan for a rank hosted inside host process proc.
+func ParseHost(spec string, rank, proc, attempt int) (*Plan, error) {
 	pl := &Plan{
 		rank:      rank,
+		proc:      proc,
 		attempt:   attempt,
 		seed:      1,
 		severs:    make(map[int64][]int),
@@ -214,6 +235,16 @@ func Parse(spec string, rank, attempt int) (*Plan, error) {
 				return nil, fmt.Errorf("faultinject: bad kill rank %q", val)
 			}
 			if attempt == 0 && rank == r {
+				pl.killPhase = phase
+			}
+		case "killhost":
+			j, err := strconv.Atoi(val)
+			if err != nil || j < 0 {
+				return nil, fmt.Errorf("faultinject: bad killhost proc %q", val)
+			}
+			// Armed on EVERY attempt: the host stays dead until the
+			// supervisor stops scheduling a process with its index.
+			if proc == j {
 				pl.killPhase = phase
 			}
 		default:

@@ -37,19 +37,19 @@ func TestParseFullSpec(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"drop",                // no =
-		"drop=1.5",            // probability out of range
-		"drop=x",              // not a number
-		"delay=0.5",           // missing duration
-		"delay=0.5:-3ms",      // negative duration
-		"drop=0.5@phase:-1",   // negative phase
-		"drop=0.5@after:3",    // bad suffix
-		"sever=x",             // bad rank
-		"partition=0,1",       // missing |
-		"partition=|1",        // empty side
-		"kill=-2",             // negative rank
-		"seed=abc",            // bad seed
-		"explode=1",           // unknown key
+		"drop",              // no =
+		"drop=1.5",          // probability out of range
+		"drop=x",            // not a number
+		"delay=0.5",         // missing duration
+		"delay=0.5:-3ms",    // negative duration
+		"drop=0.5@phase:-1", // negative phase
+		"drop=0.5@after:3",  // bad suffix
+		"sever=x",           // bad rank
+		"partition=0,1",     // missing |
+		"partition=|1",      // empty side
+		"kill=-2",           // negative rank
+		"seed=abc",          // bad seed
+		"explode=1",         // unknown key
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec, 0, 0); err == nil {
@@ -208,5 +208,67 @@ func TestFromEnvAttempt(t *testing.T) {
 	t.Setenv("PPM_FAULT_ATTEMPT", "bogus")
 	if _, err := FromEnv(0); err == nil {
 		t.Error("bad PPM_FAULT_ATTEMPT accepted")
+	}
+}
+
+func TestKillhostTargetsOnlyNamedProc(t *testing.T) {
+	// killhost keys on the HOST PROCESS index, not the logical rank: a
+	// rescaled fleet hosts several ranks per process, and the fault must
+	// follow the process that "is" the dead machine.
+	for proc := 0; proc < 3; proc++ {
+		pl, err := ParseHost("killhost=1@phase:4", 0, proc, 0)
+		if err != nil {
+			t.Fatalf("ParseHost: %v", err)
+		}
+		want := proc == 1
+		if got := pl.KillNow(4); got != want {
+			t.Errorf("proc %d KillNow(4) = %v, want %v", proc, got, want)
+		}
+		if pl.KillNow(3) || pl.KillNow(5) {
+			t.Errorf("proc %d killhost fired at wrong phase", proc)
+		}
+	}
+}
+
+func TestKillhostRearmsOnEveryAttempt(t *testing.T) {
+	// Unlike kill (a one-shot crash the relaunch survives), killhost
+	// models a permanently dead machine: every attempt that schedules a
+	// process with the doomed index dies again, until the supervisor
+	// rescales the fleet so no process carries that index.
+	for attempt := 0; attempt < 3; attempt++ {
+		pl, err := ParseHost("killhost=1@phase:4", 0, 1, attempt)
+		if err != nil {
+			t.Fatalf("ParseHost(attempt=%d): %v", attempt, err)
+		}
+		if !pl.KillNow(4) {
+			t.Errorf("killhost disarmed on attempt %d; a dead host must stay dead", attempt)
+		}
+	}
+}
+
+func TestKillhostParseErrors(t *testing.T) {
+	for _, spec := range []string{"killhost=-1", "killhost=x", "killhost="} {
+		if _, err := ParseHost(spec, 0, 0, 0); err == nil {
+			t.Errorf("ParseHost(%q) accepted a bad proc index", spec)
+		}
+	}
+}
+
+func TestKillStillKeysOnRankUnderHosting(t *testing.T) {
+	// A rescaled process hosts rank 2 as proc 1; kill=2 must follow the
+	// rank, killhost=1 the proc — the two addressing schemes coexist.
+	pl, err := ParseHost("kill=2@phase:6", 2, 1, 0)
+	if err != nil {
+		t.Fatalf("ParseHost: %v", err)
+	}
+	if !pl.KillNow(6) {
+		t.Error("kill=2 did not fire for rank 2 hosted on proc 1")
+	}
+	pl2, err := ParseHost("kill=1@phase:6", 2, 1, 0)
+	if err != nil {
+		t.Fatalf("ParseHost: %v", err)
+	}
+	if pl2.KillNow(6) {
+		t.Error("kill=1 fired for rank 2 just because its proc index is 1")
 	}
 }

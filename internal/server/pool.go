@@ -12,23 +12,29 @@ import (
 
 	"ppm/internal/dist"
 	"ppm/internal/jobspec"
+	"ppm/internal/partition"
 )
 
 // fleetKey identifies a reusable fleet shape. Jobs only share a fleet
-// when node count, machine preset, and core width all match: the serve
-// protocol would run any spec on any fleet of the right node count, but
-// keeping shapes apart keeps a fleet's plan-cache session relevant to
-// the jobs routed at it.
+// when node count, host-process count, machine preset, and core width
+// all match: the serve protocol would run any spec on any fleet of the
+// right node count, but keeping shapes apart keeps a fleet's plan-cache
+// session relevant to the jobs routed at it. procs < nodes is a
+// rescaled fleet — fewer processes block-hosting the same logical mesh
+// — used by job retries after a fleet death.
 type fleetKey struct {
 	nodes  int
+	procs  int
 	cores  int
 	preset string
 }
 
-// nodeProc is one serve-mode ppm-node process of a fleet.
+// nodeProc is one serve-mode ppm-node process of a fleet, hosting one
+// or more logical ranks.
 type nodeProc struct {
 	cmd     *exec.Cmd
 	stdin   io.WriteCloser
+	ranks   []int                  // logical ranks this process hosts
 	replies chan jobspec.NodeReply // decoded stdout lines; closed on EOF
 	dead    chan struct{}          // closed when the process exits
 }
@@ -45,9 +51,10 @@ type fleet struct {
 	broken bool   // a run errored; the engines may be poisoned
 }
 
-// run submits one job to every rank and gathers the per-rank terminal
-// replies. Rank 0's phase-progress replies stream through onPhase as
-// they arrive. Any rank dying mid-job or replying with an error marks
+// run submits one job to every host process and gathers one terminal
+// reply per hosted rank, routed by the reported Result.Rank. Rank 0's
+// phase-progress replies (host 0 hosts it) stream through onPhase as
+// they arrive. Any host dying mid-job or replying with an error marks
 // the fleet broken; the caller must discard it.
 func (f *fleet) run(id string, spec *jobspec.Spec, onPhase func(int64)) ([]dist.NodeResult, error) {
 	line, err := json.Marshal(jobspec.NodeJob{ID: id, Spec: *spec})
@@ -55,38 +62,46 @@ func (f *fleet) run(id string, spec *jobspec.Spec, onPhase func(int64)) ([]dist.
 		return nil, fmt.Errorf("server: encoding job %s: %v", id, err)
 	}
 	line = append(line, '\n')
-	for r, p := range f.procs {
+	for pi, p := range f.procs {
 		if _, err := p.stdin.Write(line); err != nil {
 			f.broken = true
-			return nil, fmt.Errorf("server: fleet write to rank %d: %v", r, err)
+			return nil, fmt.Errorf("server: fleet write to host %d: %v", pi, err)
 		}
 	}
-	results := make([]dist.NodeResult, len(f.procs))
+	results := make([]dist.NodeResult, f.key.nodes)
 	errs := make([]error, len(f.procs))
 	var wg sync.WaitGroup
-	for r, p := range f.procs {
+	for pi, p := range f.procs {
 		wg.Add(1)
-		go func(r int, p *nodeProc) {
+		go func(pi int, p *nodeProc) {
 			defer wg.Done()
+			got := 0
 			for rep := range p.replies {
 				if rep.ID != id {
 					continue // stale line from an aborted predecessor
 				}
 				if !rep.Done {
-					if r == 0 && onPhase != nil {
+					if pi == 0 && onPhase != nil {
 						onPhase(rep.Phase)
 					}
 					continue
 				}
 				if rep.Result == nil {
-					errs[r] = fmt.Errorf("rank %d: terminal reply without a result", r)
-				} else {
-					results[r] = *rep.Result
+					errs[pi] = fmt.Errorf("host %d: terminal reply without a result", pi)
+					return
 				}
-				return
+				r := rep.Result.Rank
+				if r < 0 || r >= len(results) {
+					errs[pi] = fmt.Errorf("host %d: terminal reply for unknown rank %d", pi, r)
+					return
+				}
+				results[r] = *rep.Result
+				if got++; got == len(p.ranks) {
+					return
+				}
 			}
-			errs[r] = fmt.Errorf("rank %d: exited mid-job", r)
-		}(r, p)
+			errs[pi] = fmt.Errorf("host %d (ranks %v): exited mid-job", pi, p.ranks)
+		}(pi, p)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -202,8 +217,26 @@ func (p *pool) acquire(key fleetKey) (f *fleet, reusedFleet bool, err error) {
 	seq := p.seq
 	p.spawned++
 	p.mu.Unlock()
-	f, err = p.spawn(key, seq)
+	f, err = p.spawn(key, seq, 0)
 	return f, false, err
+}
+
+// acquireFresh always spawns a new fleet, bypassing the warm pool, with
+// the given launch attempt in the children's PPM_FAULT_ATTEMPT. Job
+// retries use it: an idle fleet was spawned as attempt 0 and may be
+// armed with (or already poisoned by) the one-shot fault that killed
+// the first run.
+func (p *pool) acquireFresh(key fleetKey, attempt int) (*fleet, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("server: pool closed")
+	}
+	p.seq++
+	seq := p.seq
+	p.spawned++
+	p.mu.Unlock()
+	return p.spawn(key, seq, attempt)
 }
 
 // release parks a fleet for reuse; broken or dead fleets are retired
@@ -285,22 +318,36 @@ func (p *pool) stats() (spawned, reused, reaped, discarded int64, idle int) {
 	return p.spawned, p.reused, p.reaped, p.discarded, idle
 }
 
-// spawn forks and connects one serve-mode fleet.
-func (p *pool) spawn(key fleetKey, seq int) (*fleet, error) {
+// spawn forks and connects one serve-mode fleet of key.procs host
+// processes (key.procs < key.nodes block-hosts several logical ranks
+// per process). attempt is passed to the children as PPM_FAULT_ATTEMPT
+// so one-shot injected faults arm only on a job's first fleet.
+func (p *pool) spawn(key fleetKey, seq, attempt int) (*fleet, error) {
 	dir, err := os.MkdirTemp("", "ppm-serve-")
 	if err != nil {
 		return nil, fmt.Errorf("server: rendezvous dir: %w", err)
 	}
 	runID := fmt.Sprintf("serve-%d-%d", os.Getpid(), seq)
 	f := &fleet{key: key, dir: dir}
-	for r := 0; r < key.nodes; r++ {
-		cmd := exec.Command(p.nodeBin,
+	procs := key.procs
+	if procs <= 0 || procs > key.nodes {
+		procs = key.nodes
+	}
+	hosts := partition.NewBlock(key.nodes, procs)
+	for pi := 0; pi < procs; pi++ {
+		lo, hi := hosts.Range(pi)
+		args := []string{
 			"-serve",
-			"-rank", strconv.Itoa(r),
+			"-rank", strconv.Itoa(lo),
 			"-nodes", strconv.Itoa(key.nodes),
 			"-rendezvous", dir,
 			"-run-id", runID,
-		)
+		}
+		if procs < key.nodes {
+			args = append(args, "-procs", strconv.Itoa(procs), "-proc", strconv.Itoa(pi))
+		}
+		cmd := exec.Command(p.nodeBin, args...)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("PPM_FAULT_ATTEMPT=%d", attempt))
 		stdin, err := cmd.StdinPipe()
 		if err == nil {
 			var stdout io.ReadCloser
@@ -308,9 +355,14 @@ func (p *pool) spawn(key fleetKey, seq int) (*fleet, error) {
 			if err == nil {
 				cmd.Stderr = p.stderr
 				if err = cmd.Start(); err == nil {
+					ranks := make([]int, 0, hi-lo)
+					for r := lo; r < hi; r++ {
+						ranks = append(ranks, r)
+					}
 					proc := &nodeProc{
 						cmd:   cmd,
 						stdin: stdin,
+						ranks: ranks,
 						// Buffered so a fleet killed mid-job cannot wedge
 						// its reader goroutine on a send nobody drains.
 						replies: make(chan jobspec.NodeReply, 1024),
@@ -338,7 +390,7 @@ func (p *pool) spawn(key fleetKey, seq int) (*fleet, error) {
 		}
 		f.broken = true
 		f.stop()
-		return nil, fmt.Errorf("server: spawning rank %d of fleet %v: %v", r, key, err)
+		return nil, fmt.Errorf("server: spawning host %d of fleet %v: %v", pi, key, err)
 	}
 	return f, nil
 }

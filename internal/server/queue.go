@@ -29,6 +29,20 @@ import (
 // HTTP layer maps it to 503 with a Retry-After.
 var ErrQueueFull = errors.New("server: queue full")
 
+// QueueFullError is the concrete queue-full rejection: it carries the
+// backlog depth and a backlog-proportional Retry-After for the HTTP
+// layer. It unwraps to ErrQueueFull so existing errors.Is checks hold.
+type QueueFullError struct {
+	Queued     int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("server: queue full (%d jobs queued); retry in %v", e.Queued, e.RetryAfter)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
 // ErrQueueClosed rejects submissions after shutdown began.
 var ErrQueueClosed = errors.New("server: queue closed (shutting down)")
 
@@ -61,14 +75,15 @@ type Job struct {
 
 	seq int64 // admission order, ties FIFO
 
-	mu     sync.Mutex
-	status string // StatusQueued ... StatusExpired
-	phases int64
-	result *jobspec.Result
-	errMsg string
-	doneAt time.Time     // when the job reached a terminal status
-	done   chan struct{} // closed on any terminal status
-	subs   []chan int64  // phase-progress subscribers
+	mu       sync.Mutex
+	status   string // StatusQueued ... StatusExpired
+	phases   int64
+	attempts int // fleet runs spent on this job (retries included)
+	result   *jobspec.Result
+	errMsg   string
+	doneAt   time.Time     // when the job reached a terminal status
+	done     chan struct{} // closed on any terminal status
+	subs     []chan int64  // phase-progress subscribers
 }
 
 // Job lifecycle states.
@@ -94,6 +109,20 @@ func (j *Job) Status() (status string, phases int64, result *jobspec.Result, err
 
 // Done returns the channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// noteAttempt counts one fleet run spent on this job.
+func (j *Job) noteAttempt() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
+// attemptCount reports how many fleet runs the job has consumed.
+func (j *Job) attemptCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
 
 // setRunning moves a queued job to running; it reports false when the
 // job already left the queued state (expired by the janitor).
@@ -217,7 +246,18 @@ func (q *Queue) Push(j *Job) error {
 		return ErrQueueClosed
 	}
 	if len(q.heap) >= q.max {
-		return ErrQueueFull
+		n := len(q.heap)
+		// Advise a retry pause proportional to the backlog, mirroring
+		// the quota path below: the fuller the queue, the longer the
+		// wait before a slot plausibly opens.
+		ra := time.Duration(n) * 500 * time.Millisecond
+		if ra < time.Second {
+			ra = time.Second
+		}
+		if ra > 30*time.Second {
+			ra = 30 * time.Second
+		}
+		return &QueueFullError{Queued: n, RetryAfter: ra}
 	}
 	if q.quota > 0 && q.inFlight[j.Tenant] >= q.quota {
 		n := q.inFlight[j.Tenant]

@@ -249,3 +249,39 @@ func TestServerEvictsTerminalJobs(t *testing.T) {
 		t.Fatal("live job was evicted")
 	}
 }
+
+// The queue-full rejection advises a pause proportional to the backlog
+// — mirroring the quota path — clamped to [1s, 30s]. It was once a
+// hardcoded 5 seconds regardless of depth.
+func TestQueueFullRetryAfterProportional(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want time.Duration
+	}{
+		{1, time.Second},        // 1 × 500ms clamps up to the 1s floor
+		{4, 2 * time.Second},    // 4 × 500ms
+		{16, 8 * time.Second},   // 16 × 500ms
+		{100, 30 * time.Second}, // 100 × 500ms clamps down to the 30s cap
+	} {
+		q := NewQueue(tc.max, 0)
+		for i := 0; i < tc.max; i++ {
+			if err := q.Push(qjob(fmt.Sprintf("j%d", i), "t", 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := q.Push(qjob("over", "t", 0))
+		var fe *QueueFullError
+		if !errors.As(err, &fe) {
+			t.Fatalf("max=%d: push = %v, want QueueFullError", tc.max, err)
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Errorf("max=%d: QueueFullError does not unwrap to ErrQueueFull", tc.max)
+		}
+		if fe.Queued != tc.max {
+			t.Errorf("max=%d: Queued = %d", tc.max, fe.Queued)
+		}
+		if fe.RetryAfter != tc.want {
+			t.Errorf("max=%d: RetryAfter = %v, want %v", tc.max, fe.RetryAfter, tc.want)
+		}
+	}
+}

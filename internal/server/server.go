@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -40,6 +41,15 @@ type Config struct {
 	// GET /v1/jobs/{id} before the janitor evicts them (default 10m).
 	// Cached results outlive the job record via GET /v1/results/{hash}.
 	JobRetention time.Duration
+	// MaxJobRetries is how many times a dist job whose fleet died is
+	// resubmitted before the job is marked failed (default 2; negative:
+	// no retries). The first retry gets a fresh full-size fleet; later
+	// retries shrink the fleet by one host process each, so a job can
+	// outlive a host that deterministically dies at the same phase.
+	MaxJobRetries int
+	// RetryBackoff is the base of the exponential retry backoff
+	// (default 200ms); each retry waits base<<(attempt-1) plus jitter.
+	RetryBackoff time.Duration
 	// Stderr receives fleet stderr (default os.Stderr).
 	Stderr io.Writer
 }
@@ -62,6 +72,7 @@ type Server struct {
 	janitorStop chan struct{}
 
 	submitted, completed, failed, expired, cachedServed, running int64
+	jobsRetried, recoveriesRescaled                              int64
 }
 
 // New builds a server from cfg without binding anything.
@@ -85,6 +96,14 @@ func New(cfg Config) *Server {
 	}
 	if cfg.JobRetention <= 0 {
 		cfg.JobRetention = 10 * time.Minute
+	}
+	if cfg.MaxJobRetries == 0 {
+		cfg.MaxJobRetries = 2
+	} else if cfg.MaxJobRetries < 0 {
+		cfg.MaxJobRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 200 * time.Millisecond
 	}
 	return &Server{
 		cfg:         cfg,
@@ -169,6 +188,7 @@ type JobStatus struct {
 	Hash          string          `json:"hash"`
 	QueuePosition int             `json:"queue_position,omitempty"`
 	Phases        int64           `json:"phases"`
+	Attempts      int             `json:"attempts"`
 	Error         string          `json:"error,omitempty"`
 	Result        *jobspec.Result `json:"result,omitempty"`
 }
@@ -183,7 +203,11 @@ type Metrics struct {
 		Cached    int64 `json:"cached"`
 		Queued    int   `json:"queued"`
 		Running   int64 `json:"running"`
+		Retried   int64 `json:"jobs_retried"`
 	} `json:"jobs"`
+	Recoveries struct {
+		Rescaled int64 `json:"recoveries_rescaled"`
+	} `json:"recoveries"`
 	Tenants map[string]int `json:"tenants"`
 	Cache   struct {
 		Hits    int64 `json:"hits"`
@@ -194,7 +218,7 @@ type Metrics struct {
 		Spawned   int64 `json:"spawned"`
 		Reused    int64 `json:"reused"`
 		Reaped    int64 `json:"reaped"`
-		Discarded int64 `json:"discarded"`
+		Discarded int64 `json:"fleets_discarded"`
 		Idle      int   `json:"idle"`
 	} `json:"fleets"`
 }
@@ -259,12 +283,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.q.Push(j); err != nil {
 		s.forgetJob(j.ID)
 		var qe *QuotaError
+		var fe *QueueFullError
 		switch {
 		case errors.As(err, &qe):
 			w.Header().Set("Retry-After", strconv.Itoa(int(qe.RetryAfter.Seconds())))
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "5")
+		case errors.As(err, &fe):
+			// Backlog-proportional, like the quota path: a deeper queue
+			// earns the client a longer pause.
+			w.Header().Set("Retry-After", strconv.Itoa(int(fe.RetryAfter.Seconds())))
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		default:
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -312,7 +339,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	status, phases, result, errMsg := j.Status()
 	out := JobStatus{
 		ID: j.ID, Tenant: j.Tenant, Status: status, Hash: j.Hash,
-		Phases: phases, Error: errMsg, Result: result,
+		Phases: phases, Attempts: j.attemptCount(), Error: errMsg, Result: result,
 	}
 	if status == StatusQueued {
 		out.QueuePosition = s.q.Position(j.ID)
@@ -380,6 +407,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Jobs.Cached = atomic.LoadInt64(&s.cachedServed)
 	m.Jobs.Queued = s.q.Len()
 	m.Jobs.Running = atomic.LoadInt64(&s.running)
+	m.Jobs.Retried = atomic.LoadInt64(&s.jobsRetried)
+	m.Recoveries.Rescaled = atomic.LoadInt64(&s.recoveriesRescaled)
 	m.Tenants = s.q.InFlight()
 	m.Cache.Hits, m.Cache.Misses, m.Cache.Entries = s.cache.stats()
 	m.Fleets.Spawned, m.Fleets.Reused, m.Fleets.Reaped, m.Fleets.Discarded, m.Fleets.Idle = s.pool.stats()
@@ -449,12 +478,58 @@ func (s *Server) runJob(j *Job) {
 	j.finish(StatusDone, res, "")
 }
 
-// runDist runs a dist-backend job on a pooled fleet. Any failure
-// discards the fleet (a distributed abort poisons the engines); success
-// parks it warm for the next job of the same shape.
+// runDist runs a dist-backend job, retrying a fleet failure against the
+// configured budget with exponential backoff + jitter. Attempt 0 uses
+// the warm pool; every retry spawns a fresh fleet (an idle fleet from
+// the same era carries attempt-0 fault arming and may be poisoned by
+// whatever killed the first run), and retries after the first shrink
+// the fleet by one host process each — the same logical node count on
+// fewer processes — so a host that deterministically dies at the same
+// phase cannot fail the job forever.
 func (s *Server) runDist(j *Job) (*jobspec.Result, error) {
-	key := fleetKey{nodes: j.Spec.Nodes, cores: j.Spec.Cores, preset: j.Spec.Preset}
-	f, _, err := s.pool.acquire(key)
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.MaxJobRetries; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&s.jobsRetried, 1)
+			d := s.cfg.RetryBackoff << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			if !j.Deadline.IsZero() && time.Now().Add(d).After(j.Deadline) {
+				break
+			}
+			time.Sleep(d)
+		}
+		res, err := s.runDistOnce(j, attempt)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// runDistOnce runs one attempt of a dist job on a pooled or fresh
+// fleet. Any failure discards the fleet (a distributed abort poisons
+// the engines); success parks it warm for the next job of its shape.
+func (s *Server) runDistOnce(j *Job, attempt int) (*jobspec.Result, error) {
+	j.noteAttempt()
+	procs := j.Spec.Nodes
+	if attempt > 1 {
+		procs -= attempt - 1
+		if procs < 1 {
+			procs = 1
+		}
+	}
+	key := fleetKey{nodes: j.Spec.Nodes, procs: procs, cores: j.Spec.Cores, preset: j.Spec.Preset}
+	var f *fleet
+	var err error
+	if attempt == 0 {
+		f, _, err = s.pool.acquire(key)
+	} else {
+		if procs < j.Spec.Nodes {
+			atomic.AddInt64(&s.recoveriesRescaled, 1)
+		}
+		f, err = s.pool.acquireFresh(key, attempt)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -134,11 +136,22 @@ func TestServerSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	rawMetrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	var m Metrics
+	if err := json.Unmarshal(rawMetrics, &m); err != nil {
+		t.Fatal(err)
+	}
+	// The recovery counters must be present in the raw JSON (the
+	// artifact CI uploads) even when zero — dashboards key on the names.
+	for _, key := range []string{`"jobs_retried"`, `"recoveries_rescaled"`, `"fleets_discarded"`} {
+		if !strings.Contains(string(rawMetrics), key) {
+			t.Errorf("metrics JSON is missing %s:\n%s", key, rawMetrics)
+		}
+	}
 	if m.Cache.Hits < 1 {
 		t.Errorf("metrics: cache hits = %d, want >= 1", m.Cache.Hits)
 	}
@@ -146,8 +159,12 @@ func TestServerSmoke(t *testing.T) {
 		t.Errorf("metrics: fleets spawned = %d, want >= 1", m.Fleets.Spawned)
 	}
 	if out := os.Getenv("PPM_SERVER_METRICS_OUT"); out != "" {
-		data, _ := json.MarshalIndent(m, "", "  ")
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, rawMetrics, "", "  "); err != nil {
+			t.Fatal(err)
+		}
+		pretty.WriteByte('\n')
+		if err := os.WriteFile(out, pretty.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("metrics snapshot written to %s", out)
